@@ -1,0 +1,11 @@
+"""Shared benchmark configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each bench regenerates one of the paper's evaluation artifacts (see
+EXPERIMENTS.md), asserts its shape claims, and times the computation.
+Tables print to stdout (visible with ``-s`` or in the captured output
+of the harness logs).
+"""

@@ -1,0 +1,52 @@
+"""Checkpointing payoff bench: protected vs unprotected completion.
+
+The paper's motivating claim in numbers: expected completion time of a
+long-running application with the application-driven protocol (linear
+in the work) vs no checkpointing at all (exponential in λW), plus the
+break-even work size at the paper's parameter point.
+"""
+
+from repro.analysis.availability import (
+    break_even_work,
+    expected_completion_with_checkpointing,
+    expected_completion_without_checkpointing,
+)
+from repro.analysis.parameters import STARFISH_DEFAULTS, system_failure_rate
+
+P = STARFISH_DEFAULTS
+ARGS = dict(
+    interval=P.interval,
+    total_overhead=P.checkpoint_overhead,
+    recovery=P.recovery_overhead,
+    total_latency=P.checkpoint_latency,
+)
+
+
+def test_bench_checkpointing_payoff(benchmark):
+    lam = system_failure_rate(P, 256)
+
+    def sweep():
+        rows = []
+        for hours in (1, 6, 24, 96):
+            work = hours * 3600.0
+            protected = expected_completion_with_checkpointing(
+                work, lam, **ARGS
+            )
+            unprotected = expected_completion_without_checkpointing(work, lam)
+            rows.append((hours, work, protected, unprotected))
+        return rows
+
+    rows = benchmark(sweep)
+    point = break_even_work(lam, **ARGS)
+    print("\n=== Checkpointing payoff (n=256, paper constants) ===")
+    print(f"{'work':>8s} {'protected [s]':>14s} {'unprotected [s]':>16s} {'ratio':>8s}")
+    for hours, work, protected, unprotected in rows:
+        print(f"{hours:>6d}h {protected:>14.0f} {unprotected:>16.0f} "
+              f"{unprotected / protected:>8.2f}")
+    print(f"break-even work: {point.work:,.0f} s "
+          f"({point.work / 3600:.2f} h)")
+
+    # the motivating shape: ratio grows with work
+    ratios = [u / p for _, _, p, u in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > ratios[0]

@@ -1,0 +1,33 @@
+"""Failure-probability sweep — the mechanism behind Figure 8.
+
+The paper notes its Figure 8 ratios grow with n *because* the system
+failure rate grows proportionally with n. This bench sweeps the
+per-process failure probability directly at fixed n and asserts the
+same structure: all three protocols degrade monotonically and the
+ordering appl-driven < SaS < C-L holds at every point.
+"""
+
+from repro.analysis.comparison import (
+    DEFAULT_FAILURE_PROBS,
+    failure_probability_series,
+)
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+from repro.bench.figures import format_curves
+
+
+def test_bench_failure_probability_sweep(benchmark):
+    params = ModelParameters()
+    curves = benchmark(
+        failure_probability_series, params, DEFAULT_FAILURE_PROBS, 128
+    )
+
+    print("\n=== Overhead ratio vs per-process failure probability (n=128) ===")
+    print(format_curves(curves, x_label="p", x_format="{:>10.1e}"))
+
+    appl = curves[ProtocolKind.APPLICATION_DRIVEN].ratios
+    sas = curves[ProtocolKind.SYNC_AND_STOP].ratios
+    cl = curves[ProtocolKind.CHANDY_LAMPORT].ratios
+    for series in (appl, sas, cl):
+        assert list(series) == sorted(series)  # monotone in p
+    for a, s, c in zip(appl, sas, cl):
+        assert a < s < c

@@ -1,0 +1,39 @@
+"""Figure 8 — overhead ratio vs. number of processes.
+
+Regenerates the paper's protocol-comparison curve (appl-driven / SaS /
+C-L over n) from the closed-form model with the paper's Starfish
+constants, asserts every shape claim, prints the data table, and times
+the sweep.
+"""
+
+from repro.analysis.comparison import DEFAULT_PROCESS_COUNTS, figure8_series
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+from repro.bench.figures import figure8_table, shape_check_figure8
+
+
+def test_bench_figure8_series(benchmark):
+    params = ModelParameters()
+    curves = benchmark(figure8_series, params, DEFAULT_PROCESS_COUNTS)
+    problems = shape_check_figure8(curves)
+    assert problems == [], problems
+
+    print("\n=== Figure 8: overhead ratio vs number of processes ===")
+    print(figure8_table(params))
+    appl = curves[ProtocolKind.APPLICATION_DRIVEN].ratios
+    cl = curves[ProtocolKind.CHANDY_LAMPORT].ratios
+    print(
+        f"\nC-L / appl-driven ratio at n={DEFAULT_PROCESS_COUNTS[-1]}: "
+        f"{cl[-1] / appl[-1]:.1f}x"
+    )
+    # The separation the paper's figure shows: at 512 processes C-L's
+    # quadratic message overhead dwarfs the coordination-free approach.
+    assert cl[-1] / appl[-1] > 5.0
+
+
+def test_bench_figure8_dense_sweep(benchmark):
+    """A denser n-sweep (ablation: resolution does not change shapes)."""
+    params = ModelParameters()
+    dense = tuple(range(16, 513, 16))
+
+    curves = benchmark(figure8_series, params, dense)
+    assert shape_check_figure8(curves) == []

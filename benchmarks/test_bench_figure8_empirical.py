@@ -1,0 +1,67 @@
+"""Empirical Figure 8: overhead ratio vs system size on the simulator.
+
+The analytic Figure 8 compares protocols at fixed workload parameters;
+this bench measures the same quantity *empirically*: the ratio
+``T_protocol / T_bare − 1`` of each protocol's completion time against
+an unprotected run of the same workload, as the system grows.
+
+Expected shapes (weaker than the analytic ones — the simulator has
+workload-dependent noise, e.g. pauses hiding in message waits):
+
+- the application-driven overhead stays bounded by the checkpoint cost
+  (it adds no coordination), and
+- the coordinated protocols' *control message count* grows with n, C-L
+  super-linearly vs SaS linearly.
+"""
+
+from repro.bench.workloads import strip_checkpoints
+from repro.lang.programs import jacobi
+from repro.protocols import (
+    ApplicationDrivenProtocol,
+    ChandyLamportProtocol,
+    SyncAndStopProtocol,
+)
+from repro.runtime import RuntimeCosts, Simulation
+
+SIZES = (4, 8, 16)
+STEPS = 10
+COSTS = RuntimeCosts(control_latency=0.02)
+
+
+def _measure(n: int) -> dict[str, tuple[float, int]]:
+    """(overhead ratio, control messages) per protocol at size *n*."""
+    bare = Simulation(
+        strip_checkpoints(jacobi()), n, params={"steps": STEPS}, costs=COSTS
+    ).run()
+    out: dict[str, tuple[float, int]] = {}
+    runs = {
+        "appl-driven": (jacobi(), ApplicationDrivenProtocol()),
+        "SaS": (strip_checkpoints(jacobi()), SyncAndStopProtocol(period=4.0)),
+        "C-L": (strip_checkpoints(jacobi()), ChandyLamportProtocol(period=4.0)),
+    }
+    for name, (program, protocol) in runs.items():
+        result = Simulation(
+            program, n, params={"steps": STEPS}, costs=COSTS,
+            protocol=protocol,
+        ).run()
+        ratio = result.completion_time / bare.completion_time - 1.0
+        out[name] = (ratio, result.stats.control_messages)
+    return out
+
+
+def test_bench_empirical_overhead_vs_n(benchmark):
+    rows = benchmark.pedantic(
+        lambda: {n: _measure(n) for n in SIZES}, rounds=1, iterations=1
+    )
+    print("\n=== Empirical Figure 8 (simulator) ===")
+    print(f"{'n':>4s} {'protocol':>12s} {'overhead r':>11s} {'ctl msgs':>9s}")
+    for n, data in rows.items():
+        for name, (ratio, ctl) in data.items():
+            print(f"{n:>4d} {name:>12s} {ratio:>11.4f} {ctl:>9d}")
+
+    for n, data in rows.items():
+        assert data["appl-driven"][1] == 0  # coordination-free at every n
+    # control traffic growth: C-L super-linear vs SaS linear
+    sas_growth = rows[SIZES[-1]]["SaS"][1] / max(1, rows[SIZES[0]]["SaS"][1])
+    cl_growth = rows[SIZES[-1]]["C-L"][1] / max(1, rows[SIZES[0]]["C-L"][1])
+    assert cl_growth > sas_growth

@@ -1,0 +1,45 @@
+"""Figure 9 — the communication-setup (w_m) effect.
+
+SaS and C-L degrade as the per-message setup time grows; the
+application-driven protocol is exactly flat (it sends no coordination
+messages). Regenerates the series, asserts the shapes, prints the
+table, and times the sweep.
+"""
+
+from repro.analysis.comparison import (
+    DEFAULT_FIGURE9_PROCESSES,
+    DEFAULT_SETUP_TIMES,
+    figure9_series,
+)
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+from repro.bench.figures import figure9_table, shape_check_figure9
+
+
+def test_bench_figure9_series(benchmark):
+    params = ModelParameters()
+    curves = benchmark(
+        figure9_series, params, DEFAULT_SETUP_TIMES, DEFAULT_FIGURE9_PROCESSES
+    )
+    problems = shape_check_figure9(curves)
+    assert problems == [], problems
+
+    print("\n=== Figure 9: overhead ratio vs message setup time (w_m) ===")
+    print(figure9_table(params))
+    appl = curves[ProtocolKind.APPLICATION_DRIVEN].ratios
+    sas = curves[ProtocolKind.SYNC_AND_STOP].ratios
+    cl = curves[ProtocolKind.CHANDY_LAMPORT].ratios
+    print(
+        f"\nslopes over the sweep: appl-driven {appl[-1] - appl[0]:+.6f}, "
+        f"SaS {sas[-1] - sas[0]:+.4f}, C-L {cl[-1] - cl[0]:+.4f}"
+    )
+    assert appl[-1] == appl[0]
+
+
+def test_bench_figure9_congestion_regime(benchmark):
+    """The paper's congestion remark: w_m can grow at run time; even a
+    10x larger sweep keeps the qualitative ordering."""
+    params = ModelParameters()
+    congested = tuple(w * 10 for w in DEFAULT_SETUP_TIMES)
+
+    curves = benchmark(figure9_series, params, congested, 64)
+    assert shape_check_figure9(curves) == []

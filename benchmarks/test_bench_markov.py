@@ -1,0 +1,55 @@
+"""Figure 7 — the interval Markov chain and its Γ computations.
+
+Benchmarks the three analytic routes to ``Γ`` (closed form, two-path
+expansion, linear-system solver) plus the Monte Carlo estimator, and
+asserts their mutual agreement at the paper's parameter point.
+"""
+
+import pytest
+
+from repro.analysis.markov import IntervalMarkovChain
+from repro.analysis.montecarlo import simulate_interval_time
+from repro.analysis.overhead import gamma_closed_form
+from repro.analysis.parameters import STARFISH_DEFAULTS, system_failure_rate
+
+LAM = system_failure_rate(STARFISH_DEFAULTS, 256)
+ARGS = dict(
+    interval=STARFISH_DEFAULTS.interval,
+    total_overhead=STARFISH_DEFAULTS.checkpoint_overhead,
+    recovery=STARFISH_DEFAULTS.recovery_overhead,
+    total_latency=STARFISH_DEFAULTS.checkpoint_latency,
+)
+
+
+def test_bench_gamma_closed_form(benchmark):
+    gamma = benchmark(gamma_closed_form, LAM, *ARGS.values())
+    assert gamma > ARGS["interval"]
+
+
+def test_bench_gamma_two_path(benchmark):
+    chain = IntervalMarkovChain(LAM, **ARGS)
+    gamma = benchmark(chain.expected_time_two_path)
+    assert gamma == pytest.approx(gamma_closed_form(LAM, *ARGS.values()))
+
+
+def test_bench_gamma_linear_system(benchmark):
+    chain = IntervalMarkovChain(LAM, **ARGS)
+    gamma = benchmark(chain.expected_time_linear_system)
+    assert gamma == pytest.approx(gamma_closed_form(LAM, *ARGS.values()))
+
+
+def test_bench_gamma_monte_carlo(benchmark):
+    estimate = benchmark.pedantic(
+        simulate_interval_time,
+        args=(LAM,),
+        kwargs=dict(**ARGS, trials=20_000, seed=0),
+        rounds=3,
+        iterations=1,
+    )
+    closed = gamma_closed_form(LAM, *ARGS.values())
+    print(
+        f"\nMonte Carlo Γ = {estimate.mean:.3f} ± {estimate.std_error:.3f} "
+        f"vs closed form {closed:.3f} "
+        f"(mean failures/interval: {estimate.mean_failures:.4f})"
+    )
+    assert estimate.within(closed, sigmas=4.0)

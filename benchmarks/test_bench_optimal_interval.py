@@ -1,0 +1,29 @@
+"""Ablation: per-protocol optimal checkpoint intervals.
+
+The paper fixes T = 300 s for every protocol. This bench re-runs the
+Figure 8 comparison with each protocol at *its own* optimal interval
+and shows the ordering is unchanged: coordination overhead inflates
+both the per-checkpoint price and the best achievable overhead ratio.
+"""
+
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+from repro.analysis.sensitivity import optimal_comparison, optimal_table
+
+
+def test_bench_optimal_interval_ablation(benchmark):
+    params = ModelParameters()
+    counts = (16, 64, 256, 512)
+
+    comparison = benchmark(optimal_comparison, params, counts)
+
+    print("\n=== Ablation: per-protocol optimal intervals ===")
+    print(optimal_table(params, counts))
+
+    appl = comparison[ProtocolKind.APPLICATION_DRIVEN]
+    sas = comparison[ProtocolKind.SYNC_AND_STOP]
+    cl = comparison[ProtocolKind.CHANDY_LAMPORT]
+    for a, s, c in zip(appl, sas, cl):
+        assert a.ratio < s.ratio < c.ratio
+    # C-L compensates by checkpointing much less often, yet still loses.
+    assert cl[-1].interval > 5 * appl[-1].interval
+    assert cl[-1].ratio > 10 * appl[-1].ratio

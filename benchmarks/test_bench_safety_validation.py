@@ -1,0 +1,44 @@
+"""Safety-validation throughput bench (V1/V2 at scale).
+
+Times the full static-verdict + simulation agreement check over a batch
+of generated programs — the experiment that substitutes for the
+deployment evidence the paper lacks.
+"""
+
+from repro.lang.generator import generate_exchange_program
+from repro.phases.verification import verify_program
+from repro.runtime import Simulation
+
+
+def _validate_batch(seeds):
+    agreements = 0
+    for seed in seeds:
+        for position, expected_safe in (("head", True), ("split", False)):
+            program = generate_exchange_program(seed, checkpoint_position=position)
+            static_ok = verify_program(program).ok
+            trace = Simulation(program, 4, params={"steps": 3}).run().trace
+            dynamic_ok = trace.all_straight_cuts_consistent()
+            assert static_ok == expected_safe
+            assert dynamic_ok == expected_safe
+            agreements += 1
+    return agreements
+
+
+def test_bench_static_dynamic_agreement(benchmark):
+    agreements = benchmark.pedantic(
+        _validate_batch, args=(range(8),), rounds=2, iterations=1
+    )
+    print(f"\nstatic/dynamic verdicts agreed on {agreements} cases")
+    assert agreements == 16
+
+
+def test_bench_simulation_scaling(benchmark):
+    """Simulator throughput: one jacobi run at n=16."""
+    from repro.lang.programs import jacobi
+
+    def run_once():
+        return Simulation(jacobi(), 16, params={"steps": 10}).run()
+
+    result = benchmark(run_once)
+    assert result.stats.completed
+    assert result.trace.all_straight_cuts_consistent()

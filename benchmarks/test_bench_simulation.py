@@ -1,0 +1,80 @@
+"""Empirical protocol comparison on the simulator (V4/V5).
+
+The paper's evaluation is analytic; this bench is the empirical leg:
+one workload, five protocols, same seed and failure plan. It prints the
+comparison table, asserts the coordination-freedom and domino claims,
+and times the application-driven run.
+"""
+
+from repro.bench.workloads import (
+    ProtocolRunSummary,
+    run_protocol_comparison,
+    standard_workloads,
+    strip_checkpoints,
+)
+from repro.lang.programs import jacobi, pingpong
+from repro.protocols import ApplicationDrivenProtocol, UncoordinatedProtocol
+from repro.runtime import FailurePlan, Simulation
+
+
+def test_bench_protocol_comparison_table(benchmark):
+    workload = standard_workloads(steps=12)[0]
+    plan = FailurePlan.single(14.3, 2)
+
+    rows = benchmark.pedantic(
+        run_protocol_comparison,
+        args=(workload,),
+        kwargs=dict(period=6.0, failure_plan=plan),
+        rounds=2,
+        iterations=1,
+    )
+    print("\n=== Protocol comparison (jacobi, 1 failure) ===")
+    print(ProtocolRunSummary.header())
+    for row in rows:
+        print(row.row())
+
+    appl = next(r for r in rows if r.protocol == "appl-driven")
+    assert appl.control_messages == 0
+    assert appl.forced_checkpoints == 0
+    for row in rows:
+        assert row.completed
+
+
+def test_bench_application_driven_failure_run(benchmark):
+    """Time one full appl-driven run with recovery (the V4 scenario)."""
+
+    def run_once():
+        return Simulation(
+            jacobi(),
+            4,
+            params={"steps": 12},
+            protocol=ApplicationDrivenProtocol(),
+            failure_plan=FailurePlan.single(14.3, 2),
+        ).run()
+
+    result = benchmark(run_once)
+    assert result.stats.completed
+    assert result.stats.control_messages == 0
+
+
+def test_bench_domino_effect(benchmark):
+    """V5: the uncoordinated baseline dominos on a chatty workload."""
+
+    def run_once():
+        protocol = UncoordinatedProtocol(period=6, stagger=0.9)
+        result = Simulation(
+            strip_checkpoints(pingpong()),
+            4,
+            params={"steps": 60},
+            protocol=protocol,
+            failure_plan=FailurePlan.single(21.0, 1),
+        ).run()
+        return protocol, result
+
+    protocol, result = benchmark(run_once)
+    print(
+        f"\nuncoordinated recovery: domino steps = {protocol.domino_steps}, "
+        f"rollback depths = {protocol.rollback_depths}"
+    )
+    assert result.stats.completed
+    assert protocol.domino_steps[0] >= 1

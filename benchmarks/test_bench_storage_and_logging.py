@@ -1,0 +1,73 @@
+"""Storage-volume and log-based-recovery benches.
+
+Two extensions beyond the paper's evaluation:
+
+- **incremental checkpointing** (related work [20]): compare cumulative
+  stable-storage volume under full vs delta checkpoints on the
+  standard workloads;
+- **message logging vs straight-cut recovery**: single-process restart
+  (survivors untouched) vs the application-driven rollback of everyone
+  to the latest straight cut, under the same crash.
+"""
+
+from repro.bench.workloads import standard_workloads, strip_checkpoints
+from repro.lang.programs import jacobi, jacobi_plain
+from repro.protocols import ApplicationDrivenProtocol, MessageLoggingProtocol
+from repro.runtime import FailurePlan, Simulation
+
+
+def test_bench_incremental_checkpoint_volume(benchmark):
+    def measure():
+        rows = []
+        for spec in standard_workloads(steps=8)[:4]:
+            result = Simulation(
+                spec.make_program(),
+                spec.n_processes,
+                params=dict(spec.params),
+            ).run()
+            full = result.storage.total_bytes()
+            incremental = result.storage.total_bytes(incremental=True)
+            rows.append((spec.name, full, incremental))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=2, iterations=1)
+    print("\n=== Incremental checkpointing: stable-storage volume ===")
+    print(f"{'workload':>16s} {'full [B]':>9s} {'delta [B]':>10s} {'saving':>7s}")
+    for name, full, incremental in rows:
+        print(f"{name:>16s} {full:>9d} {incremental:>10d} "
+              f"{1 - incremental / full:>7.1%}")
+    for _, full, incremental in rows:
+        assert 0 < incremental <= full
+
+
+def test_bench_logging_vs_straight_cut_recovery(benchmark):
+    crash = FailurePlan.single(23.7, 1)
+
+    def measure():
+        appl = Simulation(
+            jacobi(), 4, params={"steps": 20},
+            protocol=ApplicationDrivenProtocol(),
+            failure_plan=FailurePlan(crashes=list(crash.crashes)),
+        ).run()
+        logging = Simulation(
+            jacobi_plain(), 4, params={"steps": 20},
+            protocol=MessageLoggingProtocol(period=8),
+            failure_plan=FailurePlan(crashes=list(crash.crashes)),
+        ).run()
+        return appl, logging
+
+    appl, logging = benchmark.pedantic(measure, rounds=2, iterations=1)
+    print("\n=== Recovery scope: straight-cut rollback vs message logging ===")
+    print(f"{'scheme':>14s} {'restart evts':>13s} {'lost work':>10s} {'ctl':>5s}")
+    from repro.causality.records import EventKind
+
+    appl_restarts = len(appl.trace.of_kind(EventKind.RESTART))
+    log_restarts = len(logging.trace.of_kind(EventKind.RESTART))
+    print(f"{'appl-driven':>14s} {appl_restarts:>13d} "
+          f"{appl.stats.lost_work:>10.2f} {appl.stats.control_messages:>5d}")
+    print(f"{'msg-logging':>14s} {log_restarts:>13d} "
+          f"{logging.stats.lost_work:>10.2f} {logging.stats.control_messages:>5d}")
+    # straight-cut recovery restarts everyone; logging only the victim
+    assert appl_restarts == 4
+    assert log_restarts == 1
+    assert appl.stats.completed and logging.stats.completed

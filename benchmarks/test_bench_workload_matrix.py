@@ -1,0 +1,53 @@
+"""The full workload × protocol matrix as a bench.
+
+Prints the comparison table for every standard workload under every
+protocol with one injected crash each, and asserts the global
+invariants (everything completes, coordination profiles hold).
+"""
+
+from repro.bench.workloads import (
+    ProtocolRunSummary,
+    run_protocol_comparison,
+    standard_workloads,
+    strip_checkpoints,
+)
+from repro.runtime import FailurePlan, Simulation
+
+COORDINATION_FREE = {"appl-driven", "uncoordinated", "CIC-BCS", "msg-logging"}
+
+
+def _run_matrix():
+    rows = []
+    for spec in standard_workloads(steps=10):
+        bare = Simulation(
+            strip_checkpoints(spec.make_program()),
+            spec.n_processes,
+            params=dict(spec.params),
+        ).run()
+        crash_time = bare.completion_time * 0.6
+        rows.extend(
+            run_protocol_comparison(
+                spec,
+                period=max(2.0, bare.completion_time / 5),
+                failure_plan=FailurePlan.single(
+                    crash_time, spec.n_processes - 1
+                ),
+            )
+        )
+    return rows
+
+
+def test_bench_workload_matrix(benchmark):
+    rows = benchmark.pedantic(_run_matrix, rounds=1, iterations=1)
+    print("\n=== Workload x protocol matrix (1 crash each) ===")
+    print(ProtocolRunSummary.header())
+    for row in rows:
+        print(row.row())
+
+    assert all(row.completed for row in rows)
+    assert all(row.rollbacks == 1 for row in rows)
+    for row in rows:
+        if row.protocol in COORDINATION_FREE:
+            assert row.control_messages == 0, (row.workload, row.protocol)
+        else:
+            assert row.control_messages > 0, (row.workload, row.protocol)

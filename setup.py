@@ -1,0 +1,9 @@
+"""Setup shim: enables editable installs in offline environments.
+
+The environment has no `wheel` package, so PEP 660 editable installs
+fail; pip falls back to `setup.py develop` when this file exists.
+All package metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""Network delay estimation (paper §3.1's "we estimate the message
+delay in the network [5, 12]").
+
+Implements the classic Jacobson/Karn round-trip-time estimator the
+paper cites ([12] Karn & Partridge 1991): an EWMA of the smoothed RTT
+plus a mean-deviation term, as used for TCP retransmission timers. The
+simulator feeds it one-way delay samples from a short profiling run;
+Phase I's cost model consumes the smoothed estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AnalysisError
+
+
+@dataclass
+class RttEstimator:
+    """Jacobson/Karn smoothed delay estimator.
+
+    ``alpha`` weights the smoothed mean (classically 1/8), ``beta`` the
+    mean deviation (classically 1/4). ``estimate`` is the smoothed
+    delay; ``timeout`` is the classic ``srtt + 4 * rttvar`` bound.
+    """
+
+    alpha: float = 0.125
+    beta: float = 0.25
+    srtt: float | None = None
+    rttvar: float = 0.0
+    samples: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1 or not 0 < self.beta <= 1:
+            raise AnalysisError("alpha and beta must be in (0, 1]")
+
+    def observe(self, sample: float) -> None:
+        """Feed one delay *sample* (must be non-negative)."""
+        if sample < 0:
+            raise AnalysisError(f"delay sample must be >= 0, got {sample}")
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            deviation = abs(sample - self.srtt)
+            self.rttvar = (1 - self.beta) * self.rttvar + self.beta * deviation
+            self.srtt = (1 - self.alpha) * self.srtt + self.alpha * sample
+        self.samples += 1
+
+    @property
+    def estimate(self) -> float:
+        """The smoothed delay estimate (0.0 before any sample)."""
+        return self.srtt if self.srtt is not None else 0.0
+
+    @property
+    def timeout(self) -> float:
+        """The Jacobson retransmission-style bound ``srtt + 4·rttvar``."""
+        return self.estimate + 4.0 * self.rttvar
+
+
+def estimate_message_delay(trace_events, message_records=None) -> RttEstimator:
+    """Feed an estimator from a recorded execution's message delays.
+
+    *trace_events* is an iterable of
+    :class:`~repro.causality.records.TraceEvent`; for every message the
+    one-way delay is ``recv.time − send.time`` (which includes queueing
+    behind FIFO predecessors — exactly what Phase I should budget for).
+    """
+    from repro.causality.records import EventKind
+
+    sends: dict[int, float] = {}
+    estimator = RttEstimator()
+    events = sorted(trace_events, key=lambda e: e.time)
+    for event in events:
+        if event.kind is EventKind.SEND and event.message_id is not None:
+            sends[event.message_id] = event.time
+        elif event.kind is EventKind.RECV and event.message_id is not None:
+            send_time = sends.get(event.message_id)
+            if send_time is not None:
+                estimator.observe(max(0.0, event.time - send_time))
+    return estimator

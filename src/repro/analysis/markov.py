@@ -1,0 +1,159 @@
+"""The 3-state Markov chain of paper Figure 7.
+
+A checkpoint interval ``I_{p,i+1}`` is modelled by states
+``i`` (interval start), ``R_i`` (recovering after a failure), and the
+absorbing ``i+1`` (interval completed). The expected cost of reaching
+``i+1`` from ``i`` is the expected interval execution time ``Γ``.
+
+This module computes ``Γ`` two ways:
+
+- :meth:`IntervalMarkovChain.expected_time_two_path` — the paper's
+  explicit two-path expansion
+  ``Γ = P_{i,R}(W_{i,R} + P_{RR}/(1-P_{RR}) W_{RR} + W_{R,i+1}) +
+  P_{i,i+1} W_{i,i+1}``; and
+- :meth:`IntervalMarkovChain.expected_time_linear_system` — a generic
+  absorbing-chain solver (first-step analysis as a linear system),
+  which must agree and cross-checks the algebra.
+
+Both must also match the closed form
+``Γ = λ⁻¹ (1 − e^{−λ(T+O)}) e^{λ(T+R+L)}``
+(:func:`repro.analysis.overhead.gamma_closed_form`) and the Monte Carlo
+estimate (:mod:`repro.analysis.montecarlo`); the test suite asserts all
+four agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class IntervalMarkovChain:
+    """Figure 7's chain, parameterised by the paper's scalars.
+
+    Attributes:
+        failure_rate: λ (system failure rate).
+        interval: T (programmed checkpoint interval).
+        total_overhead: O (total checkpoint overhead).
+        recovery: R (recovery overhead).
+        total_latency: L (total latency overhead).
+    """
+
+    failure_rate: float
+    interval: float
+    total_overhead: float
+    recovery: float
+    total_latency: float
+
+    def __post_init__(self) -> None:
+        if self.failure_rate <= 0 or not math.isfinite(self.failure_rate):
+            raise AnalysisError(
+                f"failure_rate must be positive, got {self.failure_rate!r}"
+            )
+        if self.interval <= 0:
+            raise AnalysisError(f"interval must be positive, got {self.interval!r}")
+        for name in ("total_overhead", "recovery", "total_latency"):
+            if getattr(self, name) < 0:
+                raise AnalysisError(f"{name} must be non-negative")
+
+    # -- transition structure (paper §4) -------------------------------------
+
+    @property
+    def first_attempt_span(self) -> float:
+        """Work to finish the interval on the first attempt: ``T + O``."""
+        return self.interval + self.total_overhead
+
+    @property
+    def retry_span(self) -> float:
+        """Work per retry after a failure: ``T + R + L`` (≅ T+O+R+L−o)."""
+        return self.interval + self.recovery + self.total_latency
+
+    def p_success_first(self) -> float:
+        """``P_{i,i+1} = e^{-λ(T+O)}``."""
+        return math.exp(-self.failure_rate * self.first_attempt_span)
+
+    def p_fail_first(self) -> float:
+        """``P_{i,R_i} = 1 − e^{-λ(T+O)}``."""
+        return -math.expm1(-self.failure_rate * self.first_attempt_span)
+
+    def p_success_retry(self) -> float:
+        """``P_{R_i,i+1} = e^{-λ(T+R+L)}``."""
+        return math.exp(-self.failure_rate * self.retry_span)
+
+    def p_fail_retry(self) -> float:
+        """``P_{R_i,R_i} = 1 − e^{-λ(T+R+L)}``."""
+        return -math.expm1(-self.failure_rate * self.retry_span)
+
+    def mean_time_to_failure_within(self, span: float) -> float:
+        """``E[TTF | TTF < span]`` for the exponential TTF.
+
+        The paper's ``W_{i,R_i}`` (with ``span = T+O``) and ``W_{R,R}``
+        (with ``span = T+R+L``):
+        ``1/λ − span·e^{−λ·span}/(1 − e^{−λ·span})``.
+        """
+        lam = self.failure_rate
+        denominator = -math.expm1(-lam * span)
+        if denominator == 0.0:
+            return span / 2.0
+        return 1.0 / lam - span * math.exp(-lam * span) / denominator
+
+    # -- Γ, three ways ---------------------------------------------------------
+
+    def expected_time_two_path(self) -> float:
+        """The paper's explicit two-path expansion of ``Γ``."""
+        p_fail = self.p_fail_first()
+        p_retry_fail = self.p_fail_retry()
+        w_first_fail = self.mean_time_to_failure_within(self.first_attempt_span)
+        w_retry_fail = self.mean_time_to_failure_within(self.retry_span)
+        retry_loop = (
+            p_retry_fail / (1.0 - p_retry_fail) * w_retry_fail
+            if p_retry_fail < 1.0
+            else math.inf
+        )
+        return p_fail * (
+            w_first_fail + retry_loop + self.retry_span
+        ) + self.p_success_first() * self.first_attempt_span
+
+    def expected_time_linear_system(self) -> float:
+        """First-step analysis as a linear system (generic solver).
+
+        For transient states ``s``: ``E_s = Σ_t P_{s,t} (W_{s,t} + E_t)``
+        with ``E_{i+1} = 0``. Solved with numpy over the two transient
+        states; agreement with the two-path form validates the algebra.
+        """
+        p_if, p_is = self.p_fail_first(), self.p_success_first()
+        p_rr, p_rs = self.p_fail_retry(), self.p_success_retry()
+        w_if = self.mean_time_to_failure_within(self.first_attempt_span)
+        w_is = self.first_attempt_span
+        w_rr = self.mean_time_to_failure_within(self.retry_span)
+        w_rs = self.retry_span
+        # Unknowns: E_i, E_R.
+        coefficients = np.array([[1.0, -p_if], [0.0, 1.0 - p_rr]])
+        constants = np.array(
+            [p_if * w_if + p_is * w_is, p_rr * w_rr + p_rs * w_rs]
+        )
+        solution = np.linalg.solve(coefficients, constants)
+        return float(solution[0])
+
+
+def expected_interval_time(
+    failure_rate: float,
+    interval: float,
+    total_overhead: float,
+    recovery: float,
+    total_latency: float,
+) -> float:
+    """Convenience wrapper returning ``Γ`` via the two-path expansion."""
+    chain = IntervalMarkovChain(
+        failure_rate=failure_rate,
+        interval=interval,
+        total_overhead=total_overhead,
+        recovery=recovery,
+        total_latency=total_latency,
+    )
+    return chain.expected_time_two_path()

@@ -1,0 +1,58 @@
+"""Per-protocol coordination message overheads (paper §4.1).
+
+- **SaS**: per checkpoint phase the coordinator broadcasts three
+  messages and each of the other ``n-1`` processes sends two replies —
+  five messages per non-coordinator process, each an 8-bit program
+  message: ``M(SaS) = 5 (n-1) (w_m + 8 w_b)``.
+- **C-L**: on a fully connected network Chandy-Lamport sends markers on
+  every directed channel in both phases: ``M(C-L) = 2 n (n-1)
+  (w_m + 8 w_b)``.
+- **Application-driven**: no coordination at all, ``M = 0``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+from repro.errors import AnalysisError
+
+
+def coordination_message_count(kind: ProtocolKind, n_processes: int) -> int:
+    """Number of coordination messages per checkpoint for *kind*."""
+    if n_processes < 1:
+        raise AnalysisError(f"need at least one process, got {n_processes}")
+    if kind is ProtocolKind.APPLICATION_DRIVEN:
+        return 0
+    if kind is ProtocolKind.SYNC_AND_STOP:
+        return 5 * (n_processes - 1)
+    if kind is ProtocolKind.CHANDY_LAMPORT:
+        return 2 * n_processes * (n_processes - 1)
+    raise AnalysisError(f"unknown protocol kind {kind!r}")
+
+
+def message_overhead(
+    params: ModelParameters, kind: ProtocolKind, n_processes: int
+) -> float:
+    """The paper's ``M`` for *kind* on *n_processes* processes."""
+    return coordination_message_count(kind, n_processes) * params.message_unit_cost()
+
+
+def total_checkpoint_overhead(
+    params: ModelParameters, kind: ProtocolKind, n_processes: int
+) -> float:
+    """The paper's ``O = o + M + C``."""
+    return (
+        params.checkpoint_overhead
+        + message_overhead(params, kind, n_processes)
+        + params.extra_coordination
+    )
+
+
+def total_latency_overhead(
+    params: ModelParameters, kind: ProtocolKind, n_processes: int
+) -> float:
+    """The paper's ``L = l + M + C``."""
+    return (
+        params.checkpoint_latency
+        + message_overhead(params, kind, n_processes)
+        + params.extra_coordination
+    )

@@ -1,0 +1,98 @@
+"""Optimal checkpoint-interval selection.
+
+Phase I inserts checkpoints so that checkpoint intervals are
+(approximately) optimal — the problem studied by the paper's references
+[8] (Chandy & Ramamoorthy 1972) and [22] (Toueg & Babaoglu 1984). This
+module provides the standard closed-form approximations plus an exact
+numeric optimiser of the paper's own overhead-ratio model, so Phase I
+and the analysis layer agree on what "optimal" means.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def young_interval(checkpoint_overhead: float, failure_rate: float) -> float:
+    """Young's first-order optimum ``T* = sqrt(2 o / λ)``.
+
+    *checkpoint_overhead* is the time added per checkpoint (the paper's
+    ``o``); *failure_rate* is the per-process exponential rate ``λ``.
+    """
+    _require_positive(checkpoint_overhead, "checkpoint_overhead")
+    _require_positive(failure_rate, "failure_rate")
+    return math.sqrt(2.0 * checkpoint_overhead / failure_rate)
+
+
+def daly_interval(checkpoint_overhead: float, failure_rate: float) -> float:
+    """Daly's higher-order refinement of Young's formula.
+
+    ``T* = sqrt(2 o M) [1 + (1/3)sqrt(o/(2M)) + (o/(2M))/9] - o`` with
+    ``M = 1/λ``, valid for ``o < 2M``; falls back to ``M`` otherwise.
+    """
+    _require_positive(checkpoint_overhead, "checkpoint_overhead")
+    _require_positive(failure_rate, "failure_rate")
+    mtbf = 1.0 / failure_rate
+    if checkpoint_overhead >= 2.0 * mtbf:
+        return mtbf
+    ratio = checkpoint_overhead / (2.0 * mtbf)
+    return (
+        math.sqrt(2.0 * checkpoint_overhead * mtbf)
+        * (1.0 + math.sqrt(ratio) / 3.0 + ratio / 9.0)
+        - checkpoint_overhead
+    )
+
+
+def optimal_interval_exact(
+    failure_rate: float,
+    total_overhead: float,
+    recovery: float,
+    latency: float,
+    lo: float = 1e-3,
+    hi: float = 1e7,
+) -> float:
+    """Minimise the paper's overhead ratio ``r(T)`` numerically.
+
+    ``r(T) = λ⁻¹ e^{λ(R+L-O)} (e^{λ(T+O)} − 1) / T − 1`` is unimodal in
+    ``T``; golden-section search on ``[lo, hi]`` finds the minimiser.
+    """
+    _require_positive(failure_rate, "failure_rate")
+    if total_overhead < 0 or recovery < 0 or latency < 0:
+        raise AnalysisError("overheads must be non-negative")
+
+    def ratio(interval: float) -> float:
+        lam = failure_rate
+        try:
+            return (
+                math.exp(lam * (recovery + latency - total_overhead))
+                * (math.exp(lam * (interval + total_overhead)) - 1.0)
+                / (lam * interval)
+                - 1.0
+            )
+        except OverflowError:
+            return math.inf
+
+    # Keep the exponent in a safe range: beyond ~500/λ the ratio is
+    # astronomically past the optimum anyway.
+    hi = min(hi, 500.0 / failure_rate)
+    phi = (math.sqrt(5.0) - 1.0) / 2.0
+    a, b = lo, hi
+    c = b - phi * (b - a)
+    d = a + phi * (b - a)
+    for _ in range(200):
+        if ratio(c) < ratio(d):
+            b = d
+        else:
+            a = c
+        c = b - phi * (b - a)
+        d = a + phi * (b - a)
+        if abs(b - a) < 1e-9 * max(1.0, abs(b)):
+            break
+    return (a + b) / 2.0
+
+
+def _require_positive(value: float, name: str) -> None:
+    if value <= 0 or not math.isfinite(value):
+        raise AnalysisError(f"{name} must be positive and finite, got {value!r}")

@@ -1,0 +1,76 @@
+"""Closed-form ``Γ`` and the overhead ratio ``r`` (paper §4).
+
+After simplifying the Markov chain, the paper obtains::
+
+    Γ = λ⁻¹ (1 − e^{−λ(T+O)}) e^{λ(T+R+L)}
+    r = Γ/T − 1
+      = λ⁻¹ e^{λ(R+L−O)} (e^{λ(T+O)} − 1) / T − 1
+
+(The two ``r`` forms are identical:
+``(1−e^{−λ(T+O)}) e^{λ(T+R+L)} = e^{λ(R+L−O)}(e^{λ(T+O)}−1)``.)
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import AnalysisError
+
+
+def gamma_closed_form(
+    failure_rate: float,
+    interval: float,
+    total_overhead: float,
+    recovery: float,
+    total_latency: float,
+) -> float:
+    """The paper's closed-form expected interval time ``Γ``."""
+    _validate(failure_rate, interval, total_overhead, recovery, total_latency)
+    lam = failure_rate
+    return (
+        -math.expm1(-lam * (interval + total_overhead))
+        / lam
+        * math.exp(lam * (interval + recovery + total_latency))
+    )
+
+
+def overhead_ratio(
+    failure_rate: float,
+    interval: float,
+    total_overhead: float,
+    recovery: float,
+    total_latency: float,
+) -> float:
+    """The paper's overhead ratio ``r = Γ/T − 1``."""
+    gamma = gamma_closed_form(
+        failure_rate, interval, total_overhead, recovery, total_latency
+    )
+    return gamma / interval - 1.0
+
+
+def failure_free_ratio(interval: float, total_overhead: float) -> float:
+    """The λ→0 limit of ``r``: pure overhead ``O/T``.
+
+    Useful as a sanity anchor — as failures vanish, the ratio must tend
+    to the fraction of time spent checkpointing.
+    """
+    if interval <= 0:
+        raise AnalysisError(f"interval must be positive, got {interval!r}")
+    if total_overhead < 0:
+        raise AnalysisError("total_overhead must be non-negative")
+    return total_overhead / interval
+
+
+def _validate(
+    failure_rate: float,
+    interval: float,
+    total_overhead: float,
+    recovery: float,
+    total_latency: float,
+) -> None:
+    if failure_rate <= 0 or not math.isfinite(failure_rate):
+        raise AnalysisError(f"failure_rate must be positive, got {failure_rate!r}")
+    if interval <= 0:
+        raise AnalysisError(f"interval must be positive, got {interval!r}")
+    if total_overhead < 0 or recovery < 0 or total_latency < 0:
+        raise AnalysisError("overheads must be non-negative")

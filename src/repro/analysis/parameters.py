@@ -1,0 +1,102 @@
+"""Model parameters for the Section 4 performance analysis.
+
+The paper's symbols map to fields as follows:
+
+====================  =====================================================
+``p``                 per-process failure probability (``1.23e-6`` per
+                      second, from [21, 24])
+``λ``                 failure rate; for ``n`` processes the system rate is
+                      ``-n ln(1 - p)`` (≈ ``n p``), reflecting the paper's
+                      "failure rate λ increases proportionally with n"
+``T``                 programmed checkpoint interval (300 s)
+``o``                 checkpoint overhead (1.78 s, measured in Starfish)
+``l``                 checkpoint latency (4.292 s)
+``R``                 recovery overhead (3.32 s)
+``M``                 message overhead of the protocol's coordination
+``C``                 other coordination overhead (forced checkpoints
+                      etc.; zero for all three §4.1 protocols)
+``O``                 total checkpoint overhead = ``o + M + C``
+``L``                 total latency overhead = ``l + M + C``
+``w_m``               per-message setup time
+``w_b``               per-bit transmission time
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+from repro.errors import AnalysisError
+
+
+class ProtocolKind(enum.Enum):
+    """The protocols compared in Section 4.1."""
+
+    APPLICATION_DRIVEN = "appl-driven"
+    SYNC_AND_STOP = "SaS"
+    CHANDY_LAMPORT = "C-L"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ModelParameters:
+    """All inputs of the overhead-ratio model.
+
+    Defaults are the paper's published constants. Time unit: seconds.
+    """
+
+    process_failure_prob: float = 1.23e-6
+    interval: float = 300.0
+    checkpoint_overhead: float = 1.78
+    checkpoint_latency: float = 4.292
+    recovery_overhead: float = 3.32
+    message_setup: float = 1e-3          # w_m
+    per_bit_delay: float = 1e-6          # w_b
+    marker_bits: int = 8                 # both protocols use 8-bit markers
+    extra_coordination: float = 0.0      # the paper's C
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.process_failure_prob < 1.0:
+            raise AnalysisError(
+                "process_failure_prob must be in (0, 1), got "
+                f"{self.process_failure_prob!r}"
+            )
+        for name in (
+            "interval",
+            "checkpoint_overhead",
+            "checkpoint_latency",
+            "recovery_overhead",
+        ):
+            value = getattr(self, name)
+            if value <= 0 or not math.isfinite(value):
+                raise AnalysisError(f"{name} must be positive, got {value!r}")
+        if self.message_setup < 0 or self.per_bit_delay < 0:
+            raise AnalysisError("network delays must be non-negative")
+
+    def with_(self, **changes) -> "ModelParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+    def message_unit_cost(self) -> float:
+        """Cost of one coordination message: ``w_m + bits * w_b``."""
+        return self.message_setup + self.marker_bits * self.per_bit_delay
+
+
+STARFISH_DEFAULTS = ModelParameters()
+"""The paper's published Starfish-derived parameter set."""
+
+
+def system_failure_rate(params: ModelParameters, n_processes: int) -> float:
+    """Exponential failure rate of an *n*-process system.
+
+    With independent per-process failure probability ``p`` per unit
+    time, the system survives a unit interval with probability
+    ``(1-p)^n``, i.e. rate ``-n ln(1-p)`` (≈ ``n p`` for small ``p``).
+    """
+    if n_processes < 1:
+        raise AnalysisError(f"need at least one process, got {n_processes}")
+    return -n_processes * math.log1p(-params.process_failure_prob)

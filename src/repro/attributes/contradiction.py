@@ -1,0 +1,136 @@
+"""Contradiction checking between send and receive attributes.
+
+Algorithm 3.1 matches a receive node with a send node when the
+receive's source attribute and the send's destination attribute "do not
+present any contradiction". We decide this by exhaustive evaluation
+over a finite *universe* of system sizes: the pair is compatible iff
+there exist a size ``n`` and ranks ``p`` (sender) and ``q`` (receiver)
+such that
+
+- the sender's path constraints admit ``p`` and the receiver's admit
+  ``q``,
+- the send's destination evaluates to ``q`` (or is unknown), and
+- the receive's source evaluates to ``p`` (or is unknown).
+
+MiniMP rank predicates are built from modular arithmetic and
+comparisons against rank-affine expressions, so their truth patterns
+over ranks are periodic with small periods; checking all
+``n ∈ {2..17}`` (the default universe) decides satisfiability exactly
+for every shipped construct while remaining fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attributes.domain import NodeContext
+from repro.lang import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Universe:
+    """The finite set of system sizes used for satisfiability checks."""
+
+    sizes: tuple[int, ...] = tuple(range(2, 18))
+
+    def __post_init__(self) -> None:
+        if not self.sizes or min(self.sizes) < 1:
+            raise ValueError("universe sizes must be positive and non-empty")
+
+
+@dataclass(frozen=True)
+class MatchWitness:
+    """A concrete (n, sender, receiver) triple witnessing compatibility."""
+
+    nprocs: int
+    sender: int
+    receiver: int
+
+
+class ContextTable:
+    """Precomputed admissibility/endpoint table of one node context.
+
+    Evaluating path constraints and endpoint expressions is the hot
+    path of Algorithm 3.1 (each context participates in many pair
+    checks), so we evaluate each context once per universe size and
+    rank, and pair checks become pure table lookups.
+    """
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        defs: dict[str, ast.Expr] | None,
+        universe: Universe = Universe(),
+    ) -> None:
+        self.ctx = ctx
+        # per n: list of (rank, endpoint value or None) for admissible ranks
+        self.rows: dict[int, list[tuple[int, int | None]]] = {}
+        for nprocs in universe.sizes:
+            entries = []
+            for rank in range(nprocs):
+                if ctx.admits_rank(rank, nprocs, defs):
+                    entries.append((rank, ctx.endpoint_value(rank, nprocs, defs)))
+            self.rows[nprocs] = entries
+
+
+def tables_compatible(
+    send_table: ContextTable, recv_table: ContextTable
+) -> MatchWitness | None:
+    """Table-based compatibility check (see :func:`endpoints_compatible`)."""
+    for nprocs, send_rows in send_table.rows.items():
+        recv_rows = recv_table.rows.get(nprocs, [])
+        if not recv_rows:
+            continue
+        by_receiver = {rank: source for rank, source in recv_rows}
+        for sender, dest in send_rows:
+            if dest is not None:
+                if dest not in by_receiver:
+                    continue
+                source = by_receiver[dest]
+                if source is None or source == sender:
+                    return MatchWitness(
+                        nprocs=nprocs, sender=sender, receiver=dest
+                    )
+            else:
+                for receiver, source in recv_rows:
+                    if source is None or source == sender:
+                        return MatchWitness(
+                            nprocs=nprocs, sender=sender, receiver=receiver
+                        )
+    return None
+
+
+def endpoints_compatible(
+    send_ctx: NodeContext,
+    recv_ctx: NodeContext,
+    defs: dict[str, ast.Expr] | None,
+    universe: Universe = Universe(),
+) -> MatchWitness | None:
+    """Check a send/receive context pair for compatibility.
+
+    Returns a witness if some system size and rank pair realises the
+    communication, else ``None`` (the attributes contradict).
+    """
+    return tables_compatible(
+        ContextTable(send_ctx, defs, universe),
+        ContextTable(recv_ctx, defs, universe),
+    )
+
+
+@dataclass
+class CompatibilityReport:
+    """Diagnostic record of every pair considered during matching."""
+
+    considered: list[tuple[int, int]] = field(default_factory=list)
+    matched: list[tuple[int, int, MatchWitness]] = field(default_factory=list)
+    contradicted: list[tuple[int, int]] = field(default_factory=list)
+
+    def record(
+        self, send_id: int, recv_id: int, witness: MatchWitness | None
+    ) -> None:
+        """Log one considered pair and its match outcome."""
+        self.considered.append((send_id, recv_id))
+        if witness is None:
+            self.contradicted.append((send_id, recv_id))
+        else:
+            self.matched.append((send_id, recv_id, witness))

@@ -1,0 +1,134 @@
+"""ID-dependence and irregularity dataflow over MiniMP programs.
+
+The paper (§3.2) requires determining, for every branch, whether its
+condition expression *depends on process IDs* (an *ID-dependent*
+branch), and for every send/receive parameter whether its computation
+pattern is *regular* (a function of rank and system size) or
+*irregular* (depends on input data).
+
+We compute two transitively-closed variable classes:
+
+- ``rank_dependent``: assigned (directly or transitively) from
+  ``myrank``.
+- ``irregular``: assigned from ``input(...)``, from a received message,
+  or from another irregular variable. Received values are irregular
+  because their content is another process's data, which static
+  analysis must not constrain.
+
+``nprocs`` is deliberately *not* ID-dependent: it is identical in every
+process, so a condition on ``nprocs`` alone cannot distinguish ranks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as ast
+
+
+class ConditionClass(enum.Enum):
+    """Classification of a branch condition (paper §3.2)."""
+
+    ID_DEPENDENT = "id-dependent"
+    IRREGULAR = "irregular"
+    NEUTRAL = "neutral"
+
+
+@dataclass(frozen=True)
+class VariableClasses:
+    """The fixpoint variable classification of a program."""
+
+    rank_dependent: frozenset[str]
+    irregular: frozenset[str]
+
+
+def _expr_names(expr: ast.Expr) -> frozenset[str]:
+    return frozenset(
+        node.ident for node in ast.walk(expr) if isinstance(node, ast.Name)
+    )
+
+
+def _mentions_rank(expr: ast.Expr) -> bool:
+    return any(isinstance(node, ast.MyRank) for node in ast.walk(expr))
+
+
+def _mentions_input(expr: ast.Expr) -> bool:
+    return any(isinstance(node, ast.InputData) for node in ast.walk(expr))
+
+
+def classify_variables(program: ast.Program) -> VariableClasses:
+    """Fixpoint classification of every assigned variable in *program*."""
+    assigns: list[tuple[str, ast.Expr | None, str]] = []
+    for node in ast.walk(program):
+        if isinstance(node, ast.Assign):
+            assigns.append((node.target, node.value, "assign"))
+        elif isinstance(node, ast.Recv):
+            assigns.append((node.target, None, "recv"))
+        elif isinstance(node, ast.Bcast):
+            assigns.append((node.target, None, "recv"))
+        elif isinstance(node, ast.For):
+            assigns.append((node.var, None, "counter"))
+
+    rank_dep: set[str] = set()
+    irregular: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for target, value, origin in assigns:
+            if origin == "recv":
+                if target not in irregular:
+                    irregular.add(target)
+                    changed = True
+                continue
+            if origin == "counter":
+                continue
+            names = _expr_names(value)
+            if _mentions_rank(value) or names & rank_dep:
+                if target not in rank_dep:
+                    rank_dep.add(target)
+                    changed = True
+            if _mentions_input(value) or names & irregular:
+                if target not in irregular:
+                    irregular.add(target)
+                    changed = True
+    return VariableClasses(
+        rank_dependent=frozenset(rank_dep), irregular=frozenset(irregular)
+    )
+
+
+def classify_condition(
+    expr: ast.Expr, classes: VariableClasses
+) -> ConditionClass:
+    """Classify a branch condition or endpoint expression.
+
+    Irregularity dominates: a condition mixing ``myrank`` with input
+    data cannot be used as a reliable rank attribute, so it is treated
+    as irregular (unconstrained) — the conservative choice for matching.
+    """
+    names = _expr_names(expr)
+    if _mentions_input(expr) or names & classes.irregular:
+        return ConditionClass.IRREGULAR
+    if _mentions_rank(expr) or names & classes.rank_dependent:
+        return ConditionClass.ID_DEPENDENT
+    return ConditionClass.NEUTRAL
+
+
+def single_assignments(program: ast.Program) -> dict[str, ast.Expr]:
+    """Map of variables assigned exactly once to their defining expression.
+
+    Used by abstract evaluation to inline simple definitions (e.g.
+    ``peer = myrank + 1``) when evaluating endpoint expressions.
+    Variables also bound by ``recv``/``bcast``/``for`` are excluded.
+    """
+    counts: dict[str, int] = {}
+    defs: dict[str, ast.Expr] = {}
+    for node in ast.walk(program):
+        if isinstance(node, ast.Assign):
+            counts[node.target] = counts.get(node.target, 0) + 1
+            defs[node.target] = node.value
+        elif isinstance(node, (ast.Recv, ast.Bcast)):
+            counts[node.target] = counts.get(node.target, 0) + 2
+        elif isinstance(node, ast.For):
+            counts[node.var] = counts.get(node.var, 0) + 2
+    return {name: expr for name, expr in defs.items() if counts[name] == 1}

@@ -1,0 +1,159 @@
+"""Path attributes for CFG nodes.
+
+The paper (§3.2): "every control path in the CFG from [a] branch node is
+characterized by an *attribute* that is driven from the condition
+expression". We represent a path's attribute at a node as the sequence
+of *ID-dependent* branch decisions taken along the path prefix — each a
+:class:`PathConstraint` (condition expression + polarity). A
+:class:`NodeContext` bundles a send/recv node occurrence on one path
+with its constraints and its endpoint expression, ready for
+contradiction checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attributes.dataflow import (
+    ConditionClass,
+    VariableClasses,
+    classify_condition,
+)
+from repro.attributes.expressions import abstract_eval
+from repro.cfg.graph import CFG
+from repro.cfg.nodes import CFGNode, NodeKind
+from repro.lang import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class PathConstraint:
+    """One ID-dependent branch decision along a path.
+
+    ``polarity`` is True when the path took the branch's "true" edge.
+    """
+
+    condition: ast.Expr
+    polarity: bool
+
+    def holds(
+        self, rank: int, nprocs: int, defs: dict[str, ast.Expr] | None
+    ) -> bool | None:
+        """Whether this constraint holds for *rank*.
+
+        ``None`` when the condition is statically unknown for this rank
+        (then the constraint does not restrict the match).
+        """
+        value = abstract_eval(self.condition, rank, nprocs, defs)
+        if value is None:
+            return None
+        return bool(value) == self.polarity
+
+
+@dataclass(frozen=True)
+class NodeContext:
+    """A send/recv node occurrence on one enumerated path.
+
+    Attributes:
+        node_id: The CFG node.
+        kind: ``NodeKind.SEND`` or ``NodeKind.RECV``.
+        endpoint: The destination (for sends) or source (for receives)
+            expression.
+        constraints: ID-dependent branch decisions guarding the node on
+            this path.
+        path_index: Which enumerated path this context came from.
+    """
+
+    node_id: int
+    kind: NodeKind
+    endpoint: ast.Expr
+    constraints: tuple[PathConstraint, ...]
+    path_index: int
+
+    def admits_rank(
+        self, rank: int, nprocs: int, defs: dict[str, ast.Expr] | None
+    ) -> bool:
+        """True iff a process with *rank* can reach this node occurrence."""
+        for constraint in self.constraints:
+            if constraint.holds(rank, nprocs, defs) is False:
+                return False
+        return True
+
+    def endpoint_value(
+        self, rank: int, nprocs: int, defs: dict[str, ast.Expr] | None
+    ) -> int | None:
+        """The endpoint's concrete value for *rank*, or None if unknown."""
+        return abstract_eval(self.endpoint, rank, nprocs, defs)
+
+
+def _edge_label(cfg: CFG, src: int, dst: int) -> str:
+    for edge in cfg.out_edges(src):
+        if edge.dst == dst:
+            return edge.label
+    # Synthetic once-through edges (loop tail -> loop exit target) carry
+    # no branch decision.
+    return ""
+
+
+def _endpoint_of(node: CFGNode) -> ast.Expr:
+    stmt = node.stmt
+    if isinstance(stmt, ast.Send):
+        return stmt.dest
+    if isinstance(stmt, ast.Recv):
+        return stmt.source
+    if isinstance(stmt, ast.Bcast):
+        return stmt.root
+    raise TypeError(f"node {node!r} has no endpoint expression")
+
+
+def node_contexts(
+    cfg: CFG,
+    paths: list[tuple[int, ...]],
+    classes: VariableClasses,
+) -> list[NodeContext]:
+    """Compute the per-path contexts of every send/recv node.
+
+    For each enumerated path and each send/recv occurrence on it, the
+    context captures the ID-dependent branch decisions of the path
+    prefix. Non-ID-dependent branches are skipped per the paper
+    ("without loss of generality, we assume that all the branch nodes
+    are ID-dependent"); irregular conditions are also skipped because
+    they cannot constrain ranks.
+    """
+    contexts: list[NodeContext] = []
+    for path_index, path in enumerate(paths):
+        constraints: list[PathConstraint] = []
+        for position, node_id in enumerate(path):
+            node = cfg.node(node_id)
+            if node.kind in (NodeKind.SEND, NodeKind.RECV):
+                contexts.append(
+                    NodeContext(
+                        node_id=node_id,
+                        kind=node.kind,
+                        endpoint=_endpoint_of(node),
+                        constraints=tuple(constraints),
+                        path_index=path_index,
+                    )
+                )
+            if node.kind is NodeKind.BRANCH and position + 1 < len(path):
+                cond = _branch_condition(node)
+                if cond is None:
+                    continue
+                if classify_condition(cond, classes) is not ConditionClass.ID_DEPENDENT:
+                    continue
+                label = _edge_label(cfg, node_id, path[position + 1])
+                if label == "true":
+                    constraints.append(PathConstraint(cond, True))
+                elif label == "false":
+                    constraints.append(PathConstraint(cond, False))
+    return contexts
+
+
+def _branch_condition(node: CFGNode) -> ast.Expr | None:
+    stmt = node.stmt
+    if isinstance(stmt, (ast.If, ast.While)):
+        return stmt.cond
+    if isinstance(stmt, ast.Bcast):
+        # The lowered bcast branch tests `myrank == root`.
+        return ast.BinOp(op="==", left=ast.MyRank(), right=stmt.root)
+    # `for` headers iterate a counter; never ID-dependent.
+    return None

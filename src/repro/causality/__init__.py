@@ -1,0 +1,41 @@
+"""Causality substrate: vector clocks, happened-before, cuts, rollback.
+
+Implements the paper's Section 2 definitions over recorded executions:
+Lamport's happened-before relation (via vector clocks), consistency of
+checkpoint cuts (Definition 2.1), straight cuts (Definitions 2.2/2.3),
+and — for the uncoordinated baseline — the rollback-dependency graph
+used to find the most recent consistent cut and to exhibit the domino
+effect.
+"""
+
+from repro.causality.cuts import (
+    CheckpointCut,
+    cut_is_consistent,
+    latest_straight_cut,
+    orphan_messages,
+    straight_cut,
+)
+from repro.causality.happened_before import happened_before
+from repro.causality.rollback_graph import (
+    RollbackAnalysis,
+    build_rollback_graph,
+    max_consistent_cut,
+    max_consistent_positions,
+)
+from repro.causality.vector_clock import VectorClock
+from repro.causality.zigzag import ZigzagAnalysis
+
+__all__ = [
+    "CheckpointCut",
+    "RollbackAnalysis",
+    "VectorClock",
+    "ZigzagAnalysis",
+    "build_rollback_graph",
+    "cut_is_consistent",
+    "happened_before",
+    "latest_straight_cut",
+    "max_consistent_cut",
+    "max_consistent_positions",
+    "orphan_messages",
+    "straight_cut",
+]

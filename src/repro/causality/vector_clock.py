@@ -1,0 +1,61 @@
+"""Vector clocks.
+
+The standard mechanism for tracking Lamport's happened-before relation
+[13] in an ``n``-process system: component ``k`` counts the events of
+process ``k`` known to have causally preceded the clock's owner.
+Immutable; all operations return new clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class VectorClock:
+    """An immutable vector clock over a fixed number of processes."""
+
+    components: tuple[int, ...]
+
+    @classmethod
+    def zero(cls, n_processes: int) -> "VectorClock":
+        """The all-zero clock for *n_processes* processes."""
+        if n_processes < 1:
+            raise ValueError(f"need at least one process, got {n_processes}")
+        return cls(components=(0,) * n_processes)
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __getitem__(self, index: int) -> int:
+        return self.components[index]
+
+    def tick(self, process: int) -> "VectorClock":
+        """Increment *process*'s own component (a local event)."""
+        parts = list(self.components)
+        parts[process] += 1
+        return VectorClock(tuple(parts))
+
+    def merge(self, other: "VectorClock") -> "VectorClock":
+        """Component-wise maximum (applied on message receipt)."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"clock size mismatch: {len(self)} vs {len(other)}"
+            )
+        return VectorClock(
+            tuple(max(a, b) for a, b in zip(self.components, other.components))
+        )
+
+    def happened_before(self, other: "VectorClock") -> bool:
+        """True iff ``self -> other`` in the happened-before order:
+        ``self <= other`` component-wise with at least one strict."""
+        if len(other) != len(self):
+            raise ValueError(
+                f"clock size mismatch: {len(self)} vs {len(other)}"
+            )
+        at_most = all(a <= b for a, b in zip(self.components, other.components))
+        return at_most and self.components != other.components
+
+    def concurrent_with(self, other: "VectorClock") -> bool:
+        """True iff neither clock happened before the other."""
+        return not self.happened_before(other) and not other.happened_before(self)

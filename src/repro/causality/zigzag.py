@@ -1,0 +1,175 @@
+"""Zigzag paths and useless checkpoints (Netzer & Xu, 1995).
+
+The classical theory behind communication-induced checkpointing — the
+third family in the paper's Section 1 taxonomy. A *zigzag path* from
+checkpoint ``A`` to checkpoint ``B`` is a message chain
+``m₁, …, mₙ`` where
+
+- ``m₁`` is sent by ``A``'s process after ``A``;
+- each ``mᵢ₊₁`` is sent by the process that received ``mᵢ``, in the
+  same or a later checkpoint interval (possibly *before* ``mᵢ`` was
+  received — that backward hop is the "zig"); and
+- ``mₙ`` is received by ``B``'s process before ``B``.
+
+**Netzer-Xu theorem**: two checkpoints can both belong to some
+consistent global snapshot iff there is no zigzag path between them (in
+either direction); a checkpoint is *useless* — part of no consistent
+snapshot at all — iff it lies on a zigzag cycle.
+
+The test suite validates the theorem on simulated traces against a
+brute-force search over all (boundary-augmented) cuts, tying this
+module to the happened-before machinery through an independent
+characterisation.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.causality.cuts import checkpoints_by_process
+from repro.causality.records import EventKind, TraceEvent
+
+
+@dataclass(frozen=True)
+class _MessageHop:
+    """One message, located by interval indices.
+
+    ``send_interval``/``recv_interval`` count the checkpoints taken by
+    the respective process *before* the send/receive event, so interval
+    ``k`` is the execution between the k-th and (k+1)-th checkpoints.
+    """
+
+    message_id: int
+    sender: int
+    send_interval: int
+    receiver: int
+    recv_interval: int
+
+
+def _interval_index(
+    grouped: dict[int, list[TraceEvent]], event: TraceEvent
+) -> int:
+    history = grouped.get(event.process, [])
+    return sum(1 for c in history if c.seq < event.seq)
+
+
+def _message_hops(events: list[TraceEvent]) -> list[_MessageHop]:
+    grouped = checkpoints_by_process(events)
+    sends: dict[int, TraceEvent] = {}
+    hops: list[_MessageHop] = []
+    for event in events:
+        if event.kind is EventKind.SEND and event.message_id is not None:
+            sends[event.message_id] = event
+    for event in events:
+        if event.kind is not EventKind.RECV or event.message_id is None:
+            continue
+        send = sends.get(event.message_id)
+        if send is None:
+            continue
+        hops.append(
+            _MessageHop(
+                message_id=event.message_id,
+                sender=send.process,
+                send_interval=_interval_index(grouped, send),
+                receiver=event.process,
+                recv_interval=_interval_index(grouped, event),
+            )
+        )
+    return hops
+
+
+class ZigzagAnalysis:
+    """Zigzag reachability between the checkpoints of one trace.
+
+    Checkpoints are identified as ``(process, number)`` with 1-based
+    dynamic numbers (matching
+    :attr:`~repro.causality.records.TraceEvent.checkpoint_number`).
+    Interval ``k`` of a process runs from its k-th to its (k+1)-th
+    checkpoint; checkpoint ``(p, i)`` sits between intervals ``i-1``
+    and ``i``.
+    """
+
+    def __init__(self, events: list[TraceEvent]) -> None:
+        self._events = list(events)
+        self._hops = _message_hops(self._events)
+        # hop adjacency: hop h can be followed by hop h' iff h' is sent
+        # by h's receiver in interval >= h's receive interval.
+        self._by_sender: dict[int, list[_MessageHop]] = defaultdict(list)
+        for hop in self._hops:
+            self._by_sender[hop.sender].append(hop)
+        self._reachable_cache: dict[int, frozenset[int]] = {}
+
+    # -- core reachability ----------------------------------------------------
+
+    def _hop_index(self) -> dict[int, _MessageHop]:
+        return {id(h): h for h in self._hops}
+
+    def _closure_from(self, start: _MessageHop) -> frozenset[int]:
+        """ids of hops zigzag-reachable from *start* (inclusive)."""
+        key = id(start)
+        cached = self._reachable_cache.get(key)
+        if cached is not None:
+            return cached
+        seen = {key}
+        stack = [start]
+        while stack:
+            hop = stack.pop()
+            for nxt in self._by_sender.get(hop.receiver, ()):
+                if nxt.send_interval >= hop.recv_interval and id(nxt) not in seen:
+                    seen.add(id(nxt))
+                    stack.append(nxt)
+        result = frozenset(seen)
+        self._reachable_cache[key] = result
+        return result
+
+    def zigzag_path_exists(
+        self, from_checkpoint: tuple[int, int], to_checkpoint: tuple[int, int]
+    ) -> bool:
+        """Is there a zigzag path from one checkpoint to another?
+
+        ``from_checkpoint``/``to_checkpoint`` are ``(process, number)``.
+        A path must start with a message sent by the source's process in
+        interval ≥ its number, and end with a message received by the
+        target's process in interval < its number.
+        """
+        src_proc, src_number = from_checkpoint
+        dst_proc, dst_number = to_checkpoint
+        starts = [
+            hop
+            for hop in self._by_sender.get(src_proc, ())
+            if hop.send_interval >= src_number
+        ]
+        hop_by_id = self._hop_index()
+        for start in starts:
+            for hop_id in self._closure_from(start):
+                hop = hop_by_id[hop_id]
+                if hop.receiver == dst_proc and hop.recv_interval < dst_number:
+                    return True
+        return False
+
+    def on_zigzag_cycle(self, checkpoint: tuple[int, int]) -> bool:
+        """Netzer-Xu uselessness: a zigzag path from a checkpoint to
+        itself means it belongs to no consistent snapshot."""
+        return self.zigzag_path_exists(checkpoint, checkpoint)
+
+    def useless_checkpoints(self) -> list[tuple[int, int]]:
+        """All (process, number) checkpoints lying on zigzag cycles."""
+        useless = []
+        for process, history in checkpoints_by_process(self._events).items():
+            for event in history:
+                key = (process, event.checkpoint_number)
+                if self.on_zigzag_cycle(key):
+                    useless.append(key)
+        return sorted(useless)
+
+    def zz_consistent(
+        self, a: tuple[int, int], b: tuple[int, int]
+    ) -> bool:
+        """No zigzag path in either direction (the theorem's condition
+        for the pair to belong to some consistent snapshot)."""
+        if a == b:
+            return not self.on_zigzag_cycle(a)
+        return not (
+            self.zigzag_path_exists(a, b) or self.zigzag_path_exists(b, a)
+        )

@@ -1,0 +1,60 @@
+"""Graphviz DOT export for CFGs and extended CFGs.
+
+Purely a debugging/documentation aid: renders the graphs the paper
+draws in Figures 1–6. Message edges are dashed, backward edges are
+marked, checkpoint nodes are doubly circled.
+"""
+
+from __future__ import annotations
+
+from repro.cfg.dominators import find_back_edges
+from repro.cfg.graph import CFG, ExtendedCFG
+from repro.cfg.nodes import NodeKind
+
+_SHAPES = {
+    NodeKind.ENTRY: "oval",
+    NodeKind.EXIT: "oval",
+    NodeKind.BRANCH: "diamond",
+    NodeKind.JOIN: "point",
+    NodeKind.SEND: "box",
+    NodeKind.RECV: "box",
+    NodeKind.CHECKPOINT: "doublecircle",
+    NodeKind.COMPUTE: "box",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def to_dot(graph: CFG | ExtendedCFG, name: str = "cfg") -> str:
+    """Render *graph* as Graphviz DOT text."""
+    if isinstance(graph, ExtendedCFG):
+        cfg = graph.cfg
+        message_edges = graph.message_edges
+    else:
+        cfg = graph
+        message_edges = []
+    back = {(e.src, e.dst) for e in find_back_edges(cfg)}
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for node in cfg.nodes():
+        label = node.label or node.kind.value
+        shape = _SHAPES[node.kind]
+        lines.append(
+            f'  n{node.node_id} [label="{_escape(label)}", shape={shape}];'
+        )
+    for edge in cfg.edges():
+        attrs = []
+        if edge.label:
+            attrs.append(f'label="{_escape(edge.label)}"')
+        if (edge.src, edge.dst) in back:
+            attrs.append('style=bold, color=gray40, label="back"')
+        attr_text = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  n{edge.src} -> n{edge.dst}{attr_text};")
+    for msg in message_edges:
+        lines.append(
+            f'  n{msg.send_id} -> n{msg.recv_id} '
+            f'[style=dashed, color=blue, label="msg"];'
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

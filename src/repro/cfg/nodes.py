@@ -1,0 +1,70 @@
+"""CFG node types.
+
+The paper's CFGs contain nodes for loops and conditions plus explicit
+``send``, ``receive``, and ``checkpoint`` statement nodes, and the two
+synthetic ``entry``/``exit`` nodes (Section 2). We add ``JOIN`` nodes at
+control-flow merges and a generic ``COMPUTE`` node for local statements
+(assignments and ``compute``), which the analyses treat as opaque.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+
+
+class NodeKind(enum.Enum):
+    """The kind of a CFG node."""
+
+    ENTRY = "entry"
+    EXIT = "exit"
+    BRANCH = "branch"
+    JOIN = "join"
+    SEND = "send"
+    RECV = "recv"
+    CHECKPOINT = "checkpoint"
+    COMPUTE = "compute"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class CFGNode:
+    """A single CFG node.
+
+    Attributes:
+        node_id: Unique id within its CFG.
+        kind: The :class:`NodeKind`.
+        stmt: The originating AST statement, if any. Branch nodes point
+            at the ``If``/``While``/``For`` statement whose condition
+            they evaluate; synthetic nodes (entry/exit/join) have none.
+        label: Human-readable description used in dumps and DOT output.
+        is_loop_header: True for the branch node of a ``while``/``for``.
+        collective: True for send/recv nodes lowered from a collective
+            statement (``bcast``); their message edges are pre-matched.
+    """
+
+    node_id: int
+    kind: NodeKind
+    stmt: ast.Stmt | None = None
+    label: str = ""
+    is_loop_header: bool = False
+    collective: bool = False
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CFGNode):
+            return NotImplemented
+        return self.node_id == other.node_id
+
+    def __repr__(self) -> str:
+        text = f"{self.kind.value}#{self.node_id}"
+        if self.label:
+            text += f"({self.label})"
+        return text

@@ -1,0 +1,177 @@
+"""Path queries over CFGs.
+
+Phase III enumerates the checkpoint nodes "along every path from the
+entry node to the exit node" (paper §2): the *i*-th checkpoint node on
+path γ is ``C_i^γ`` and ``S_i`` collects the ``C_i`` of every path. A
+"path" here traverses each loop body at most once — i.e. the acyclic
+paths of the DAG obtained by removing backward edges — matching the
+paper's convention that a checkpoint statement inside a loop keeps the
+same index on every iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.graph import CFG
+from repro.cfg.nodes import NodeKind
+from repro.errors import CFGError
+
+DEFAULT_PATH_LIMIT = 10_000
+
+
+def reachable_from(cfg: CFG, start: int) -> frozenset[int]:
+    """All node ids reachable from *start* (inclusive) via control edges."""
+    seen = {start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for nxt in cfg.successors(current):
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return frozenset(seen)
+
+
+def find_path(cfg: CFG, src: int, dst: int) -> list[int] | None:
+    """A control-edge path from *src* to *dst*, or None."""
+    parent = {src: src}
+    stack = [src]
+    while stack:
+        current = stack.pop()
+        if current == dst:
+            path = [dst]
+            while path[-1] != src:
+                path.append(parent[path[-1]])
+            path.reverse()
+            return path
+        for nxt in cfg.successors(current):
+            if nxt not in parent:
+                parent[nxt] = current
+                stack.append(nxt)
+    return None
+
+
+def once_through_successors(cfg: CFG) -> dict[int, list[int]]:
+    """Successor map of the *once-through* DAG of *cfg*.
+
+    The paper enumerates checkpoints "along every path from entry to
+    exit", where a path traverses each loop body exactly once (a
+    checkpoint inside a loop keeps the same index on every iteration,
+    and the zero-trip path would make every loop program unbalanced).
+    The once-through DAG realises that convention:
+
+    - each backward edge ``tail -> header`` is removed and replaced by
+      edges ``tail -> s`` for every loop-exit successor ``s`` of the
+      header, and
+    - the header's own loop-exit edges are removed, so the only way past
+      a loop header is through its body.
+    """
+    from repro.cfg.dominators import natural_loops
+
+    loops = natural_loops(cfg)
+    succ: dict[int, list[int]] = {
+        node.node_id: list(cfg.successors(node.node_id)) for node in cfg.nodes()
+    }
+    # Collect, per loop header, the union of its loops' bodies (a header
+    # with several back edges has several natural loops; merge them).
+    header_body: dict[int, set[int]] = {}
+    header_tails: dict[int, list[int]] = {}
+    for edge, body in loops.items():
+        header_body.setdefault(edge.dst, set()).update(body)
+        header_tails.setdefault(edge.dst, []).append(edge.src)
+    for header, body in header_body.items():
+        exit_targets = [s for s in cfg.successors(header) if s not in body]
+        succ[header] = [s for s in cfg.successors(header) if s in body]
+        for tail in header_tails[header]:
+            succ[tail] = [s for s in succ[tail] if s != header]
+            succ[tail].extend(exit_targets)
+    return succ
+
+
+def acyclic_paths(
+    cfg: CFG, limit: int = DEFAULT_PATH_LIMIT
+) -> list[tuple[int, ...]]:
+    """All entry→exit paths of the once-through DAG (see
+    :func:`once_through_successors`).
+
+    Raises :class:`~repro.errors.CFGError` if the number of paths
+    exceeds *limit* (a guard against combinatorial explosion on deeply
+    branching programs).
+    """
+    if cfg.entry_id is None or cfg.exit_id is None:
+        raise CFGError("CFG must have entry and exit nodes")
+    succ = once_through_successors(cfg)
+    paths: list[tuple[int, ...]] = []
+    stack: list[tuple[int, tuple[int, ...]]] = [(cfg.entry_id, (cfg.entry_id,))]
+    while stack:
+        current, path = stack.pop()
+        if current == cfg.exit_id:
+            paths.append(path)
+            if len(paths) > limit:
+                raise CFGError(f"more than {limit} entry-exit paths")
+            continue
+        for nxt in succ[current]:
+            if nxt in path:
+                # Defensive: the once-through DAG should be acyclic, but
+                # guard against pathological graphs.
+                continue
+            stack.append((nxt, path + (nxt,)))
+    return paths
+
+
+@dataclass(frozen=True)
+class CheckpointEnumeration:
+    """Result of enumerating checkpoint nodes along every path.
+
+    Attributes:
+        paths: Every acyclic entry→exit path.
+        per_path: For each path, the tuple of checkpoint node ids in
+            path order (so ``per_path[k][i-1]`` is ``C_i`` on path k).
+        columns: ``columns[i]`` is the paper's ``S_{i+1}``: the set of
+            node ids appearing as the (i+1)-th checkpoint on some path.
+        balanced: True iff every path has the same number of checkpoint
+            nodes (the precondition Phase I establishes).
+    """
+
+    paths: tuple[tuple[int, ...], ...]
+    per_path: tuple[tuple[int, ...], ...]
+    columns: tuple[frozenset[int], ...]
+    balanced: bool
+
+    @property
+    def depth(self) -> int:
+        """The common number of checkpoints per path (0 if unbalanced)."""
+        return len(self.columns)
+
+
+def enumerate_checkpoints(
+    cfg: CFG, limit: int = DEFAULT_PATH_LIMIT
+) -> CheckpointEnumeration:
+    """Enumerate ``C_i^γ`` along every acyclic path (paper §2)."""
+    paths = acyclic_paths(cfg, limit=limit)
+    per_path: list[tuple[int, ...]] = []
+    for path in paths:
+        checkpoints = tuple(
+            node_id
+            for node_id in path
+            if cfg.node(node_id).kind is NodeKind.CHECKPOINT
+        )
+        per_path.append(checkpoints)
+    counts = {len(seq) for seq in per_path}
+    balanced = len(counts) <= 1
+    depth = min(counts) if counts else 0
+    columns = tuple(
+        frozenset(seq[i] for seq in per_path if len(seq) > i) for i in range(depth)
+    )
+    return CheckpointEnumeration(
+        paths=tuple(paths),
+        per_path=tuple(per_path),
+        columns=columns,
+        balanced=balanced,
+    )
+
+
+def checkpoint_columns(cfg: CFG) -> tuple[frozenset[int], ...]:
+    """Shorthand: the ``S_i`` collections of *cfg* (1-indexed as i-1)."""
+    return enumerate_checkpoints(cfg).columns

@@ -1,0 +1,416 @@
+"""Command-line interface.
+
+``python -m repro <command>``:
+
+========== ==========================================================
+verify     check Condition 1 on a program (exit 0 iff it holds)
+transform  run the offline pipeline; print or write the safe program
+simulate   execute a program on the simulator, optionally with
+           crashes, a protocol, and a space-time diagram
+cfg        dump the (extended) CFG as Graphviz DOT
+figures    print the Figure 8 / Figure 9 data tables
+programs   list the shipped example programs
+========== ==========================================================
+
+Program arguments accept either a file path or ``@name`` for a shipped
+program (see ``python -m repro programs``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.printer import to_source
+from repro.lang.programs import load_program, program_names
+
+
+def _load(spec: str) -> ast.Program:
+    if spec.startswith("@"):
+        return load_program(spec[1:])
+    return parse(Path(spec).read_text())
+
+
+def _add_program_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "program",
+        help="path to a MiniMP source file, or @name for a shipped program",
+    )
+
+
+def _cmd_programs(_args: argparse.Namespace) -> int:
+    for name in program_names():
+        print(name)
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.phases.matching import build_extended_cfg
+    from repro.phases.verification import check_condition1
+
+    program = _load(args.program)
+    ext = build_extended_cfg(program)
+    result = check_condition1(
+        ext, include_back_edge_paths=not args.loop_optimization
+    )
+    mode = "loop-optimised" if args.loop_optimization else "conservative"
+    print(f"program   : {program.name}")
+    print(f"mode      : {mode}")
+    print(f"msg edges : {len(ext.message_edges)}")
+    print(f"Condition 1 holds: {result.ok}")
+    if not result.balanced:
+        print(f"  {result.reason}")
+    for violation in result.violations[:args.max_violations]:
+        print(f"  violation: {violation.describe(ext)}")
+    return 0 if result.ok else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lang.validate import validate_program
+
+    program = _load(args.program)
+    params = tuple(args.param) if args.param else ("steps",)
+    diagnostics = validate_program(program, params=params)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    errors = [d for d in diagnostics if d.severity == "error"]
+    if not diagnostics:
+        print("clean: no diagnostics")
+    return 1 if errors else 0
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    from repro.phases.insertion import CostModel
+    from repro.phases.pipeline import transform
+
+    program = _load(args.program)
+    model = CostModel(
+        checkpoint_overhead=args.checkpoint_overhead,
+        failure_rate=args.failure_rate,
+        params={"steps": args.steps} if args.steps else {},
+    )
+    result = transform(
+        program,
+        cost_model=model,
+        loop_optimization=args.loop_optimization,
+        force_insertion=args.force_insertion,
+    )
+    from repro.phases.report import transform_report
+
+    for line in transform_report(result).splitlines():
+        print(f"# {line}", file=sys.stderr)
+    source = to_source(result.program)
+    if args.output:
+        Path(args.output).write_text(source)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    else:
+        print(source, end="")
+    return 0
+
+
+def _cmd_cfg(args: argparse.Namespace) -> int:
+    from repro.cfg.builder import build_cfg
+    from repro.cfg.dot import to_dot
+    from repro.phases.matching import build_extended_cfg
+
+    program = _load(args.program)
+    if args.extended:
+        graph = build_extended_cfg(program)
+    else:
+        graph = build_cfg(program)
+    print(to_dot(graph, name=program.name), end="")
+    return 0
+
+
+def _parse_crash(text: str):
+    from repro.runtime.failures import CrashEvent
+
+    try:
+        time_text, rank_text = text.split(":", 1)
+        return CrashEvent(time=float(time_text), rank=int(rank_text))
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"crash must be TIME:RANK, got {text!r}"
+        ) from None
+
+
+_PROTOCOLS = {
+    "none": None,
+    "appl-driven": "ApplicationDrivenProtocol",
+    "sas": "SyncAndStopProtocol",
+    "cl": "ChandyLamportProtocol",
+    "uncoordinated": "UncoordinatedProtocol",
+    "cic": "InducedProtocol",
+    "msg-logging": "MessageLoggingProtocol",
+}
+
+
+def _make_protocol(name: str, period: float):
+    import repro.protocols as protocols
+
+    class_name = _PROTOCOLS[name]
+    if class_name is None:
+        return None
+    cls = getattr(protocols, class_name)
+    if name == "appl-driven":
+        return cls()
+    return cls(period=period)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.runtime.engine import Simulation
+    from repro.runtime.failures import FailurePlan
+
+    program = _load(args.program)
+    plan = FailurePlan(crashes=list(args.crash))
+    protocol = _make_protocol(args.protocol, args.period)
+    sim = Simulation(
+        program,
+        args.n,
+        params={"steps": args.steps} if args.steps else None,
+        protocol=protocol,
+        failure_plan=plan,
+        seed=args.seed,
+    )
+    result = sim.run()
+    stats = result.stats
+    print(f"completed         : {stats.completed}")
+    print(f"completion time   : {result.completion_time:.3f}")
+    print(f"app messages      : {stats.app_messages}")
+    print(f"control messages  : {stats.control_messages}")
+    print(f"checkpoints       : {stats.checkpoints} "
+          f"(forced: {stats.forced_checkpoints})")
+    print(f"failures/rollbacks: {stats.failures}/{stats.rollbacks}")
+    print(f"lost work         : {stats.lost_work:.3f}")
+    consistent = result.trace.all_straight_cuts_consistent()
+    print(f"straight cuts are recovery lines: {consistent}")
+    if args.spacetime:
+        from repro.viz import render_spacetime
+
+        print()
+        print(render_spacetime(result.trace), end="")
+    if args.export_trace:
+        from repro.runtime.export import trace_to_json
+
+        Path(args.export_trace).write_text(trace_to_json(result.trace))
+        print(f"# wrote trace to {args.export_trace}", file=sys.stderr)
+    return 0 if stats.completed else 1
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis.comparison import figure8_series, figure9_series
+    from repro.bench.figures import figure8_table, figure9_table
+
+    if args.figure in ("8", "both"):
+        print("Figure 8: overhead ratio vs number of processes")
+        print(figure8_table())
+        if args.chart:
+            from repro.viz import curves_chart
+
+            print()
+            print(curves_chart(figure8_series(), log_y=True, y_label="r"))
+    if args.figure == "both":
+        print()
+    if args.figure in ("9", "both"):
+        print("Figure 9: overhead ratio vs message setup time")
+        print(figure9_table())
+        if args.chart:
+            from repro.viz import curves_chart
+
+            print()
+            print(curves_chart(figure9_series(), log_y=True, y_label="r"))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.bench.workloads import (
+        ProtocolRunSummary,
+        run_protocol_comparison,
+        standard_workloads,
+    )
+    from repro.runtime.failures import FailurePlan
+
+    specs = {w.name: w for w in standard_workloads(steps=args.steps)}
+    if args.workload not in specs:
+        print(
+            f"error: unknown workload {args.workload!r}; "
+            f"known: {', '.join(sorted(specs))}",
+            file=sys.stderr,
+        )
+        return 2
+    plan = FailurePlan(crashes=list(args.crash))
+    rows = run_protocol_comparison(
+        specs[args.workload], period=args.period, failure_plan=plan
+    )
+    print(ProtocolRunSummary.header())
+    for row in rows:
+        print(row.row())
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.causality.cuts import cut_is_consistent, orphan_messages
+    from repro.causality.rollback_graph import max_consistent_cut
+    from repro.runtime.export import trace_from_json
+
+    trace = trace_from_json(Path(args.trace).read_text())
+    print(f"processes        : {trace.n_processes}")
+    print(f"events           : {len(trace.events)}")
+    print(f"messages         : {trace.message_count()}")
+    print(f"completion time  : {trace.completion_time():.3f}")
+    max_index = trace.max_straight_cut_index()
+    print(f"straight cuts    : R_1 .. R_{max_index}")
+    inconsistent = []
+    for index in range(1, max_index + 1):
+        cut = trace.straight_cut(index)
+        if cut is not None and not cut_is_consistent(cut):
+            inconsistent.append(index)
+    if inconsistent:
+        print(f"NOT recovery lines: {inconsistent}")
+        first = trace.straight_cut(inconsistent[0])
+        for send, recv in orphan_messages(trace.events, first)[:3]:
+            print(f"  orphan witness in R_{inconsistent[0]}: "
+                  f"{send!r} -> {recv!r}")
+    else:
+        print("every straight cut is a recovery line")
+    analysis = max_consistent_cut(
+        trace.events, list(range(trace.n_processes))
+    )
+    print(f"max consistent cut: rollbacks {analysis.rollbacks}, "
+          f"domino steps {analysis.domino_steps}")
+    from repro.causality.zigzag import ZigzagAnalysis
+
+    useless = ZigzagAnalysis(trace.events).useless_checkpoints()
+    if useless:
+        print(f"useless checkpoints (zigzag cycles): {useless}")
+    else:
+        print("no useless checkpoints (no zigzag cycles)")
+    if args.spacetime:
+        from repro.viz import render_spacetime
+
+        print()
+        print(render_spacetime(trace), end="")
+    return 1 if inconsistent else 0
+
+
+def _cmd_optimal(args: argparse.Namespace) -> int:
+    from repro.analysis.parameters import ModelParameters
+    from repro.analysis.sensitivity import optimal_table
+
+    counts = tuple(args.n) if args.n else (16, 64, 256, 512)
+    print("Per-protocol optimal checkpoint intervals (T*) and ratios (r*)")
+    print(optimal_table(ModelParameters(), counts))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Application-driven coordination-free checkpointing",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    programs = commands.add_parser("programs", help="list shipped programs")
+    programs.set_defaults(func=_cmd_programs)
+
+    verify = commands.add_parser("verify", help="check Condition 1")
+    _add_program_argument(verify)
+    verify.add_argument("--loop-optimization", action="store_true")
+    verify.add_argument("--max-violations", type=int, default=5)
+    verify.set_defaults(func=_cmd_verify)
+
+    lint = commands.add_parser("lint", help="static program validation")
+    _add_program_argument(lint)
+    lint.add_argument("--param", action="append", metavar="NAME",
+                      help="declare a run-time parameter (default: steps)")
+    lint.set_defaults(func=_cmd_lint)
+
+    transform = commands.add_parser("transform", help="run Phases I-III")
+    _add_program_argument(transform)
+    transform.add_argument("-o", "--output", help="write result here")
+    transform.add_argument("--loop-optimization", action="store_true")
+    transform.add_argument("--force-insertion", action="store_true")
+    transform.add_argument("--checkpoint-overhead", type=float, default=10.0)
+    transform.add_argument("--failure-rate", type=float, default=0.002)
+    transform.add_argument("--steps", type=int, default=0,
+                           help="value of the 'steps' parameter for costing")
+    transform.set_defaults(func=_cmd_transform)
+
+    cfg = commands.add_parser("cfg", help="dump the CFG as DOT")
+    _add_program_argument(cfg)
+    cfg.add_argument("--extended", action="store_true",
+                     help="include Phase II message edges")
+    cfg.set_defaults(func=_cmd_cfg)
+
+    simulate = commands.add_parser("simulate", help="run on the simulator")
+    _add_program_argument(simulate)
+    simulate.add_argument("-n", type=int, default=4, help="process count")
+    simulate.add_argument("--steps", type=int, default=5)
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--crash", type=_parse_crash, action="append",
+                          default=[], metavar="TIME:RANK")
+    simulate.add_argument("--protocol", choices=sorted(_PROTOCOLS),
+                          default="appl-driven")
+    simulate.add_argument("--period", type=float, default=10.0,
+                          help="checkpoint period for timer protocols")
+    simulate.add_argument("--spacetime", action="store_true",
+                          help="print an ASCII space-time diagram")
+    simulate.add_argument("--export-trace", metavar="PATH",
+                          help="write the execution trace as JSON")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    figures = commands.add_parser("figures", help="print Figure 8/9 tables")
+    figures.add_argument("--figure", choices=("8", "9", "both"),
+                         default="both")
+    figures.add_argument("--chart", action="store_true",
+                         help="also draw ASCII charts (log-scale y)")
+    figures.set_defaults(func=_cmd_figures)
+
+    compare = commands.add_parser(
+        "compare", help="run every protocol on one workload"
+    )
+    compare.add_argument("workload", help="a standard workload name")
+    compare.add_argument("--steps", type=int, default=12)
+    compare.add_argument("--period", type=float, default=6.0)
+    compare.add_argument("--crash", type=_parse_crash, action="append",
+                         default=[], metavar="TIME:RANK")
+    compare.set_defaults(func=_cmd_compare)
+
+    analyze = commands.add_parser(
+        "analyze", help="consistency analysis of an exported trace"
+    )
+    analyze.add_argument("trace", help="path to a JSON trace file")
+    analyze.add_argument("--spacetime", action="store_true")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    optimal = commands.add_parser(
+        "optimal", help="per-protocol optimal checkpoint intervals"
+    )
+    optimal.add_argument("-n", type=int, action="append",
+                         help="system size(s) to tabulate")
+    optimal.set_defaults(func=_cmd_optimal)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

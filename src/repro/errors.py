@@ -1,0 +1,94 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class. Subsystems define narrower classes so
+that tests and tools can assert on the precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LanguageError(ReproError):
+    """Base class for MiniMP front-end errors."""
+
+
+class LexerError(LanguageError):
+    """Raised when the lexer encounters an invalid character sequence."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class ParseError(LanguageError):
+    """Raised when the parser encounters a malformed program."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{message} (line {line}, column {column})")
+        self.line = line
+        self.column = column
+
+
+class CFGError(ReproError):
+    """Raised on malformed control-flow-graph operations."""
+
+
+class AttributeAnalysisError(ReproError):
+    """Raised when attribute/dataflow analysis cannot proceed."""
+
+
+class PhaseError(ReproError):
+    """Base class for the three offline phases."""
+
+
+class InsertionError(PhaseError):
+    """Raised when Phase I cannot insert balanced checkpoints."""
+
+
+class MatchingError(PhaseError):
+    """Raised when Phase II cannot match a receive with any send."""
+
+
+class PlacementError(PhaseError):
+    """Raised when Phase III cannot establish Condition 1."""
+
+
+class VerificationError(PhaseError):
+    """Raised when the Theorem 3.2 verifier rejects a program."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event-simulator errors."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when every live process is blocked on a receive."""
+
+    def __init__(self, message: str, blocked: tuple[int, ...] = ()) -> None:
+        super().__init__(message)
+        self.blocked = blocked
+
+
+class ChannelError(SimulationError):
+    """Raised on invalid channel operations (unknown endpoint, etc.)."""
+
+
+class StorageError(SimulationError):
+    """Raised on invalid stable-storage operations."""
+
+
+class RecoveryError(SimulationError):
+    """Raised when rollback/restart cannot produce a consistent state."""
+
+
+class ProtocolError(ReproError):
+    """Raised by checkpointing protocols on invalid usage."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the stochastic performance analysis on bad parameters."""

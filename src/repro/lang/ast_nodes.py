@@ -1,0 +1,278 @@
+"""Abstract syntax tree for MiniMP.
+
+All nodes are frozen-ish dataclasses (mutable only where the offline
+transformation phases need to rewrite statement lists, i.e. ``Block``
+bodies). Every node carries its source ``line`` so diagnostics and the
+pretty-printer can refer back to the original program.
+
+Expression nodes
+    :class:`Const`, :class:`Name`, :class:`MyRank`, :class:`NProcs`,
+    :class:`InputData`, :class:`BinOp`, :class:`UnaryOp`, :class:`Call`
+
+Statement nodes
+    :class:`Assign`, :class:`Send`, :class:`Recv`, :class:`Bcast`,
+    :class:`Checkpoint`, :class:`Compute`, :class:`Pass`, :class:`If`,
+    :class:`While`, :class:`For`
+
+A program is a :class:`Program` wrapping a single top-level
+:class:`Block` (MiniMP is SPMD: one source file executed by every
+process, exactly the setting of the paper's Section 3).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+_NODE_IDS = itertools.count(1)
+
+
+def _next_node_id() -> int:
+    return next(_NODE_IDS)
+
+
+@dataclass
+class _Node:
+    """Common base: source line plus a process-wide unique node id.
+
+    The unique id lets the CFG builder and the phase transformations
+    refer to AST statements stably even after blocks are rewritten.
+    """
+
+    line: int = field(default=0, kw_only=True)
+    node_id: int = field(default_factory=_next_node_id, kw_only=True)
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Const(_Node):
+    """Integer or boolean literal."""
+
+    value: int
+
+
+@dataclass
+class Name(_Node):
+    """Reference to a program variable."""
+
+    ident: str
+
+
+@dataclass
+class MyRank(_Node):
+    """The executing process's rank (``myrank``)."""
+
+
+@dataclass
+class NProcs(_Node):
+    """The number of processes in the system (``nprocs``)."""
+
+
+@dataclass
+class InputData(_Node):
+    """An input-dependent value (``input(label)``).
+
+    The paper calls computation patterns that depend on input data
+    *irregular*; this node is how MiniMP programs introduce them.
+    """
+
+    label: str
+
+
+@dataclass
+class BinOp(_Node):
+    """Binary operation. ``op`` is the surface operator token."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(_Node):
+    """Unary operation (``-`` or ``not``)."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class Call(_Node):
+    """Call to a named builtin (e.g. ``min``, ``max``, ``abs``)."""
+
+    func: str
+    args: list[Expr]
+
+
+Expr = Union[Const, Name, MyRank, NProcs, InputData, BinOp, UnaryOp, Call]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Block(_Node):
+    """A sequence of statements (a suite)."""
+
+    statements: list[Stmt] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Stmt]:
+        return iter(self.statements)
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass
+class Assign(_Node):
+    """``target = expr``."""
+
+    target: str
+    value: Expr
+
+
+@dataclass
+class Send(_Node):
+    """``send(dest, value)`` — point-to-point, asynchronous."""
+
+    dest: Expr
+    value: Expr
+
+
+@dataclass
+class Recv(_Node):
+    """``target = recv(source)`` — point-to-point, blocking."""
+
+    target: str
+    source: Expr
+
+
+@dataclass
+class Bcast(_Node):
+    """``target = bcast(root, value)`` — collective broadcast.
+
+    Every process executes the statement; the process whose rank equals
+    *root* supplies *value* and all others receive it, mirroring
+    ``MPI_Bcast``. The CFG builder lowers it to send/receive nodes whose
+    message edges are trivially matched (paper §3.2, collective case).
+    """
+
+    target: str
+    root: Expr
+    value: Expr
+
+
+@dataclass
+class Checkpoint(_Node):
+    """``checkpoint`` — save local process state to stable storage."""
+
+
+@dataclass
+class Compute(_Node):
+    """``compute(cost)`` — opaque local work costing *cost* time units."""
+
+    cost: Expr
+
+
+@dataclass
+class Pass(_Node):
+    """``pass`` — no-op."""
+
+
+@dataclass
+class If(_Node):
+    """``if cond: then_block [else: else_block]``."""
+
+    cond: Expr
+    then_block: Block
+    else_block: Block
+
+
+@dataclass
+class While(_Node):
+    """``while cond: body``."""
+
+    cond: Expr
+    body: Block
+
+
+@dataclass
+class For(_Node):
+    """``for var in range(count): body`` — a bounded loop."""
+
+    var: str
+    count: Expr
+    body: Block
+
+
+Stmt = Union[Assign, Send, Recv, Bcast, Checkpoint, Compute, Pass, If, While, For]
+
+
+@dataclass
+class Program(_Node):
+    """A complete MiniMP program: ``program name(): <block>``."""
+
+    name: str
+    body: Block
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def children(node: _Node) -> Iterator[_Node]:
+    """Yield the direct AST children of *node* (expressions and blocks)."""
+    if isinstance(node, Program):
+        yield node.body
+    elif isinstance(node, Block):
+        yield from node.statements
+    elif isinstance(node, Assign):
+        yield node.value
+    elif isinstance(node, Send):
+        yield node.dest
+        yield node.value
+    elif isinstance(node, Recv):
+        yield node.source
+    elif isinstance(node, Bcast):
+        yield node.root
+        yield node.value
+    elif isinstance(node, Compute):
+        yield node.cost
+    elif isinstance(node, If):
+        yield node.cond
+        yield node.then_block
+        yield node.else_block
+    elif isinstance(node, While):
+        yield node.cond
+        yield node.body
+    elif isinstance(node, For):
+        yield node.count
+        yield node.body
+    elif isinstance(node, BinOp):
+        yield node.left
+        yield node.right
+    elif isinstance(node, UnaryOp):
+        yield node.operand
+    elif isinstance(node, Call):
+        yield from node.args
+    # Const / Name / MyRank / NProcs / InputData / Checkpoint / Pass: leaves.
+
+
+def walk(node: _Node) -> Iterator[_Node]:
+    """Yield *node* and all its descendants in pre-order."""
+    yield node
+    for child in children(node):
+        yield from walk(child)
+
+
+def count_statements(program: Program, kind: type | tuple[type, ...]) -> int:
+    """Count statements of the given type(s) anywhere in *program*."""
+    return sum(1 for node in walk(program) if isinstance(node, kind))

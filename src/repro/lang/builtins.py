@@ -1,0 +1,64 @@
+"""Builtin functions callable from MiniMP programs.
+
+Builtins are pure, deterministic integer functions. Determinism matters:
+the paper assumes "different executions of the same program are
+identical for the same input" (Section 2), and the empirical safety
+validation replays programs, so every builtin must be a pure function
+of its arguments.
+
+``init``/``combine``/``relax`` stand in for the numerical kernels of the
+paper's Jacobi example — the analysis never looks inside them, only at
+their cost, so small integer mixers are a faithful substitute.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SimulationError
+
+_MASK = (1 << 31) - 1
+
+
+def _mix(*values: int) -> int:
+    """Deterministic integer mixer (a small multiplicative hash)."""
+    acc = 0x9E3779B9
+    for value in values:
+        acc = (acc ^ (value & _MASK)) * 0x85EBCA6B & _MASK
+        acc ^= acc >> 13
+    return acc & _MASK
+
+
+def _init(*args: int) -> int:
+    return _mix(0x12345678, *args)
+
+
+def _combine(*args: int) -> int:
+    return _mix(0x5EED, *args)
+
+
+def _relax(*args: int) -> int:
+    return _mix(0xFACE, *args)
+
+
+BUILTINS: dict[str, Callable[..., int]] = {
+    "min": lambda *args: min(args),
+    "max": lambda *args: max(args),
+    "abs": lambda x: abs(x),
+    "init": _init,
+    "combine": _combine,
+    "relax": _relax,
+}
+
+
+def call_builtin(name: str, args: list[int]) -> int:
+    """Evaluate builtin *name* on integer *args*.
+
+    Raises :class:`~repro.errors.SimulationError` for unknown builtins so
+    interpreter failures carry the library's error type.
+    """
+    try:
+        func = BUILTINS[name]
+    except KeyError:
+        raise SimulationError(f"unknown builtin function {name!r}") from None
+    return int(func(*args))

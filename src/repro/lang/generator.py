@@ -1,0 +1,166 @@
+"""Random MiniMP program generation for property-based testing.
+
+Generates *iteration-aligned exchange programs*: SPMD loops whose body
+performs a parity-paired neighbour exchange (the communication skeleton
+of the paper's Jacobi example), with randomised local computation,
+optional nested rank branches, and a checkpoint statement placed at a
+random legal-or-illegal position. This is the program family over which
+the paper's Theorem 3.2 claims hold, so the property tests can assert:
+
+- programs whose checkpoint placement passes Condition 1 yield traces
+  where **every straight cut is consistent** (soundness, V1);
+- programs failing Condition 1 yield at least one trace with an
+  inconsistent straight cut (the necessity direction, V2); and
+- Phase III repairs every generated program into a verified one whose
+  traces are always safe.
+
+Randomness is fully seed-driven; the same seed yields the same program.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the random program family."""
+
+    max_compute_cost: int = 6
+    max_extra_locals: int = 2
+    allow_nested_branch: bool = True
+    allow_irregular_payload: bool = True
+
+
+def generate_exchange_program(
+    seed: int,
+    checkpoint_position: str = "random",
+    config: GeneratorConfig = GeneratorConfig(),
+) -> Program:
+    """Generate one random exchange program.
+
+    ``checkpoint_position``:
+
+    - ``"head"``: checkpoint at the loop head (safe — Figure 1 shape);
+    - ``"split"``: checkpoint before the exchange on the even branch
+      and after it on the odd branch (unsafe — Figure 2 shape);
+    - ``"random"``: one of the above, chosen by the seed.
+    """
+    rng = random.Random(seed)
+    if checkpoint_position == "random":
+        checkpoint_position = rng.choice(["head", "split"])
+    if checkpoint_position not in ("head", "split"):
+        raise ValueError(f"unknown checkpoint_position {checkpoint_position!r}")
+
+    local_lines = _local_work(rng, config, indent=8)
+    payload = _payload(rng, config)
+    nested = (
+        _nested_branch(rng, indent=12)
+        if config.allow_nested_branch and rng.random() < 0.4
+        else []
+    )
+
+    lines = [f"program generated_{seed}():", "    x = init(myrank)", "    i = 0"]
+    lines.append("    while i < steps:")
+    if checkpoint_position == "head":
+        lines.append("        checkpoint")
+    lines.append("        if myrank % 2 == 0:")
+    if checkpoint_position == "split":
+        lines.append("            checkpoint")
+    lines.append(f"            send(myrank + 1, {payload})")
+    lines.append("            y = recv(myrank + 1)")
+    lines.extend(nested)
+    lines.append("        else:")
+    lines.append("            y = recv(myrank - 1)")
+    lines.append(f"            send(myrank - 1, {payload})")
+    if checkpoint_position == "split":
+        lines.append("            checkpoint")
+    lines.extend(local_lines)
+    lines.append("        x = relax(x, y)")
+    lines.append("        i = i + 1")
+    return parse("\n".join(lines) + "\n")
+
+
+def generate_ring_program(
+    seed: int,
+    checkpoint_position: str = "random",
+    config: GeneratorConfig = GeneratorConfig(),
+) -> Program:
+    """Generate a random ring-circulation program.
+
+    Rank 0 injects a token each iteration; every other rank forwards it
+    to its successor, with randomised local work. ``checkpoint_position``:
+
+    - ``"head"``: loop-head checkpoint shared by all ranks (safe);
+    - ``"split"``: rank 0 checkpoints before injecting, the others
+      after forwarding (unsafe — the token's causality chain crosses
+      the same-index checkpoints);
+    - ``"random"``: seed-chosen.
+
+    Works for any ``nprocs >= 2``. Together with
+    :func:`generate_exchange_program` this gives the property tests two
+    structurally different communication skeletons.
+    """
+    rng = random.Random(seed ^ 0x5A5A)
+    if checkpoint_position == "random":
+        checkpoint_position = rng.choice(["head", "split"])
+    if checkpoint_position not in ("head", "split"):
+        raise ValueError(f"unknown checkpoint_position {checkpoint_position!r}")
+
+    payload = _payload(rng, config)
+    local = _local_work(rng, config, indent=8)
+
+    lines = [f"program ring_{seed}():", "    x = init(myrank)", "    i = 0"]
+    lines.append("    while i < steps:")
+    if checkpoint_position == "head":
+        lines.append("        checkpoint")
+    lines.append("        if myrank == 0:")
+    if checkpoint_position == "split":
+        lines.append("            checkpoint")
+    lines.append(f"            send(1, {payload})")
+    lines.append("            y = recv(nprocs - 1)")
+    lines.append("        else:")
+    lines.append("            y = recv(myrank - 1)")
+    lines.append("            send((myrank + 1) % nprocs, relax(y, myrank))")
+    if checkpoint_position == "split":
+        lines.append("            checkpoint")
+    lines.extend(local)
+    lines.append("        x = combine(x, y)")
+    lines.append("        i = i + 1")
+    return parse("\n".join(lines) + "\n")
+
+
+def _payload(rng: random.Random, config: GeneratorConfig) -> str:
+    choices = ["x", "combine(x, i)", "relax(x, myrank)"]
+    if config.allow_irregular_payload:
+        choices.append("combine(x, input(noise))")
+    return rng.choice(choices)
+
+
+def _local_work(
+    rng: random.Random, config: GeneratorConfig, indent: int
+) -> list[str]:
+    prefix = " " * indent
+    lines = []
+    if rng.random() < 0.7:
+        cost = rng.randint(1, config.max_compute_cost)
+        lines.append(f"{prefix}compute({cost})")
+    for index in range(rng.randint(0, config.max_extra_locals)):
+        lines.append(f"{prefix}t{index} = combine(x, {rng.randint(0, 99)})")
+    return lines
+
+
+def _nested_branch(rng: random.Random, indent: int) -> list[str]:
+    """A nested rank-range branch inside the even arm (no messaging)."""
+    prefix = " " * indent
+    threshold = rng.randint(1, 6)
+    return [
+        f"{prefix}if myrank < {threshold}:",
+        f"{prefix}    compute({rng.randint(1, 4)})",
+        f"{prefix}else:",
+        f"{prefix}    compute({rng.randint(1, 4)})",
+    ]

@@ -1,0 +1,316 @@
+"""Recursive-descent parser for MiniMP.
+
+The grammar (statements end at NEWLINE; suites are INDENT ... DEDENT)::
+
+    program    := "program" NAME "(" ")" ":" suite
+    suite      := NEWLINE INDENT stmt+ DEDENT
+    stmt       := simple NEWLINE | if | while | for
+    simple     := assign | send | checkpoint | compute | "pass"
+    assign     := NAME "=" (expr | recv_call | bcast_call)
+    recv_call  := "recv" "(" expr ")"
+    bcast_call := "bcast" "(" expr "," expr ")"
+    send       := "send" "(" expr "," expr ")"
+    compute    := "compute" "(" expr ")"
+    if         := "if" expr ":" suite ("elif" expr ":" suite)*
+                  ("else" ":" suite)?
+    while      := "while" expr ":" suite
+    for        := "for" NAME "in" "range" "(" expr ")" ":" suite
+
+    expr       := or_expr
+    or_expr    := and_expr ("or" and_expr)*
+    and_expr   := not_expr ("and" not_expr)*
+    not_expr   := "not" not_expr | comparison
+    comparison := arith (("=="|"!="|"<"|"<="|">"|">=") arith)?
+    arith      := term (("+"|"-") term)*
+    term       := unary (("*"|"/"|"//"|"%") unary)*
+    unary      := "-" unary | atom
+    atom       := NUMBER | "True" | "False" | "myrank" | "nprocs"
+                | "input" "(" NAME ")" | NAME ("(" args ")")?
+                | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.tokens import Token, TokenKind, tokenize
+
+_COMPARISON_OPS = ("==", "!=", "<", "<=", ">", ">=")
+_ADD_OPS = ("+", "-")
+_MUL_OPS = ("*", "/", "//", "%")
+
+
+class _Parser:
+    """Stateful cursor over a token list."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(message, token.line, token.column)
+
+    def _check(self, kind: TokenKind, value: str | None = None) -> bool:
+        token = self.current
+        return token.kind is kind and (value is None or token.value == value)
+
+    def _match(self, kind: TokenKind, value: str | None = None) -> Token | None:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, value: str | None = None) -> Token:
+        token = self._match(kind, value)
+        if token is None:
+            expected = value if value is not None else kind.name
+            raise self._error(
+                f"expected {expected!r}, found {self.current.value!r}"
+            )
+        return token
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        self._expect(TokenKind.KEYWORD, "program")
+        name = self._expect(TokenKind.NAME).value
+        self._expect(TokenKind.OP, "(")
+        self._expect(TokenKind.OP, ")")
+        self._expect(TokenKind.OP, ":")
+        body = self._parse_suite()
+        self._expect(TokenKind.EOF)
+        return ast.Program(name=name, body=body, line=1)
+
+    def _parse_suite(self) -> ast.Block:
+        self._expect(TokenKind.NEWLINE)
+        indent = self._expect(TokenKind.INDENT)
+        statements: list[ast.Stmt] = []
+        while not self._check(TokenKind.DEDENT):
+            statements.append(self._parse_statement())
+        self._expect(TokenKind.DEDENT)
+        return ast.Block(statements=statements, line=indent.line)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.current
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "if":
+                return self._parse_if()
+            if token.value == "while":
+                return self._parse_while()
+            if token.value == "for":
+                return self._parse_for()
+            if token.value == "send":
+                return self._finish_simple(self._parse_send())
+            if token.value == "checkpoint":
+                self._advance()
+                return self._finish_simple(ast.Checkpoint(line=token.line))
+            if token.value == "compute":
+                return self._finish_simple(self._parse_compute())
+            if token.value == "pass":
+                self._advance()
+                return self._finish_simple(ast.Pass(line=token.line))
+            raise self._error(f"unexpected keyword {token.value!r}")
+        if token.kind is TokenKind.NAME:
+            return self._finish_simple(self._parse_assignment())
+        raise self._error(f"unexpected token {token.value!r}")
+
+    def _finish_simple(self, stmt: ast.Stmt) -> ast.Stmt:
+        self._expect(TokenKind.NEWLINE)
+        return stmt
+
+    def _parse_send(self) -> ast.Send:
+        token = self._expect(TokenKind.KEYWORD, "send")
+        self._expect(TokenKind.OP, "(")
+        dest = self._parse_expr()
+        self._expect(TokenKind.OP, ",")
+        value = self._parse_expr()
+        self._expect(TokenKind.OP, ")")
+        return ast.Send(dest=dest, value=value, line=token.line)
+
+    def _parse_compute(self) -> ast.Compute:
+        token = self._expect(TokenKind.KEYWORD, "compute")
+        self._expect(TokenKind.OP, "(")
+        cost = self._parse_expr()
+        self._expect(TokenKind.OP, ")")
+        return ast.Compute(cost=cost, line=token.line)
+
+    def _parse_assignment(self) -> ast.Stmt:
+        target = self._expect(TokenKind.NAME)
+        self._expect(TokenKind.OP, "=")
+        if self._check(TokenKind.KEYWORD, "recv"):
+            self._advance()
+            self._expect(TokenKind.OP, "(")
+            source = self._parse_expr()
+            self._expect(TokenKind.OP, ")")
+            return ast.Recv(target=target.value, source=source, line=target.line)
+        if self._check(TokenKind.KEYWORD, "bcast"):
+            self._advance()
+            self._expect(TokenKind.OP, "(")
+            root = self._parse_expr()
+            self._expect(TokenKind.OP, ",")
+            value = self._parse_expr()
+            self._expect(TokenKind.OP, ")")
+            return ast.Bcast(
+                target=target.value, root=root, value=value, line=target.line
+            )
+        value = self._parse_expr()
+        return ast.Assign(target=target.value, value=value, line=target.line)
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect(TokenKind.KEYWORD, "if")
+        cond = self._parse_expr()
+        self._expect(TokenKind.OP, ":")
+        then_block = self._parse_suite()
+        else_block = ast.Block(line=token.line)
+        if self._check(TokenKind.KEYWORD, "elif"):
+            # Desugar `elif` into a nested If inside the else block.
+            elif_token = self.current
+            # Rewrite the token in place so _parse_if sees a plain `if`.
+            self._tokens[self._pos] = Token(
+                TokenKind.KEYWORD, "if", elif_token.line, elif_token.column
+            )
+            nested = self._parse_if()
+            else_block = ast.Block(statements=[nested], line=elif_token.line)
+        elif self._match(TokenKind.KEYWORD, "else"):
+            self._expect(TokenKind.OP, ":")
+            else_block = self._parse_suite()
+        return ast.If(
+            cond=cond, then_block=then_block, else_block=else_block, line=token.line
+        )
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect(TokenKind.KEYWORD, "while")
+        cond = self._parse_expr()
+        self._expect(TokenKind.OP, ":")
+        body = self._parse_suite()
+        return ast.While(cond=cond, body=body, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect(TokenKind.KEYWORD, "for")
+        var = self._expect(TokenKind.NAME).value
+        self._expect(TokenKind.KEYWORD, "in")
+        self._expect(TokenKind.KEYWORD, "range")
+        self._expect(TokenKind.OP, "(")
+        count = self._parse_expr()
+        self._expect(TokenKind.OP, ")")
+        self._expect(TokenKind.OP, ":")
+        body = self._parse_suite()
+        return ast.For(var=var, count=count, body=body, line=token.line)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._check(TokenKind.KEYWORD, "or"):
+            token = self._advance()
+            right = self._parse_and()
+            left = ast.BinOp(op="or", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._check(TokenKind.KEYWORD, "and"):
+            token = self._advance()
+            right = self._parse_not()
+            left = ast.BinOp(op="and", left=left, right=right, line=token.line)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._check(TokenKind.KEYWORD, "not"):
+            token = self._advance()
+            operand = self._parse_not()
+            return ast.UnaryOp(op="not", operand=operand, line=token.line)
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_arith()
+        if self.current.kind is TokenKind.OP and self.current.value in _COMPARISON_OPS:
+            token = self._advance()
+            right = self._parse_arith()
+            return ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_arith(self) -> ast.Expr:
+        left = self._parse_term()
+        while self.current.kind is TokenKind.OP and self.current.value in _ADD_OPS:
+            token = self._advance()
+            right = self._parse_term()
+            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_term(self) -> ast.Expr:
+        left = self._parse_unary()
+        while self.current.kind is TokenKind.OP and self.current.value in _MUL_OPS:
+            token = self._advance()
+            right = self._parse_unary()
+            left = ast.BinOp(op=token.value, left=left, right=right, line=token.line)
+        return left
+
+    def _parse_unary(self) -> ast.Expr:
+        if self._check(TokenKind.OP, "-"):
+            token = self._advance()
+            operand = self._parse_unary()
+            return ast.UnaryOp(op="-", operand=operand, line=token.line)
+        return self._parse_atom()
+
+    def _parse_atom(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.NUMBER:
+            self._advance()
+            return ast.Const(value=int(token.value), line=token.line)
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "True":
+                self._advance()
+                return ast.Const(value=1, line=token.line)
+            if token.value == "False":
+                self._advance()
+                return ast.Const(value=0, line=token.line)
+            if token.value == "myrank":
+                self._advance()
+                return ast.MyRank(line=token.line)
+            if token.value == "nprocs":
+                self._advance()
+                return ast.NProcs(line=token.line)
+            if token.value == "input":
+                self._advance()
+                self._expect(TokenKind.OP, "(")
+                label = self._expect(TokenKind.NAME).value
+                self._expect(TokenKind.OP, ")")
+                return ast.InputData(label=label, line=token.line)
+            raise self._error(f"unexpected keyword {token.value!r} in expression")
+        if token.kind is TokenKind.NAME:
+            self._advance()
+            if self._match(TokenKind.OP, "("):
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.OP, ")"):
+                    args.append(self._parse_expr())
+                    while self._match(TokenKind.OP, ","):
+                        args.append(self._parse_expr())
+                self._expect(TokenKind.OP, ")")
+                return ast.Call(func=token.value, args=args, line=token.line)
+            return ast.Name(ident=token.value, line=token.line)
+        if self._match(TokenKind.OP, "("):
+            expr = self._parse_expr()
+            self._expect(TokenKind.OP, ")")
+            return expr
+        raise self._error(f"unexpected token {token.value!r} in expression")
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniMP *source* text into a :class:`~repro.lang.Program`."""
+    return _Parser(tokenize(source)).parse_program()

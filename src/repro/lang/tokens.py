@@ -1,0 +1,166 @@
+"""Lexer for MiniMP.
+
+MiniMP uses Python-style significant indentation. The lexer converts
+source text into a flat token stream including synthetic ``INDENT`` and
+``DEDENT`` tokens, which keeps the parser a plain recursive-descent
+parser with no layout logic.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories of MiniMP tokens."""
+
+    NUMBER = "number"
+    NAME = "name"
+    KEYWORD = "keyword"
+    OP = "op"
+    NEWLINE = "newline"
+    INDENT = "indent"
+    DEDENT = "dedent"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "if",
+        "else",
+        "elif",
+        "while",
+        "for",
+        "in",
+        "range",
+        "send",
+        "recv",
+        "bcast",
+        "checkpoint",
+        "compute",
+        "pass",
+        "and",
+        "or",
+        "not",
+        "myrank",
+        "nprocs",
+        "input",
+        "True",
+        "False",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes so the
+# scanner prefers the longest match.
+_OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "//",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "(",
+    ")",
+    ",",
+    ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.value!r}, {self.line}:{self.column})"
+
+
+def _scan_line(text: str, line_no: int, start_col: int) -> list[Token]:
+    """Scan the code portion of one physical line into tokens."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        col = start_col + i
+        if ch in " \t":
+            i += 1
+            continue
+        if ch == "#":
+            break
+        if ch.isdigit():
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(Token(TokenKind.NUMBER, text[i:j], line_no, col))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.NAME
+            tokens.append(Token(kind, word, line_no, col))
+            i = j
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(TokenKind.OP, op, line_no, col))
+                i += len(op)
+                break
+        else:
+            raise LexerError(f"unexpected character {ch!r}", line_no, col)
+    return tokens
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniMP *source* into a token list ending with ``EOF``.
+
+    Blank lines and comment-only lines are skipped; indentation changes
+    produce ``INDENT``/``DEDENT`` tokens. Tabs count as a single space of
+    indentation, so sources should indent with spaces (as all shipped
+    programs do).
+    """
+    tokens: list[Token] = []
+    indent_stack = [0]
+    line_no = 0
+    for raw_line in source.splitlines():
+        line_no += 1
+        stripped = raw_line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        indent = len(raw_line) - len(raw_line.lstrip(" \t"))
+        if indent > indent_stack[-1]:
+            indent_stack.append(indent)
+            tokens.append(Token(TokenKind.INDENT, "", line_no, 0))
+        else:
+            while indent < indent_stack[-1]:
+                indent_stack.pop()
+                tokens.append(Token(TokenKind.DEDENT, "", line_no, 0))
+            if indent != indent_stack[-1]:
+                raise LexerError("inconsistent dedent", line_no, indent)
+        line_tokens = _scan_line(raw_line.lstrip(" \t"), line_no, indent)
+        if line_tokens:
+            tokens.extend(line_tokens)
+            tokens.append(Token(TokenKind.NEWLINE, "", line_no, len(raw_line)))
+    while indent_stack[-1] > 0:
+        indent_stack.pop()
+        tokens.append(Token(TokenKind.DEDENT, "", line_no + 1, 0))
+    tokens.append(Token(TokenKind.EOF, "", line_no + 1, 0))
+    return tokens

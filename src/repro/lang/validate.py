@@ -1,0 +1,222 @@
+"""Static program validation (a lint front end for MiniMP).
+
+Catches the mistakes that would otherwise surface as runtime
+:class:`~repro.errors.SimulationError` or as confusing Phase II/III
+failures, and reports them all at once with line numbers:
+
+- **use-before-assignment** of variables (modulo parameters the caller
+  declares);
+- **definitely-out-of-range endpoints** (e.g. ``send(nprocs, ...)`` or
+  a negative constant destination) — checked conservatively: a
+  diagnostic is raised only when the endpoint is out of range for
+  *every* system size in the universe;
+- **unbalanced checkpoint placement** (paths with differing checkpoint
+  counts), reported as a warning since Phase I/III can repair it;
+- **self-sends** (``send(myrank, ...)``), which deadlock under blocking
+  receive semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attributes.expressions import abstract_eval
+from repro.lang import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One validation finding."""
+
+    severity: str  # "error" | "warning"
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.severity}: line {self.line}: {self.message}"
+
+
+def validate_program(
+    program: ast.Program,
+    params: tuple[str, ...] = ("steps",),
+    universe_sizes: tuple[int, ...] = tuple(range(2, 18)),
+) -> list[Diagnostic]:
+    """Validate *program*; returns all diagnostics (empty = clean).
+
+    *params* names the run-time parameters considered pre-bound (free
+    names outside this set are use-before-assignment errors).
+    """
+    diagnostics: list[Diagnostic] = []
+    _check_bindings(program.body, set(params), diagnostics)
+    _check_endpoints(program, universe_sizes, diagnostics)
+    _check_balance(program, diagnostics)
+    diagnostics.sort(key=lambda d: (d.line, d.message))
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Use-before-assignment
+# ---------------------------------------------------------------------------
+
+
+def _expr_names(expr: ast.Expr) -> list[tuple[str, int]]:
+    return [
+        (node.ident, node.line)
+        for node in ast.walk(expr)
+        if isinstance(node, ast.Name)
+    ]
+
+
+def _check_bindings(
+    block: ast.Block, bound: set[str], diagnostics: list[Diagnostic]
+) -> set[str]:
+    """Flow-sensitive binding check; returns bindings live after *block*.
+
+    Branch joins keep only names bound on **both** arms; loop bodies are
+    analysed with their entry bindings (a name first bound inside the
+    body counts as bound for later statements of the same iteration).
+    """
+    live = set(bound)
+    for stmt in block.statements:
+        for expr in _statement_exprs(stmt):
+            for name, line in _expr_names(expr):
+                if name not in live:
+                    diagnostics.append(
+                        Diagnostic(
+                            "error",
+                            line,
+                            f"variable {name!r} may be used before assignment",
+                        )
+                    )
+        if isinstance(stmt, (ast.Assign, ast.Recv, ast.Bcast)):
+            live.add(stmt.target)
+        elif isinstance(stmt, ast.If):
+            then_live = _check_bindings(stmt.then_block, live, diagnostics)
+            else_live = _check_bindings(stmt.else_block, live, diagnostics)
+            live = then_live & else_live
+        elif isinstance(stmt, ast.While):
+            _check_bindings(stmt.body, live, diagnostics)
+        elif isinstance(stmt, ast.For):
+            _check_bindings(stmt.body, live | {stmt.var}, diagnostics)
+    return live
+
+
+def _statement_exprs(stmt: ast.Stmt) -> list[ast.Expr]:
+    if isinstance(stmt, ast.Assign):
+        return [stmt.value]
+    if isinstance(stmt, ast.Send):
+        return [stmt.dest, stmt.value]
+    if isinstance(stmt, ast.Recv):
+        return [stmt.source]
+    if isinstance(stmt, ast.Bcast):
+        return [stmt.root, stmt.value]
+    if isinstance(stmt, ast.Compute):
+        return [stmt.cost]
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.cond]
+    if isinstance(stmt, ast.For):
+        return [stmt.count]
+    return []
+
+
+# ---------------------------------------------------------------------------
+# Endpoint range and self-send checks
+# ---------------------------------------------------------------------------
+
+
+def _check_endpoints(
+    program: ast.Program,
+    universe_sizes: tuple[int, ...],
+    diagnostics: list[Diagnostic],
+) -> None:
+    for node in ast.walk(program):
+        if isinstance(node, ast.Send):
+            _check_endpoint(node.dest, node.line, "destination",
+                            universe_sizes, diagnostics)
+            _check_self_send(node, universe_sizes, diagnostics)
+        elif isinstance(node, ast.Recv):
+            _check_endpoint(node.source, node.line, "source",
+                            universe_sizes, diagnostics)
+        elif isinstance(node, ast.Bcast):
+            _check_endpoint(node.root, node.line, "broadcast root",
+                            universe_sizes, diagnostics)
+
+
+def _check_endpoint(
+    expr: ast.Expr,
+    line: int,
+    role: str,
+    universe_sizes: tuple[int, ...],
+    diagnostics: list[Diagnostic],
+) -> None:
+    """Flag endpoints out of range for EVERY rank in EVERY size."""
+    ever_valid = False
+    ever_known = False
+    for nprocs in universe_sizes:
+        for rank in range(nprocs):
+            value = abstract_eval(expr, rank, nprocs)
+            if value is None:
+                return  # not statically decidable: no diagnostic
+            ever_known = True
+            if 0 <= value < nprocs:
+                ever_valid = True
+    if ever_known and not ever_valid:
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                line,
+                f"{role} is out of range [0, nprocs) for every system size",
+            )
+        )
+
+
+def _check_self_send(
+    node: ast.Send,
+    universe_sizes: tuple[int, ...],
+    diagnostics: list[Diagnostic],
+) -> None:
+    """Flag sends whose destination always equals the sender's rank."""
+    always_self = True
+    ever_known = False
+    for nprocs in universe_sizes:
+        for rank in range(nprocs):
+            value = abstract_eval(node.dest, rank, nprocs)
+            if value is None:
+                return
+            ever_known = True
+            if value != rank:
+                always_self = False
+    if ever_known and always_self:
+        diagnostics.append(
+            Diagnostic(
+                "error",
+                node.line,
+                "send targets the sender itself (deadlocks under "
+                "blocking receives)",
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint balance
+# ---------------------------------------------------------------------------
+
+
+def _check_balance(
+    program: ast.Program, diagnostics: list[Diagnostic]
+) -> None:
+    from repro.cfg.builder import build_cfg
+    from repro.cfg.paths import enumerate_checkpoints
+
+    enumeration = enumerate_checkpoints(build_cfg(program))
+    if not enumeration.balanced:
+        counts = sorted({len(seq) for seq in enumeration.per_path})
+        diagnostics.append(
+            Diagnostic(
+                "warning",
+                program.line,
+                "checkpoint counts differ across paths "
+                f"{counts}; straight cuts are undefined until Phase I/III "
+                "balance them",
+            )
+        )

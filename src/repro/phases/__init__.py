@@ -1,0 +1,38 @@
+"""The three offline phases of the paper's approach (Section 3).
+
+- Phase I (:mod:`repro.phases.insertion`): static checkpoint insertion
+  at (near-)optimal intervals, with path balancing.
+- Phase II (:mod:`repro.phases.matching`): Algorithm 3.1 — match every
+  receive node with its candidate send node(s) and build the extended
+  CFG.
+- Phase III (:mod:`repro.phases.placement`): Algorithm 3.2 — move
+  checkpoint statements until Condition 1 holds, so every straight cut
+  of checkpoints is a recovery line in every future execution
+  (Theorem 3.2, checked by :mod:`repro.phases.verification`).
+- :mod:`repro.phases.pipeline` runs all three end to end.
+"""
+
+from repro.phases.insertion import InsertionPlan, insert_checkpoints
+from repro.phases.matching import build_extended_cfg
+from repro.phases.pipeline import TransformResult, transform
+from repro.phases.placement import PlacementResult, ensure_recovery_lines
+from repro.phases.verification import (
+    VerificationResult,
+    Violation,
+    check_condition1,
+    verify_program,
+)
+
+__all__ = [
+    "InsertionPlan",
+    "PlacementResult",
+    "TransformResult",
+    "VerificationResult",
+    "Violation",
+    "build_extended_cfg",
+    "check_condition1",
+    "ensure_recovery_lines",
+    "insert_checkpoints",
+    "transform",
+    "verify_program",
+]

@@ -1,0 +1,146 @@
+"""Phase II: generating the extended CFG (paper §3.2, Algorithm 3.1).
+
+For every receive node we determine, per enumerated path, its *source
+attribute* (path constraints + source parameter) and compare it against
+the *destination attribute* of every send node occurrence. Pairs whose
+attributes do not contradict — decided exactly over a finite universe
+of system sizes — become message edges of the extended CFG.
+
+Two deliberate engineering choices, both documented in DESIGN.md:
+
+- **Collective statements** are pre-matched: the builder lowers
+  ``bcast`` to a collective send/recv pair from the same statement, and
+  the paper notes such matches are trivially determined.
+- **We keep every compatible match**, not just the first unmatched one.
+  Lemma 3.1 only needs the true sender to be *among* the matches; a
+  superset of message edges can only make Phase III more conservative,
+  never unsafe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.attributes.contradiction import (
+    CompatibilityReport,
+    ContextTable,
+    Universe,
+    tables_compatible,
+)
+from repro.attributes.dataflow import classify_variables, single_assignments
+from repro.attributes.domain import node_contexts
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import CFG, ExtendedCFG
+from repro.cfg.nodes import NodeKind
+from repro.cfg.paths import acyclic_paths
+from repro.errors import MatchingError
+from repro.lang import ast_nodes as ast
+
+
+@dataclass
+class MatchingResult:
+    """The extended CFG plus diagnostics from the matching pass."""
+
+    extended: ExtendedCFG
+    report: CompatibilityReport = field(default_factory=CompatibilityReport)
+    unmatched_recv_ids: tuple[int, ...] = ()
+
+
+def build_extended_cfg(
+    program: ast.Program,
+    cfg: CFG | None = None,
+    universe: Universe = Universe(),
+    require_complete: bool = True,
+) -> ExtendedCFG:
+    """Run Algorithm 3.1 on *program*; return its extended CFG.
+
+    With *require_complete* (the default), a receive node that matches
+    no send node raises :class:`~repro.errors.MatchingError` — such a
+    program would block forever on that receive, so the analysis refuses
+    it. Pass ``False`` to get the partial extended CFG for diagnostics.
+    """
+    return match_messages(
+        program, cfg=cfg, universe=universe, require_complete=require_complete
+    ).extended
+
+
+def match_messages(
+    program: ast.Program,
+    cfg: CFG | None = None,
+    universe: Universe = Universe(),
+    require_complete: bool = True,
+) -> MatchingResult:
+    """Run Algorithm 3.1 and return the extended CFG with diagnostics."""
+    if cfg is None:
+        cfg = build_cfg(program)
+    extended = ExtendedCFG(cfg)
+    report = CompatibilityReport()
+
+    _match_collectives(cfg, extended)
+
+    classes = classify_variables(program)
+    defs = single_assignments(program)
+    paths = acyclic_paths(cfg)
+    contexts = node_contexts(cfg, paths, classes)
+    send_ctxs = [
+        c
+        for c in contexts
+        if c.kind is NodeKind.SEND and not cfg.node(c.node_id).collective
+    ]
+    recv_ctxs = [
+        c
+        for c in contexts
+        if c.kind is NodeKind.RECV and not cfg.node(c.node_id).collective
+    ]
+
+    send_tables = [ContextTable(c, defs, universe) for c in send_ctxs]
+    recv_tables = [ContextTable(c, defs, universe) for c in recv_ctxs]
+    matched_pairs: set[tuple[int, int]] = set()
+    for recv_table in recv_tables:
+        recv_ctx = recv_table.ctx
+        for send_table in send_tables:
+            send_ctx = send_table.ctx
+            pair = (send_ctx.node_id, recv_ctx.node_id)
+            if pair in matched_pairs:
+                continue
+            witness = tables_compatible(send_table, recv_table)
+            report.record(*pair, witness)
+            if witness is not None:
+                matched_pairs.add(pair)
+                extended.add_message_edge(
+                    send_ctx.node_id,
+                    recv_ctx.node_id,
+                    reason=(
+                        f"n={witness.nprocs}: "
+                        f"P{witness.sender} -> P{witness.receiver}"
+                    ),
+                )
+
+    unmatched = tuple(
+        node.node_id
+        for node in cfg.recv_nodes()
+        if not extended.matches_for_recv(node.node_id)
+    )
+    if unmatched and require_complete:
+        labels = ", ".join(repr(cfg.node(i)) for i in unmatched)
+        raise MatchingError(
+            f"receive node(s) with no matching send: {labels}"
+        )
+    return MatchingResult(
+        extended=extended, report=report, unmatched_recv_ids=unmatched
+    )
+
+
+def _match_collectives(cfg: CFG, extended: ExtendedCFG) -> None:
+    """Pre-match send/recv node pairs lowered from the same collective."""
+    by_stmt: dict[int, dict[NodeKind, int]] = {}
+    for node in cfg.nodes():
+        if node.collective and node.stmt is not None:
+            by_stmt.setdefault(node.stmt.node_id, {})[node.kind] = node.node_id
+    for stmt_id, pair in by_stmt.items():
+        if NodeKind.SEND in pair and NodeKind.RECV in pair:
+            extended.add_message_edge(
+                pair[NodeKind.SEND],
+                pair[NodeKind.RECV],
+                reason=f"collective stmt #{stmt_id}",
+            )

@@ -1,0 +1,69 @@
+"""End-to-end offline transformation (all three phases).
+
+:func:`transform` is the library's headline entry point: feed it a
+MiniMP program (with or without checkpoint statements) and get back a
+program whose every straight cut of checkpoints is a recovery line in
+every execution — the paper's coordination-free checkpointing protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.attributes.contradiction import Universe
+from repro.lang import ast_nodes as ast
+from repro.phases.insertion import CostModel, InsertionPlan, insert_checkpoints
+from repro.phases.placement import PlacementResult, ensure_recovery_lines
+from repro.phases.verification import VerificationResult, verify_program
+
+
+@dataclass
+class TransformResult:
+    """Everything the offline pipeline produced.
+
+    Attributes:
+        program: The final transformed program.
+        insertion: Phase I's plan (None when the input already had
+            checkpoints and insertion was skipped).
+        placement: Phase III's result, including the moves performed.
+        verification: The final Condition 1 check of the *output*
+            program — always ``ok`` when transform returns.
+    """
+
+    program: ast.Program
+    insertion: InsertionPlan | None
+    placement: PlacementResult
+    verification: VerificationResult
+
+
+def transform(
+    program: ast.Program,
+    cost_model: CostModel = CostModel(),
+    loop_optimization: bool = False,
+    universe: Universe = Universe(),
+    force_insertion: bool = False,
+) -> TransformResult:
+    """Apply Phases I–III to *program* (never mutated) and verify.
+
+    Phase I runs only when the program has no checkpoint statements
+    (it is optional per the paper) unless *force_insertion* is set.
+    """
+    insertion: InsertionPlan | None = None
+    current = program
+    if force_insertion or ast.count_statements(program, ast.Checkpoint) == 0:
+        insertion = insert_checkpoints(program, model=cost_model)
+        current = insertion.program
+    placement = ensure_recovery_lines(
+        current, loop_optimization=loop_optimization, universe=universe
+    )
+    verification = verify_program(
+        placement.program,
+        include_back_edge_paths=not loop_optimization,
+    )
+    verification.raise_if_failed()
+    return TransformResult(
+        program=placement.program,
+        insertion=insertion,
+        placement=placement,
+        verification=verification,
+    )

@@ -1,0 +1,179 @@
+"""Condition 1 / Theorem 3.2 verification (paper §3.3).
+
+Condition 1: for every ``i`` and every collection ``S_i`` of checkpoint
+nodes, there is no path in the extended CFG between any two (distinct)
+members of ``S_i``. Theorem 3.2 states this is necessary and sufficient
+for every straight cut ``R_i`` to be a recovery line in every further
+execution.
+
+Two modes:
+
+- ``include_back_edge_paths=True`` (paper default): paths may traverse
+  the CFG's backward edges. The Figure 6 discussion shows such paths
+  are dangerous in general, so the conservative checker forbids them.
+- ``include_back_edge_paths=False`` (the paper's loop optimisation):
+  backward edges are removed before searching, so only same-iteration
+  paths count; cross-iteration orderings are instead guaranteed by the
+  message order itself (validated empirically by the simulator tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cfg.dominators import find_back_edges
+from repro.cfg.graph import ExtendedCFG
+from repro.cfg.paths import CheckpointEnumeration, enumerate_checkpoints
+from repro.errors import VerificationError
+from repro.lang import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A Condition 1 violation: a path between two same-index nodes.
+
+    ``index`` is the paper's ``i`` (1-based). ``path`` is the offending
+    node-id path from ``src`` to ``dst`` in the extended CFG;
+    ``uses_back_edge`` records whether it wraps around a loop.
+    """
+
+    index: int
+    src: int
+    dst: int
+    path: tuple[int, ...]
+    uses_back_edge: bool
+
+    def describe(self, ext: ExtendedCFG) -> str:
+        """Human-readable rendering of the offending path."""
+        nodes = " -> ".join(repr(ext.cfg.node(n)) for n in self.path)
+        return f"S_{self.index}: {nodes}"
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of a Condition 1 check."""
+
+    ok: bool
+    violations: tuple[Violation, ...] = ()
+    enumeration: CheckpointEnumeration | None = None
+    balanced: bool = True
+    reason: str = ""
+
+    def raise_if_failed(self) -> None:
+        """Raise :class:`~repro.errors.VerificationError` unless ok."""
+        if not self.ok:
+            raise VerificationError(self.reason or "Condition 1 violated")
+
+
+def check_condition1(
+    ext: ExtendedCFG,
+    include_back_edge_paths: bool = True,
+    first_only: bool = False,
+) -> VerificationResult:
+    """Check Condition 1 on the extended CFG *ext*.
+
+    Returns every violation found (or only the first when *first_only*),
+    so Phase III can pick one to repair and callers can report all.
+    """
+    enumeration = enumerate_checkpoints(ext.cfg)
+    if not enumeration.balanced:
+        counts = sorted({len(seq) for seq in enumeration.per_path})
+        return VerificationResult(
+            ok=False,
+            enumeration=enumeration,
+            balanced=False,
+            reason=(
+                "paths carry different checkpoint counts "
+                f"{counts}; straight cuts are undefined"
+            ),
+        )
+    back_edges = {(e.src, e.dst) for e in find_back_edges(ext.cfg)}
+    exclude = () if include_back_edge_paths else tuple(back_edges)
+    violations: list[Violation] = []
+    for index, column in enumerate(enumeration.columns, start=1):
+        members = sorted(column)
+        for src in members:
+            for dst in members:
+                if src == dst:
+                    continue
+                path = ext.find_path(src, dst, exclude_back_edges=exclude)
+                if path is None:
+                    continue
+                uses_back = any(
+                    (path[k], path[k + 1]) in back_edges
+                    for k in range(len(path) - 1)
+                )
+                violations.append(
+                    Violation(
+                        index=index,
+                        src=src,
+                        dst=dst,
+                        path=tuple(path),
+                        uses_back_edge=uses_back,
+                    )
+                )
+                if first_only:
+                    return _result(violations, enumeration, ext)
+    return _result(violations, enumeration, ext)
+
+
+def _result(
+    violations: list[Violation],
+    enumeration: CheckpointEnumeration,
+    ext: ExtendedCFG,
+) -> VerificationResult:
+    if not violations:
+        return VerificationResult(ok=True, enumeration=enumeration)
+    return VerificationResult(
+        ok=False,
+        violations=tuple(violations),
+        enumeration=enumeration,
+        reason="; ".join(v.describe(ext) for v in violations[:3]),
+    )
+
+
+def verify_program(
+    program: ast.Program,
+    include_back_edge_paths: bool = True,
+) -> VerificationResult:
+    """Build the extended CFG of *program* and check Condition 1."""
+    from repro.phases.matching import build_extended_cfg
+
+    ext = build_extended_cfg(program)
+    return check_condition1(
+        ext, include_back_edge_paths=include_back_edge_paths
+    )
+
+
+@dataclass
+class OrderingConstraint:
+    """The paper's loop optimisation artifact.
+
+    When a violating path between ``earlier`` and ``later`` exists only
+    through backward edges, instead of hoisting the checkpoint out of
+    the loop the paper requires that, in every execution, the
+    checkpoint instance due to ``earlier`` completes before the one due
+    to ``later``. The constraint is discharged by message order (no
+    coordination); the simulator's trace checker asserts it.
+    """
+
+    earlier: int
+    later: int
+    index: int
+
+
+def loop_ordering_constraints(
+    ext: ExtendedCFG,
+) -> tuple[OrderingConstraint, ...]:
+    """Derive the ordering constraints of back-edge-only violations."""
+    full = check_condition1(ext, include_back_edge_paths=True)
+    same_iter = check_condition1(ext, include_back_edge_paths=False)
+    if not full.balanced:
+        return ()
+    same_iter_pairs = {(v.index, v.src, v.dst) for v in same_iter.violations}
+    constraints = [
+        OrderingConstraint(earlier=v.dst, later=v.src, index=v.index)
+        for v in full.violations
+        if (v.index, v.src, v.dst) not in same_iter_pairs
+    ]
+    return tuple(constraints)

@@ -1,0 +1,42 @@
+"""Checkpointing protocols.
+
+The paper's taxonomy (§1) as runnable protocol implementations over the
+simulator:
+
+- :class:`ApplicationDrivenProtocol` — the paper's contribution: the
+  transformed program's own ``checkpoint`` statements do all the work;
+  zero control messages, zero forced checkpoints; recovery restores the
+  deepest common straight cut.
+- :class:`SyncAndStopProtocol` — coordinated; stop the world, everyone
+  checkpoints, resume (``5(n-1)`` control messages per round).
+- :class:`ChandyLamportProtocol` — coordinated, on-the-fly distributed
+  snapshots via markers.
+- :class:`UncoordinatedProtocol` — independent periodic checkpoints;
+  recovery searches for a consistent cut and can domino.
+- :class:`InducedProtocol` — communication-induced (BCS-style index
+  piggybacking with forced checkpoints).
+
+Every protocol runs the same workload on the same engine; only
+checkpoint triggering, control traffic, and recovery differ, so the
+stats are directly comparable.
+"""
+
+from repro.protocols.application_driven import ApplicationDrivenProtocol
+from repro.protocols.base import CheckpointingProtocol
+from repro.protocols.chandy_lamport import ChandyLamportProtocol
+from repro.protocols.clock_tracking import ClockTrackingProtocol
+from repro.protocols.induced import InducedProtocol
+from repro.protocols.logging_based import MessageLoggingProtocol
+from repro.protocols.sync_and_stop import SyncAndStopProtocol
+from repro.protocols.uncoordinated import UncoordinatedProtocol
+
+__all__ = [
+    "ApplicationDrivenProtocol",
+    "ChandyLamportProtocol",
+    "CheckpointingProtocol",
+    "ClockTrackingProtocol",
+    "InducedProtocol",
+    "MessageLoggingProtocol",
+    "SyncAndStopProtocol",
+    "UncoordinatedProtocol",
+]

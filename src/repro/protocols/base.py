@@ -1,0 +1,54 @@
+"""Common protocol scaffolding."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import RecoveryError
+from repro.runtime.hooks import ProtocolHooks
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import Simulation
+    from repro.runtime.storage import StoredCheckpoint
+
+
+class CheckpointingProtocol(ProtocolHooks):
+    """Base class with shared recovery helpers."""
+
+    name = "abstract"
+
+    def restore_common_number(self, sim: "Simulation", at_time: float) -> int:
+        """Roll back to the deepest common checkpoint number.
+
+        This is straight-cut recovery: with checkpoint number ``i`` =
+        the largest number every process has reached (0 = initial
+        state), restore each process's latest number-``i`` checkpoint.
+        Returns ``i``.
+        """
+        ranks = list(range(sim.n))
+        common = sim.storage.max_common_number(ranks)
+        if common < 0:
+            raise RecoveryError("storage has no checkpoints at all")
+        cut = {
+            rank: sim.storage.latest_with_number(rank, common) for rank in ranks
+        }
+        sim.restore_cut(cut, at_time)
+        return common
+
+    def restore_tagged_round(
+        self, sim: "Simulation", tag: str, at_time: float
+    ) -> None:
+        """Roll back to the per-process checkpoints carrying *tag*.
+
+        Used by coordinated protocols: *tag* identifies a completed
+        round, so every process has exactly one matching checkpoint.
+        """
+        cut: dict[int, "StoredCheckpoint"] = {}
+        for rank in range(sim.n):
+            checkpoint = sim.storage.latest_with_tag(rank, tag)
+            if checkpoint is None:
+                raise RecoveryError(
+                    f"rank {rank} has no checkpoint for round {tag!r}"
+                )
+            cut[rank] = checkpoint
+        sim.restore_cut(cut, at_time)

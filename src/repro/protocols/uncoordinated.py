@@ -1,0 +1,68 @@
+"""Uncoordinated (independent) checkpointing.
+
+Every process checkpoints on its own timer, staggered per rank so
+checkpoints never align — the setting where recovery must *search* for
+a consistent cut among the saved checkpoints and rollback can cascade
+(the domino effect, §1 of the paper). No control messages are ever
+sent; the cost shows up entirely at recovery time.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.causality.rollback_graph import max_consistent_positions
+from repro.protocols.base import CheckpointingProtocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.engine import Simulation
+
+
+class UncoordinatedProtocol(CheckpointingProtocol):
+    """Independent periodic checkpoints; clock-based rollback search."""
+
+    name = "uncoordinated"
+
+    def __init__(self, period: float = 50.0, stagger: float = 0.5) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period!r}")
+        self.period = period
+        self.stagger = stagger
+        self.domino_steps: list[int] = []
+        self.rollback_depths: list[dict[int, int]] = []
+
+    def on_start(self, sim: "Simulation") -> None:
+        for rank in range(sim.n):
+            first = self.period * (1.0 + self.stagger * rank / max(1, sim.n))
+            sim.schedule_timer(rank, first, "indep")
+
+    def on_timer(
+        self, sim: "Simulation", rank: int, tag: str, time: float
+    ) -> None:
+        if tag != "indep":
+            return
+        proc = sim.procs[rank]
+        if proc.status not in ("crashed", "done"):
+            sim.take_checkpoint(rank, time, tag="indep")
+        sim.schedule_timer(rank, time + self.period, "indep")
+
+    def on_failure(self, sim: "Simulation", rank: int, time: float) -> None:
+        """Search for the maximal consistent cut; domino if needed.
+
+        Every process always has its number-0 (initial) checkpoint, so
+        the fixpoint always lands on a valid cut — in the worst case the
+        full restart the domino effect forces.
+        """
+        histories = {r: sim.storage.history(r) for r in range(sim.n)}
+        positions, domino = max_consistent_positions(
+            {r: [c.clock for c in h] for r, h in histories.items()}
+        )
+        cut = {}
+        depths = {}
+        for r, history in histories.items():
+            pos = max(0, positions[r])  # position 0 is the initial state
+            cut[r] = history[pos]
+            depths[r] = len(history) - 1 - pos
+        self.domino_steps.append(domino)
+        self.rollback_depths.append(depths)
+        sim.restore_cut(cut, time)

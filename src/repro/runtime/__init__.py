@@ -1,0 +1,48 @@
+"""Discrete-event distributed-system simulator.
+
+This package is the substrate replacing the paper's cluster testbed: it
+executes MiniMP programs on ``n`` simulated processes connected by
+reliable FIFO channels, with per-statement time accounting, stable
+storage for checkpoints, failure injection, and rollback recovery. The
+interpreter keeps an explicit control stack (no native coroutines), so
+a checkpoint is a genuine restorable snapshot of process state.
+"""
+
+from repro.runtime.effects import (
+    BcastRecvEffect,
+    BcastSendEffect,
+    CheckpointEffect,
+    ComputeEffect,
+    Effect,
+    LocalEffect,
+    RecvEffect,
+    SendEffect,
+)
+from repro.runtime.engine import RuntimeCosts, Simulation, SimulationResult
+from repro.runtime.failures import FailurePlan, exponential_failures
+from repro.runtime.interpreter import ProcessInterpreter, ProcessSnapshot
+from repro.runtime.network import Message, Network
+from repro.runtime.storage import StableStorage
+from repro.runtime.trace import ExecutionTrace
+
+__all__ = [
+    "BcastRecvEffect",
+    "BcastSendEffect",
+    "CheckpointEffect",
+    "ComputeEffect",
+    "Effect",
+    "ExecutionTrace",
+    "FailurePlan",
+    "LocalEffect",
+    "Message",
+    "Network",
+    "ProcessInterpreter",
+    "ProcessSnapshot",
+    "RecvEffect",
+    "RuntimeCosts",
+    "SendEffect",
+    "Simulation",
+    "SimulationResult",
+    "StableStorage",
+    "exponential_failures",
+]

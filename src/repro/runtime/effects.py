@@ -1,0 +1,75 @@
+"""Interpreter effects.
+
+The interpreter advances one statement at a time and *yields an effect*
+describing what the statement needs from the outside world; the engine
+performs it (accounting for simulated time, routing messages, taking
+snapshots) and resumes the interpreter. This keeps the interpreter pure
+and the engine in full control of time and interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Base class for effects."""
+
+
+@dataclass(frozen=True)
+class LocalEffect(Effect):
+    """A cheap local statement (assignment, pass, branch evaluation)."""
+
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ComputeEffect(Effect):
+    """``compute(cost)``: opaque local work of the given duration."""
+
+    cost: float
+
+
+@dataclass(frozen=True)
+class SendEffect(Effect):
+    """Point-to-point send of *value* to rank *dest*."""
+
+    dest: int
+    value: int
+    stmt: ast.Send
+
+
+@dataclass(frozen=True)
+class RecvEffect(Effect):
+    """Blocking receive from rank *source* into variable *target*."""
+
+    source: int
+    target: str
+    stmt: ast.Recv
+
+
+@dataclass(frozen=True)
+class BcastSendEffect(Effect):
+    """Collective broadcast, root side: deliver *value* to every rank."""
+
+    value: int
+    stmt: ast.Bcast
+
+
+@dataclass(frozen=True)
+class BcastRecvEffect(Effect):
+    """Collective broadcast, non-root side: blocking receive from *root*."""
+
+    root: int
+    target: str
+    stmt: ast.Bcast
+
+
+@dataclass(frozen=True)
+class CheckpointEffect(Effect):
+    """``checkpoint``: snapshot process state to stable storage."""
+
+    stmt: ast.Checkpoint

@@ -1,0 +1,576 @@
+"""The discrete-event simulation engine.
+
+Each process executes its MiniMP interpreter one effect at a time; the
+engine charges simulated time per effect, routes messages over the FIFO
+network, maintains vector clocks, records the trace, takes snapshots to
+stable storage, injects crashes from the failure plan, and dispatches
+protocol hooks (control messages, timers, forced checkpoints, pausing,
+rollback).
+
+Scheduling picks the globally earliest actionable item — a runnable
+process (at its local clock), a blocked process whose awaited message
+has arrived, a control-message arrival, a timer, or a crash — which
+yields a causally consistent interleaving: an item executed at time
+``t`` can only be affected by items at times ``<= t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.causality.records import EventKind
+from repro.causality.vector_clock import VectorClock
+from repro.errors import DeadlockError, RecoveryError, SimulationError
+from repro.lang import ast_nodes as ast
+from repro.runtime.effects import (
+    BcastRecvEffect,
+    BcastSendEffect,
+    CheckpointEffect,
+    ComputeEffect,
+    Effect,
+    LocalEffect,
+    RecvEffect,
+    SendEffect,
+)
+from repro.runtime.failures import FailurePlan
+from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
+from repro.runtime.inputs import InputProvider
+from repro.runtime.interpreter import ProcessInterpreter
+from repro.runtime.network import Message, Network
+from repro.runtime.storage import StableStorage, StoredCheckpoint, snapshot_sizes
+from repro.runtime.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class RuntimeCosts:
+    """Per-effect time charges, in simulated seconds.
+
+    Defaults scale the paper's Starfish constants down so simulations
+    of hundreds of iterations stay fast; the ratios are what matter.
+    """
+
+    local_statement: float = 0.01
+    send_overhead: float = 0.05
+    recv_overhead: float = 0.05
+    compute_unit: float = 0.2
+    checkpoint_overhead: float = 1.0       # the paper's o
+    recovery_overhead: float = 2.0         # the paper's R
+    control_latency: float = 0.05          # transit time of a control message
+
+
+@dataclass
+class SimulationStats:
+    """Aggregate counters of one run."""
+
+    app_messages: int = 0
+    control_messages: int = 0
+    checkpoints: int = 0
+    forced_checkpoints: int = 0
+    failures: int = 0
+    rollbacks: int = 0
+    lost_work: float = 0.0
+    completed: bool = False
+    steps: int = 0
+
+
+@dataclass
+class SimulationResult:
+    """Everything a finished run exposes."""
+
+    trace: ExecutionTrace
+    stats: SimulationStats
+    storage: StableStorage
+    final_env: dict[int, dict[str, int]]
+    completion_time: float
+
+
+class _Status:
+    READY = "ready"
+    BLOCKED = "blocked"
+    PAUSED = "paused"
+    CRASHED = "crashed"
+    DONE = "done"
+
+
+@dataclass
+class _Proc:
+    rank: int
+    interp: ProcessInterpreter
+    clock: float = 0.0
+    status: str = _Status.READY
+    blocked_effect: Effect | None = None
+    paused: bool = False
+
+
+class Simulation:
+    """One configured run of a MiniMP program on ``n`` processes."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        n_processes: int,
+        params: dict[str, int] | None = None,
+        costs: RuntimeCosts = RuntimeCosts(),
+        protocol: ProtocolHooks | None = None,
+        failure_plan: FailurePlan | None = None,
+        seed: int = 0,
+        base_latency: float = 0.5,
+        record_compute_events: bool = False,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        if n_processes < 1:
+            raise SimulationError(f"need at least one process, got {n_processes}")
+        self.program = program
+        self.n = n_processes
+        self.costs = costs
+        self.protocol = protocol if protocol is not None else NullProtocol()
+        self.network = Network(n_processes, base_latency=base_latency, seed=seed)
+        self.storage = StableStorage()
+        self.trace = ExecutionTrace(n_processes=n_processes)
+        self.stats = SimulationStats()
+        self.record_compute_events = record_compute_events
+        self._max_steps = max_steps
+        self._inputs = InputProvider(seed=seed)
+        self._clocks = [VectorClock.zero(n_processes) for _ in range(n_processes)]
+        self._message_clocks: dict[int, VectorClock] = {}
+        self._control_queue: list[ControlMessage] = []
+        self._timers: list[tuple[float, int, int, str]] = []
+        self._timer_seq = 0
+        self._crashes = list((failure_plan or FailurePlan.none()).effective())
+        self._last_checkpoint_env: dict[int, dict[str, int]] = {}
+        self.procs = [
+            _Proc(
+                rank=rank,
+                interp=ProcessInterpreter(
+                    program,
+                    rank,
+                    n_processes,
+                    params=params,
+                    inputs=self._inputs,
+                ),
+            )
+            for rank in range(n_processes)
+        ]
+        # Checkpoint 0: the initial state of every process, so recovery
+        # can always fall back to a (trivially consistent) cut.
+        for proc in self.procs:
+            self._store_checkpoint(proc, stmt_id=None, tag="initial", time=0.0)
+
+    # ------------------------------------------------------------------
+    # Services used by protocols
+    # ------------------------------------------------------------------
+
+    def send_control(
+        self, src: int, dst: int, tag: str, data: dict[str, int], now: float
+    ) -> None:
+        """Send a protocol control message; counted in the stats."""
+        message = ControlMessage(
+            src=src,
+            dst=dst,
+            tag=tag,
+            data=dict(data),
+            send_time=now,
+            arrival_time=now + self.costs.control_latency,
+        )
+        self._control_queue.append(message)
+        self.stats.control_messages += 1
+
+    def schedule_timer(self, rank: int, time: float, tag: str) -> None:
+        """Fire ``on_timer(rank, tag)`` at the given simulation time."""
+        self._timers.append((time, self._timer_seq, rank, tag))
+        self._timer_seq += 1
+
+    def pause(self, rank: int) -> None:
+        """Hold *rank* (it will not execute effects until resumed)."""
+        self.procs[rank].paused = True
+
+    def resume(self, rank: int, at_time: float) -> None:
+        """Release *rank*; its clock advances to at least *at_time*."""
+        proc = self.procs[rank]
+        proc.paused = False
+        proc.clock = max(proc.clock, at_time)
+
+    def take_checkpoint(
+        self, rank: int, at_time: float, tag: str, forced: bool = False
+    ) -> StoredCheckpoint:
+        """Protocol-initiated checkpoint of *rank* (legal while blocked)."""
+        proc = self.procs[rank]
+        if proc.status in (_Status.CRASHED, _Status.DONE):
+            raise SimulationError(
+                f"cannot checkpoint rank {rank} in state {proc.status}"
+            )
+        proc.interp.checkpoint_count += 1
+        proc.clock = max(proc.clock, at_time) + self.costs.checkpoint_overhead
+        stored = self._store_checkpoint(
+            proc, stmt_id=None, tag=tag, time=proc.clock
+        )
+        self.stats.checkpoints += 1
+        if forced:
+            self.stats.forced_checkpoints += 1
+        self.protocol.on_checkpoint(self, rank, stored.number)
+        return stored
+
+    def restore_cut(
+        self, cut: dict[int, StoredCheckpoint], at_time: float
+    ) -> None:
+        """Roll every process back to its checkpoint in *cut*.
+
+        Channels are rewound exactly: the sender-side ``sent`` cursor
+        and receiver-side ``delivered`` cursor of each channel come from
+        the respective processes' checkpoints, and the surviving middle
+        segment (in-flight across the cut) is re-queued.
+        """
+        if set(cut) != set(range(self.n)):
+            raise RecoveryError("restore_cut needs one checkpoint per process")
+        cursors: dict[tuple[int, int, str], tuple[int, int]] = {}
+        for rank, checkpoint in cut.items():
+            for key, (sent, delivered) in checkpoint.channel_cursors.items():
+                src, dst, _ = key
+                old_sent, old_delivered = cursors.get(key, (0, 0))
+                if src == rank:
+                    cursors[key] = (sent, old_delivered)
+                    old_sent = sent
+                if dst == rank:
+                    cursors[key] = (old_sent, delivered)
+        restart = at_time + self.costs.recovery_overhead
+        self.network.rollback(cursors, restart)
+        for rank, checkpoint in cut.items():
+            proc = self.procs[rank]
+            self.stats.lost_work += max(0.0, proc.clock - checkpoint.time)
+            self.storage.truncate_to(checkpoint)
+            proc.interp.restore(checkpoint.snapshot)
+            proc.clock = restart
+            proc.paused = False
+            self._last_checkpoint_env[rank] = dict(checkpoint.snapshot.env)
+            self._clocks[rank] = checkpoint.clock
+            if checkpoint.snapshot.pending_recv is not None:
+                proc.status = _Status.BLOCKED
+                proc.blocked_effect = checkpoint.blocked_effect
+                if proc.blocked_effect is None:
+                    raise RecoveryError(
+                        f"rank {rank} snapshot is mid-receive but the "
+                        "checkpoint stored no blocked effect"
+                    )
+            else:
+                proc.status = _Status.READY
+                proc.blocked_effect = None
+            self._tick(rank)
+            self.trace.append(
+                EventKind.RESTART,
+                rank,
+                restart,
+                self._clocks[rank],
+                checkpoint_number=checkpoint.number,
+            )
+        self.stats.rollbacks += 1
+
+    def restore_single(
+        self, checkpoint: StoredCheckpoint, at_time: float
+    ) -> None:
+        """Log-based recovery: restart ONE process from *checkpoint*.
+
+        Survivors keep running untouched. The recovering process
+        re-reads the messages it had consumed since the checkpoint from
+        the channel logs (receiver-based message logging), and its
+        re-executed sends are suppressed as duplicates by the network's
+        replay cursors. Deterministic replay brings it back to its
+        pre-crash state without any rollback of other processes.
+        """
+        rank = checkpoint.rank
+        proc = self.procs[rank]
+        restart = at_time + self.costs.recovery_overhead
+        self.stats.lost_work += max(0.0, proc.clock - checkpoint.time)
+        self.network.replay_for_rank(
+            rank, checkpoint.channel_cursors, restart
+        )
+        proc.interp.restore(checkpoint.snapshot)
+        proc.clock = restart
+        proc.paused = False
+        self._last_checkpoint_env[rank] = dict(checkpoint.snapshot.env)
+        self._clocks[rank] = checkpoint.clock
+        if checkpoint.snapshot.pending_recv is not None:
+            proc.status = _Status.BLOCKED
+            proc.blocked_effect = checkpoint.blocked_effect
+            if proc.blocked_effect is None:
+                raise RecoveryError(
+                    f"rank {rank} snapshot is mid-receive but the "
+                    "checkpoint stored no blocked effect"
+                )
+        else:
+            proc.status = _Status.READY
+            proc.blocked_effect = None
+        self._tick(rank)
+        self.trace.append(
+            EventKind.RESTART,
+            rank,
+            restart,
+            self._clocks[rank],
+            checkpoint_number=checkpoint.number,
+        )
+        self.stats.rollbacks += 1
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self, max_time: float | None = None) -> SimulationResult:
+        """Execute until every process finishes (or a guard trips)."""
+        self.protocol.on_start(self)
+        while True:
+            if all(p.status is _Status.DONE for p in self.procs):
+                break
+            self.stats.steps += 1
+            if self.stats.steps > self._max_steps:
+                raise SimulationError(
+                    f"step budget exceeded ({self._max_steps}); "
+                    "likely a livelock or a runaway failure plan"
+                )
+            item = self._next_item()
+            if item is None:
+                if all(p.status is _Status.DONE for p in self.procs):
+                    break
+                blocked = tuple(
+                    p.rank for p in self.procs if p.status is _Status.BLOCKED
+                )
+                raise DeadlockError(
+                    "no actionable item but processes remain "
+                    f"(blocked: {blocked})",
+                    blocked=blocked,
+                )
+            time, priority, payload = item
+            if max_time is not None and time > max_time:
+                break
+            if priority == 0:
+                self._apply_crash(payload, time)
+            elif priority == 1:
+                self._control_queue.remove(payload)
+                self.protocol.on_control(self, payload)
+            elif priority == 2:
+                self._timers.remove(payload)
+                self.protocol.on_timer(self, payload[2], payload[3], payload[0])
+            else:
+                self._execute_process(payload)
+        self.stats.completed = all(p.status is _Status.DONE for p in self.procs)
+        return SimulationResult(
+            trace=self.trace,
+            stats=self.stats,
+            storage=self.storage,
+            final_env={p.rank: dict(p.interp.env) for p in self.procs},
+            completion_time=max((p.clock for p in self.procs), default=0.0),
+        )
+
+    # -- scheduling --------------------------------------------------------------
+
+    def _next_item(self) -> tuple[float, int, object] | None:
+        best: tuple[float, int, object] | None = None
+
+        def consider(time: float, priority: int, payload: object) -> None:
+            nonlocal best
+            if best is None or (time, priority) < (best[0], best[1]):
+                best = (time, priority, payload)
+
+        if self._crashes:
+            crash = self._crashes[0]
+            consider(crash.time, 0, crash)
+        for message in self._control_queue:
+            consider(message.arrival_time, 1, message)
+        for timer in self._timers:
+            consider(timer[0], 2, timer)
+        for proc in self.procs:
+            if proc.paused:
+                continue
+            if proc.status is _Status.READY:
+                consider(proc.clock, 3, proc)
+            elif proc.status is _Status.BLOCKED:
+                head = self._awaited_message(proc)
+                if head is not None:
+                    consider(max(proc.clock, head.arrival_time), 3, proc)
+        return best
+
+    def _awaited_message(self, proc: _Proc) -> Message | None:
+        effect = proc.blocked_effect
+        if isinstance(effect, RecvEffect):
+            return self.network.peek(effect.source, proc.rank, "p2p")
+        if isinstance(effect, BcastRecvEffect):
+            return self.network.peek(effect.root, proc.rank, "coll")
+        raise SimulationError(f"blocked process without a recv effect: {proc.rank}")
+
+    # -- execution ---------------------------------------------------------------
+
+    def _execute_process(self, proc: _Proc) -> None:
+        if proc.status is _Status.BLOCKED:
+            self._complete_receive(proc)
+            return
+        effect = proc.interp.step()
+        if effect is None:
+            proc.status = _Status.DONE
+            return
+        self._perform(proc, effect)
+        self.protocol.on_effect(self, proc.rank, effect)
+
+    def _perform(self, proc: _Proc, effect: Effect) -> None:
+        costs = self.costs
+        if isinstance(effect, LocalEffect):
+            proc.clock += costs.local_statement
+            return
+        if isinstance(effect, ComputeEffect):
+            proc.clock += effect.cost * costs.compute_unit
+            if self.record_compute_events:
+                self._tick(proc.rank)
+                self.trace.append(
+                    EventKind.COMPUTE, proc.rank, proc.clock, self._clocks[proc.rank]
+                )
+            return
+        if isinstance(effect, SendEffect):
+            proc.clock += costs.send_overhead
+            self._send_app_message(
+                proc, effect.dest, effect.value, "p2p",
+                stmt_id=effect.stmt.node_id,
+            )
+            return
+        if isinstance(effect, BcastSendEffect):
+            for dst in range(self.n):
+                if dst == proc.rank:
+                    continue
+                proc.clock += costs.send_overhead
+                self._send_app_message(
+                    proc, dst, effect.value, "coll",
+                    stmt_id=effect.stmt.node_id,
+                )
+            return
+        if isinstance(effect, (RecvEffect, BcastRecvEffect)):
+            proc.status = _Status.BLOCKED
+            proc.blocked_effect = effect
+            head = self._awaited_message(proc)
+            if head is not None and head.arrival_time <= proc.clock:
+                self._complete_receive(proc)
+            return
+        if isinstance(effect, CheckpointEffect):
+            proc.clock += costs.checkpoint_overhead
+            self._store_checkpoint(
+                proc,
+                stmt_id=effect.stmt.node_id,
+                tag="app",
+                time=proc.clock,
+            )
+            self.stats.checkpoints += 1
+            self.protocol.on_checkpoint(
+                self, proc.rank, proc.interp.checkpoint_count
+            )
+            return
+        raise SimulationError(f"unknown effect {effect!r}")
+
+    def _send_app_message(
+        self, proc: _Proc, dst: int, value: int, lane: str,
+        stmt_id: int | None = None,
+    ) -> None:
+        piggyback = self.protocol.piggyback(self, proc.rank)
+        self._tick(proc.rank)
+        message = self.network.send(
+            proc.rank, dst, value, proc.clock, lane=lane, piggyback=piggyback
+        )
+        self._message_clocks[message.message_id] = self._clocks[proc.rank]
+        self.trace.append(
+            EventKind.SEND,
+            proc.rank,
+            proc.clock,
+            self._clocks[proc.rank],
+            message_id=message.message_id,
+            peer=dst,
+            stmt_id=stmt_id,
+        )
+        self.stats.app_messages += 1
+
+    def _complete_receive(self, proc: _Proc) -> None:
+        effect = proc.blocked_effect
+        if isinstance(effect, RecvEffect):
+            src, lane = effect.source, "p2p"
+        elif isinstance(effect, BcastRecvEffect):
+            src, lane = effect.root, "coll"
+        else:
+            raise SimulationError(f"corrupt blocked effect on rank {proc.rank}")
+        head = self.network.peek(src, proc.rank, lane)
+        if head is None:
+            raise SimulationError(
+                f"rank {proc.rank} scheduled to receive but channel is empty"
+            )
+        self.protocol.on_app_message(self, proc.rank, head)
+        message = self.network.consume(src, proc.rank, lane)
+        proc.clock = max(proc.clock, message.arrival_time) + self.costs.recv_overhead
+        sender_clock = self._message_clocks.get(message.message_id)
+        self._tick(proc.rank)
+        if sender_clock is not None:
+            self._clocks[proc.rank] = self._clocks[proc.rank].merge(sender_clock)
+        proc.interp.deliver(message.value)
+        proc.status = _Status.READY
+        proc.blocked_effect = None
+        self.trace.append(
+            EventKind.RECV,
+            proc.rank,
+            proc.clock,
+            self._clocks[proc.rank],
+            message_id=message.message_id,
+            peer=src,
+            stmt_id=effect.stmt.node_id,
+        )
+
+    # -- checkpoints ------------------------------------------------------------
+
+    def _store_checkpoint(
+        self, proc: _Proc, stmt_id: int | None, tag: str, time: float
+    ) -> StoredCheckpoint:
+        self._tick(proc.rank)
+        snapshot = proc.interp.snapshot()
+        previous_env = self._last_checkpoint_env.get(proc.rank)
+        full_bytes, delta_bytes = snapshot_sizes(snapshot, previous_env)
+        self._last_checkpoint_env[proc.rank] = dict(snapshot.env)
+        stored = StoredCheckpoint(
+            rank=proc.rank,
+            number=proc.interp.checkpoint_count,
+            snapshot=snapshot,
+            clock=self._clocks[proc.rank],
+            time=time,
+            channel_cursors=self.network.cursors_for(proc.rank),
+            stmt_id=stmt_id,
+            tag=tag,
+            blocked_effect=proc.blocked_effect,
+            full_bytes=full_bytes,
+            delta_bytes=delta_bytes,
+        )
+        self.storage.store(stored)
+        if tag != "initial":
+            self.trace.append(
+                EventKind.CHECKPOINT,
+                proc.rank,
+                time,
+                self._clocks[proc.rank],
+                checkpoint_number=stored.number,
+                stmt_id=stmt_id,
+            )
+        return stored
+
+    # -- crashes ---------------------------------------------------------------------
+
+    def _apply_crash(self, crash, time: float) -> None:
+        self._crashes.pop(0)
+        proc = self.procs[crash.rank]
+        if proc.status is _Status.DONE:
+            return
+        self.stats.failures += 1
+        proc.status = _Status.CRASHED
+        proc.blocked_effect = None
+        self._tick(proc.rank)
+        self.trace.append(
+            EventKind.FAILURE, proc.rank, time, self._clocks[proc.rank]
+        )
+        self.protocol.on_failure(self, proc.rank, time)
+        if proc.status is _Status.CRASHED:
+            raise RecoveryError(
+                f"protocol {self.protocol.name!r} left rank {proc.rank} "
+                "crashed with no recovery"
+            )
+
+    # -- clocks -----------------------------------------------------------------------
+
+    def _tick(self, rank: int) -> None:
+        self._clocks[rank] = self._clocks[rank].tick(rank)

@@ -1,0 +1,84 @@
+"""Failure injection.
+
+A :class:`FailurePlan` is a pre-drawn list of (time, rank) crash
+events. Plans are generated ahead of the run (exponential arrivals per
+process, or fixed schedules in tests), so simulations stay reproducible
+and independent of execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One injected crash: *rank* fails at *time*."""
+
+    time: float
+    rank: int
+
+
+@dataclass
+class FailurePlan:
+    """An ordered schedule of crashes.
+
+    ``max_failures`` bounds how many crashes the engine will actually
+    apply (the rest are ignored), which keeps adversarial plans finite.
+    """
+
+    crashes: list[CrashEvent] = field(default_factory=list)
+    max_failures: int | None = None
+
+    def __post_init__(self) -> None:
+        self.crashes.sort(key=lambda c: c.time)
+
+    @classmethod
+    def none(cls) -> "FailurePlan":
+        """The empty (failure-free) plan."""
+        return cls()
+
+    @classmethod
+    def single(cls, time: float, rank: int) -> "FailurePlan":
+        """A single crash of *rank* at *time*."""
+        return cls(crashes=[CrashEvent(time=time, rank=rank)])
+
+    def effective(self) -> list[CrashEvent]:
+        """The crashes the engine will apply, capped by ``max_failures``."""
+        if self.max_failures is None:
+            return list(self.crashes)
+        return self.crashes[: self.max_failures]
+
+
+def exponential_failures(
+    n_processes: int,
+    failure_rate: float,
+    horizon: float,
+    seed: int = 0,
+    max_failures: int | None = None,
+) -> FailurePlan:
+    """Draw per-process exponential crash times up to *horizon*.
+
+    Each process draws independent exponential inter-failure times with
+    rate *failure_rate* (the paper's per-process λ); every arrival
+    before *horizon* becomes a crash event.
+    """
+    if failure_rate < 0:
+        raise SimulationError(f"failure_rate must be >= 0, got {failure_rate}")
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+    crashes: list[CrashEvent] = []
+    if failure_rate > 0:
+        rng = np.random.default_rng(seed)
+        for rank in range(n_processes):
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / failure_rate))
+                if t >= horizon:
+                    break
+                crashes.append(CrashEvent(time=t, rank=rank))
+    return FailurePlan(crashes=crashes, max_failures=max_failures)

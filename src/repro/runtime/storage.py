@@ -1,0 +1,191 @@
+"""Stable storage for checkpoints.
+
+Each stored checkpoint bundles the process snapshot, the vector clock
+at the checkpoint, the channel cursors needed for exact channel
+rollback, and bookkeeping tags (which protocol round produced it, which
+statement). Storage survives process failures — that is its point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.causality.vector_clock import VectorClock
+from repro.errors import StorageError
+from repro.runtime.interpreter import ProcessSnapshot
+
+
+@dataclass(frozen=True)
+class StoredCheckpoint:
+    """One checkpoint of one process on stable storage.
+
+    Attributes:
+        rank: Owning process.
+        number: Per-process dynamic sequence number (0 = initial state).
+        snapshot: Restorable interpreter state.
+        clock: Vector clock at checkpoint completion.
+        time: Simulation time at which the checkpoint completed.
+        channel_cursors: ``(sent, delivered)`` cursors of the process's
+            channels at checkpoint time (see
+            :meth:`repro.runtime.network.Network.cursors_for`).
+        stmt_id: AST id of the originating checkpoint statement, if the
+            checkpoint came from an application ``checkpoint`` statement.
+        tag: Protocol-specific label (e.g. the coordinated round id).
+        blocked_effect: The receive effect the process was blocked on
+            when a protocol checkpointed it mid-receive (None when the
+            process was between statements); restoring such a
+            checkpoint re-enters the blocked state.
+    """
+
+    rank: int
+    number: int
+    snapshot: ProcessSnapshot
+    clock: VectorClock
+    time: float
+    channel_cursors: dict[tuple[int, int, str], tuple[int, int]]
+    stmt_id: int | None = None
+    tag: str = ""
+    blocked_effect: object | None = None
+    full_bytes: int = 0
+    delta_bytes: int = 0
+
+
+@dataclass
+class StableStorage:
+    """Per-process checkpoint lists, in checkpoint order."""
+
+    _checkpoints: dict[int, list[StoredCheckpoint]] = field(default_factory=dict)
+
+    def store(self, checkpoint: StoredCheckpoint) -> None:
+        """Append *checkpoint* to its process's history."""
+        history = self._checkpoints.setdefault(checkpoint.rank, [])
+        history.append(checkpoint)
+
+    def history(self, rank: int) -> list[StoredCheckpoint]:
+        """All stored checkpoints of *rank*, oldest first."""
+        return list(self._checkpoints.get(rank, []))
+
+    def latest(self, rank: int) -> StoredCheckpoint:
+        """The most recent checkpoint of *rank*."""
+        history = self._checkpoints.get(rank)
+        if not history:
+            raise StorageError(f"no checkpoint stored for rank {rank}")
+        return history[-1]
+
+    def latest_with_number(self, rank: int, number: int) -> StoredCheckpoint:
+        """The most recent checkpoint of *rank* with the given *number*.
+
+        Rollback can make a process re-take checkpoint ``i``; the most
+        recent instance reflects the surviving timeline.
+        """
+        for checkpoint in reversed(self._checkpoints.get(rank, [])):
+            if checkpoint.number == number:
+                return checkpoint
+        raise StorageError(f"rank {rank} has no checkpoint number {number}")
+
+    def latest_with_tag(self, rank: int, tag: str) -> StoredCheckpoint | None:
+        """The most recent checkpoint of *rank* carrying *tag*, if any."""
+        for checkpoint in reversed(self._checkpoints.get(rank, [])):
+            if checkpoint.tag == tag:
+                return checkpoint
+        return None
+
+    def max_common_number(self, ranks: list[int]) -> int:
+        """The largest ``i`` every rank has reached (0 = initial state)."""
+        numbers = []
+        for rank in ranks:
+            history = self._checkpoints.get(rank, [])
+            numbers.append(max((c.number for c in history), default=-1))
+        return min(numbers, default=-1)
+
+    def truncate_to(self, checkpoint: StoredCheckpoint) -> int:
+        """Drop every checkpoint of the owner stored after *checkpoint*.
+
+        Called on rollback: states from the discarded timeline never
+        happened, so keeping them would let a later recovery assemble a
+        cut mixing mutually exclusive timelines. Returns the number of
+        dropped entries.
+        """
+        history = self._checkpoints.get(checkpoint.rank, [])
+        for position, stored in enumerate(history):
+            if stored is checkpoint:
+                dropped = len(history) - position - 1
+                del history[position + 1 :]
+                return dropped
+        raise StorageError(
+            f"checkpoint {checkpoint.number} of rank {checkpoint.rank} "
+            "is not in storage"
+        )
+
+    def count(self, rank: int) -> int:
+        """Number of checkpoints stored for *rank*."""
+        return len(self._checkpoints.get(rank, []))
+
+    def total_count(self) -> int:
+        """Total stored checkpoints across all processes."""
+        return sum(len(h) for h in self._checkpoints.values())
+
+    def total_bytes(self, incremental: bool = False) -> int:
+        """Cumulative checkpoint volume, full-sized or incremental.
+
+        The incremental figure models delta checkpointing (store only
+        variables changed since the previous checkpoint — the
+        related-work feature the paper cites as [20]); comparing the
+        two quantifies how much a delta scheme would save.
+        """
+        return sum(
+            (c.delta_bytes if incremental else c.full_bytes)
+            for history in self._checkpoints.values()
+            for c in history
+        )
+
+
+def prune_below_common(storage: "StableStorage", ranks: list[int]) -> int:
+    """Garbage-collect checkpoints made obsolete by straight-cut recovery.
+
+    With the application-driven protocol, recovery always restores the
+    deepest common checkpoint number ``i``; checkpoints with smaller
+    numbers can never be needed again. Drops them (keeping exactly one
+    number-``i`` checkpoint per rank as the new floor) and returns how
+    many entries were removed.
+    """
+    common = storage.max_common_number(ranks)
+    if common <= 0:
+        return 0
+    dropped = 0
+    for rank in ranks:
+        history = storage._checkpoints.get(rank, [])
+        # Keep the most recent instance with number >= common, and
+        # everything after it.
+        keep_from = 0
+        for position, checkpoint in enumerate(history):
+            if checkpoint.number == common:
+                keep_from = position
+        dropped += keep_from
+        del history[:keep_from]
+    return dropped
+
+
+WORD_BYTES = 8
+FRAME_BYTES = 16
+
+
+def snapshot_sizes(
+    snapshot: ProcessSnapshot, previous_env: dict[str, int] | None
+) -> tuple[int, int]:
+    """(full, delta) byte sizes of a snapshot under a simple model.
+
+    Variables cost one word each; control frames a fixed overhead. The
+    delta counts only variables added or changed since *previous_env*
+    (plus the frame overhead, which always must be saved).
+    """
+    frames = FRAME_BYTES * len(snapshot.frames)
+    full = WORD_BYTES * len(snapshot.env) + frames
+    if previous_env is None:
+        return full, full
+    changed = sum(
+        1
+        for name, value in snapshot.env.items()
+        if previous_env.get(name) != value
+    )
+    return full, WORD_BYTES * changed + frames

@@ -1,0 +1,109 @@
+"""Execution traces: the recorded local histories of a run.
+
+The trace is the bridge between the simulator and the causality
+analyses: every traced event carries a vector clock, so straight cuts,
+recovery lines, and rollback graphs are all computable offline from the
+trace alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.causality.cuts import (
+    CheckpointCut,
+    checkpoints_by_process,
+    cut_is_consistent,
+    max_straight_cut_index,
+    straight_cut,
+)
+from repro.causality.records import EventKind, TraceEvent
+from repro.causality.vector_clock import VectorClock
+
+
+@dataclass
+class ExecutionTrace:
+    """All events of one simulation, in global append order."""
+
+    n_processes: int
+    events: list[TraceEvent] = field(default_factory=list)
+    _seq: dict[int, int] = field(default_factory=dict)
+
+    def append(
+        self,
+        kind: EventKind,
+        process: int,
+        time: float,
+        clock: VectorClock,
+        message_id: int | None = None,
+        peer: int | None = None,
+        checkpoint_number: int | None = None,
+        stmt_id: int | None = None,
+    ) -> TraceEvent:
+        """Record an event, assigning its local-history sequence number."""
+        seq = self._seq.get(process, 0)
+        self._seq[process] = seq + 1
+        event = TraceEvent(
+            kind=kind,
+            process=process,
+            seq=seq,
+            time=time,
+            clock=clock,
+            message_id=message_id,
+            peer=peer,
+            checkpoint_number=checkpoint_number,
+            stmt_id=stmt_id,
+        )
+        self.events.append(event)
+        return event
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_for(self, process: int) -> list[TraceEvent]:
+        """The local history of *process*, in order."""
+        return [e for e in self.events if e.process == process]
+
+    def of_kind(self, kind: EventKind) -> list[TraceEvent]:
+        """All events of the given *kind*."""
+        return [e for e in self.events if e.kind is kind]
+
+    def checkpoint_events(self) -> dict[int, list[TraceEvent]]:
+        """Checkpoint events grouped by process."""
+        return checkpoints_by_process(self.events)
+
+    def straight_cut(self, index: int) -> CheckpointCut | None:
+        """The straight cut ``R_index`` over this trace (1-based)."""
+        return straight_cut(
+            self.events, index, processes=list(range(self.n_processes))
+        )
+
+    def max_straight_cut_index(self) -> int:
+        """The largest ``i`` for which ``R_i`` exists."""
+        return max_straight_cut_index(
+            self.events, list(range(self.n_processes))
+        )
+
+    def all_straight_cuts(self) -> list[CheckpointCut]:
+        """Every existing straight cut, ``R_1 .. R_max``."""
+        cuts = []
+        for index in range(1, self.max_straight_cut_index() + 1):
+            cut = self.straight_cut(index)
+            if cut is not None:
+                cuts.append(cut)
+        return cuts
+
+    def all_straight_cuts_consistent(self) -> bool:
+        """True iff every straight cut of this trace is a recovery line.
+
+        This is the executable form of the paper's safety guarantee
+        (Theorem 3.2): after Phase III, it must hold on every trace.
+        """
+        return all(cut_is_consistent(cut) for cut in self.all_straight_cuts())
+
+    def message_count(self) -> int:
+        """Number of application messages received in the trace."""
+        return sum(1 for e in self.events if e.kind is EventKind.RECV)
+
+    def completion_time(self) -> float:
+        """Time of the last event (0.0 for an empty trace)."""
+        return max((e.time for e in self.events), default=0.0)

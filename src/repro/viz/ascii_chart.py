@@ -1,0 +1,99 @@
+"""ASCII line charts.
+
+Terminal-friendly plots for the Figure 8/9 curves (the repo has no
+plotting dependency). Each series gets a marker character; collisions
+show the later series' marker. The y-axis is linear or log-10.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+_MARKERS = "ox+*#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of (x, y) points."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+
+
+def line_chart(
+    series: list[Series],
+    width: int = 60,
+    height: int = 16,
+    log_y: bool = False,
+    y_label: str = "",
+) -> str:
+    """Render *series* as an ASCII chart with a legend.
+
+    All series share the x/y ranges. With ``log_y``, y values must be
+    positive. Raises :class:`~repro.errors.AnalysisError` on empty
+    input.
+    """
+    if not series or not any(s.points for s in series):
+        raise AnalysisError("line_chart needs at least one non-empty series")
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    if log_y:
+        if min(ys) <= 0:
+            raise AnalysisError("log_y requires positive y values")
+        transform = math.log10
+    else:
+        def transform(value: float) -> float:
+            return value
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(map(transform, ys)), max(map(transform, ys))
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, one in enumerate(series):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in one.points:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = int((transform(y) - y_lo) / y_span * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    top = f"{y_hi:.3g}" if not log_y else f"1e{y_hi:.2f}"
+    bottom = f"{y_lo:.3g}" if not log_y else f"1e{y_lo:.2f}"
+    label_width = max(len(top), len(bottom), len(y_label)) + 1
+    lines = []
+    if y_label:
+        lines.append(f"{y_label:>{label_width}}")
+    for row_index, row in enumerate(grid):
+        prefix = (
+            top if row_index == 0
+            else bottom if row_index == height - 1
+            else ""
+        )
+        lines.append(f"{prefix:>{label_width}} |" + "".join(row))
+    lines.append(
+        " " * label_width + " +" + "-" * width
+    )
+    lines.append(
+        " " * label_width + f"  {x_lo:<.4g}" + " " * max(1, width - 16)
+        + f"{x_hi:>.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {s.name}" for i, s in enumerate(series)
+    )
+    lines.append(" " * label_width + "  " + legend)
+    return "\n".join(lines) + "\n"
+
+
+def curves_chart(curves, log_y: bool = False, **kwargs) -> str:
+    """Chart a ``{ProtocolKind: ProtocolCurve}`` mapping directly."""
+    series = [
+        Series(
+            name=kind.value,
+            points=tuple(zip(curve.x_values, curve.ratios)),
+        )
+        for kind, curve in curves.items()
+    ]
+    return line_chart(series, log_y=log_y, **kwargs)

@@ -1,0 +1,79 @@
+"""RTT/delay estimator tests."""
+
+import pytest
+
+from repro.analysis.delay import RttEstimator, estimate_message_delay
+from repro.errors import AnalysisError
+from repro.lang.programs import jacobi_plain
+from repro.runtime import Simulation
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises(self):
+        estimator = RttEstimator()
+        estimator.observe(10.0)
+        assert estimator.estimate == 10.0
+        assert estimator.rttvar == 5.0
+        assert estimator.samples == 1
+
+    def test_converges_to_constant_stream(self):
+        estimator = RttEstimator()
+        for _ in range(200):
+            estimator.observe(3.0)
+        assert estimator.estimate == pytest.approx(3.0)
+        assert estimator.rttvar == pytest.approx(0.0, abs=1e-6)
+
+    def test_tracks_shift(self):
+        estimator = RttEstimator()
+        for _ in range(50):
+            estimator.observe(1.0)
+        for _ in range(200):
+            estimator.observe(5.0)
+        assert estimator.estimate == pytest.approx(5.0, rel=0.01)
+
+    def test_timeout_exceeds_estimate_under_jitter(self):
+        estimator = RttEstimator()
+        for sample in (1.0, 3.0) * 50:
+            estimator.observe(sample)
+        assert estimator.timeout > estimator.estimate
+
+    def test_empty_estimator(self):
+        estimator = RttEstimator()
+        assert estimator.estimate == 0.0
+        assert estimator.timeout == 0.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            RttEstimator().observe(-1.0)
+
+    def test_invalid_gains_rejected(self):
+        with pytest.raises(AnalysisError):
+            RttEstimator(alpha=0.0)
+        with pytest.raises(AnalysisError):
+            RttEstimator(beta=1.5)
+
+
+class TestTraceEstimation:
+    def test_estimates_from_simulated_trace(self):
+        result = Simulation(
+            jacobi_plain(), 4, params={"steps": 5}, base_latency=0.7
+        ).run()
+        estimator = estimate_message_delay(result.trace.events)
+        assert estimator.samples == result.trace.message_count()
+        # one-way delay >= base latency (plus queueing/waiting)
+        assert estimator.estimate >= 0.7
+
+    def test_latency_sensitivity(self):
+        slow = Simulation(
+            jacobi_plain(), 4, params={"steps": 5}, base_latency=2.0
+        ).run()
+        fast = Simulation(
+            jacobi_plain(), 4, params={"steps": 5}, base_latency=0.1
+        ).run()
+        slow_est = estimate_message_delay(slow.trace.events)
+        fast_est = estimate_message_delay(fast.trace.events)
+        assert slow_est.estimate > fast_est.estimate
+
+    def test_empty_trace(self):
+        estimator = estimate_message_delay([])
+        assert estimator.samples == 0

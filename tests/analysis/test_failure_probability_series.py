@@ -1,0 +1,48 @@
+"""Failure-probability sweep unit tests."""
+
+import pytest
+
+from repro.analysis.comparison import (
+    failure_probability_series,
+    overhead_ratio_for_protocol,
+)
+from repro.analysis.parameters import ModelParameters, ProtocolKind
+
+
+class TestFailureProbabilitySeries:
+    def test_all_protocols_present(self):
+        curves = failure_probability_series()
+        assert set(curves) == set(ProtocolKind)
+
+    def test_monotone_in_probability(self):
+        curves = failure_probability_series()
+        for curve in curves.values():
+            assert list(curve.ratios) == sorted(curve.ratios)
+
+    def test_ordering_preserved(self):
+        curves = failure_probability_series()
+        appl = curves[ProtocolKind.APPLICATION_DRIVEN].ratios
+        sas = curves[ProtocolKind.SYNC_AND_STOP].ratios
+        cl = curves[ProtocolKind.CHANDY_LAMPORT].ratios
+        for a, s, c in zip(appl, sas, cl):
+            assert a < s < c
+
+    def test_matches_direct_computation(self):
+        params = ModelParameters()
+        curves = failure_probability_series(
+            params, probabilities=(1e-5,), n_processes=64
+        )
+        direct = overhead_ratio_for_protocol(
+            params.with_(process_failure_prob=1e-5),
+            ProtocolKind.SYNC_AND_STOP,
+            64,
+        )
+        assert curves[ProtocolKind.SYNC_AND_STOP].ratios[0] == pytest.approx(
+            direct
+        )
+
+    def test_x_values_are_probabilities(self):
+        probs = (1e-6, 1e-5)
+        curves = failure_probability_series(probabilities=probs)
+        for curve in curves.values():
+            assert curve.x_values == probs

@@ -1,0 +1,118 @@
+"""Parameter-set and message-overhead model tests."""
+
+import math
+
+import pytest
+
+from repro.analysis.message_overhead import (
+    coordination_message_count,
+    message_overhead,
+    total_checkpoint_overhead,
+    total_latency_overhead,
+)
+from repro.analysis.parameters import (
+    ModelParameters,
+    ProtocolKind,
+    STARFISH_DEFAULTS,
+    system_failure_rate,
+)
+from repro.errors import AnalysisError
+
+
+class TestModelParameters:
+    def test_paper_defaults(self):
+        p = STARFISH_DEFAULTS
+        assert p.checkpoint_overhead == 1.78
+        assert p.checkpoint_latency == 4.292
+        assert p.recovery_overhead == 3.32
+        assert p.process_failure_prob == 1.23e-6
+        assert p.interval == 300.0
+
+    def test_with_replaces_fields(self):
+        p = STARFISH_DEFAULTS.with_(interval=100.0)
+        assert p.interval == 100.0
+        assert p.checkpoint_overhead == STARFISH_DEFAULTS.checkpoint_overhead
+
+    def test_message_unit_cost(self):
+        p = ModelParameters(message_setup=0.01, per_bit_delay=0.001, marker_bits=8)
+        assert p.message_unit_cost() == pytest.approx(0.018)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("process_failure_prob", 0.0),
+            ("process_failure_prob", 1.0),
+            ("interval", -1.0),
+            ("checkpoint_overhead", 0.0),
+            ("message_setup", -0.1),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, field, value):
+        with pytest.raises(AnalysisError):
+            ModelParameters(**{field: value})
+
+
+class TestSystemFailureRate:
+    def test_scales_linearly_for_small_p(self):
+        one = system_failure_rate(STARFISH_DEFAULTS, 1)
+        many = system_failure_rate(STARFISH_DEFAULTS, 100)
+        assert many == pytest.approx(100 * one, rel=1e-3)
+
+    def test_matches_survival_probability(self):
+        p = STARFISH_DEFAULTS
+        n = 64
+        rate = system_failure_rate(p, n)
+        assert math.exp(-rate) == pytest.approx(
+            (1 - p.process_failure_prob) ** n
+        )
+
+    def test_requires_positive_n(self):
+        with pytest.raises(AnalysisError):
+            system_failure_rate(STARFISH_DEFAULTS, 0)
+
+
+class TestMessageOverheads:
+    def test_application_driven_is_free(self):
+        assert coordination_message_count(ProtocolKind.APPLICATION_DRIVEN, 128) == 0
+        assert message_overhead(STARFISH_DEFAULTS, ProtocolKind.APPLICATION_DRIVEN, 128) == 0.0
+
+    def test_sas_formula(self):
+        # M(SaS) = 5 (n-1) (w_m + 8 w_b)
+        assert coordination_message_count(ProtocolKind.SYNC_AND_STOP, 11) == 50
+        p = ModelParameters(message_setup=0.01, per_bit_delay=0.0)
+        assert message_overhead(p, ProtocolKind.SYNC_AND_STOP, 11) == pytest.approx(0.5)
+
+    def test_cl_formula(self):
+        # M(C-L) = 2 n (n-1) (w_m + 8 w_b)
+        assert coordination_message_count(ProtocolKind.CHANDY_LAMPORT, 10) == 180
+        p = ModelParameters(message_setup=0.001, per_bit_delay=0.0)
+        assert message_overhead(p, ProtocolKind.CHANDY_LAMPORT, 10) == pytest.approx(0.18)
+
+    def test_cl_quadratic_vs_sas_linear(self):
+        small_sas = coordination_message_count(ProtocolKind.SYNC_AND_STOP, 10)
+        big_sas = coordination_message_count(ProtocolKind.SYNC_AND_STOP, 100)
+        small_cl = coordination_message_count(ProtocolKind.CHANDY_LAMPORT, 10)
+        big_cl = coordination_message_count(ProtocolKind.CHANDY_LAMPORT, 100)
+        assert big_sas / small_sas == pytest.approx(11.0)  # linear-ish
+        assert big_cl / small_cl == pytest.approx(110.0)   # quadratic-ish
+
+    def test_totals_add_base_overheads(self):
+        p = STARFISH_DEFAULTS
+        o_total = total_checkpoint_overhead(p, ProtocolKind.SYNC_AND_STOP, 16)
+        l_total = total_latency_overhead(p, ProtocolKind.SYNC_AND_STOP, 16)
+        m = message_overhead(p, ProtocolKind.SYNC_AND_STOP, 16)
+        assert o_total == pytest.approx(p.checkpoint_overhead + m)
+        assert l_total == pytest.approx(p.checkpoint_latency + m)
+
+    def test_extra_coordination_included(self):
+        p = STARFISH_DEFAULTS.with_(extra_coordination=2.5)
+        o_total = total_checkpoint_overhead(p, ProtocolKind.APPLICATION_DRIVEN, 4)
+        assert o_total == pytest.approx(p.checkpoint_overhead + 2.5)
+
+    def test_single_process_no_coordination(self):
+        for kind in ProtocolKind:
+            assert coordination_message_count(kind, 1) == 0
+
+    def test_invalid_process_count(self):
+        with pytest.raises(AnalysisError):
+            coordination_message_count(ProtocolKind.SYNC_AND_STOP, 0)

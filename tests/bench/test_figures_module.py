@@ -1,0 +1,55 @@
+"""Bench-harness unit tests (table formatting and shape checks)."""
+
+from repro.analysis.comparison import figure8_series, figure9_series
+from repro.analysis.parameters import ProtocolKind
+from repro.bench.figures import (
+    figure8_table,
+    figure9_table,
+    format_curves,
+    shape_check_figure8,
+    shape_check_figure9,
+)
+
+
+class TestTables:
+    def test_figure8_table_has_all_columns(self):
+        table = figure8_table()
+        header = table.splitlines()[0]
+        for kind in ProtocolKind:
+            assert kind.value in header
+
+    def test_figure8_table_row_per_process_count(self):
+        table = figure8_table(process_counts=(16, 32, 64))
+        assert len(table.splitlines()) == 2 + 3
+
+    def test_figure9_table_sweeps_setup_times(self):
+        table = figure9_table(setup_times=(0.0, 0.01))
+        assert len(table.splitlines()) == 2 + 2
+
+    def test_format_curves_aligned(self):
+        table = format_curves(figure8_series(), x_label="n")
+        widths = {len(line) for line in table.splitlines() if line.strip()}
+        assert len(widths) == 1  # perfectly rectangular
+
+
+class TestShapeChecks:
+    def test_default_parameters_pass_both(self):
+        assert shape_check_figure8(figure8_series()) == []
+        assert shape_check_figure9(figure9_series()) == []
+
+    def test_figure8_detects_wrong_order(self):
+        curves = figure8_series()
+        swapped = {
+            ProtocolKind.APPLICATION_DRIVEN: curves[ProtocolKind.CHANDY_LAMPORT],
+            ProtocolKind.SYNC_AND_STOP: curves[ProtocolKind.SYNC_AND_STOP],
+            ProtocolKind.CHANDY_LAMPORT: curves[ProtocolKind.APPLICATION_DRIVEN],
+        }
+        assert shape_check_figure8(swapped)
+
+    def test_figure9_detects_varying_appl_curve(self):
+        curves = figure9_series()
+        tampered = dict(curves)
+        tampered[ProtocolKind.APPLICATION_DRIVEN] = curves[
+            ProtocolKind.SYNC_AND_STOP
+        ]
+        assert shape_check_figure9(tampered)

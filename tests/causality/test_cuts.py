@@ -1,0 +1,152 @@
+"""Cut consistency and straight-cut tests (Definitions 2.1-2.3)."""
+
+import pytest
+
+from repro.causality.cuts import (
+    CheckpointCut,
+    cut_is_consistent,
+    latest_straight_cut,
+    orphan_messages,
+    straight_cut,
+)
+from repro.causality.records import EventKind, TraceEvent
+from repro.causality.vector_clock import VectorClock
+from repro.errors import RecoveryError
+from repro.lang import ast_nodes as ast
+from repro.lang.programs import jacobi, jacobi_odd_even
+from repro.runtime import Simulation
+
+
+def checkpoint(process, seq, clock, number=1, stmt_id=None):
+    return TraceEvent(
+        kind=EventKind.CHECKPOINT,
+        process=process,
+        seq=seq,
+        time=float(seq),
+        clock=VectorClock(clock),
+        checkpoint_number=number,
+        stmt_id=stmt_id,
+    )
+
+
+class TestCutValidity:
+    def test_one_member_per_process_enforced(self):
+        with pytest.raises(RecoveryError, match="one checkpoint per process"):
+            CheckpointCut(
+                members=(checkpoint(0, 0, (1, 0)), checkpoint(0, 1, (2, 0)))
+            )
+
+    def test_non_checkpoint_member_rejected(self):
+        bad = TraceEvent(
+            kind=EventKind.SEND,
+            process=0,
+            seq=0,
+            time=0.0,
+            clock=VectorClock((1, 0)),
+        )
+        with pytest.raises(RecoveryError, match="not a checkpoint"):
+            CheckpointCut(members=(bad,))
+
+    def test_member_for(self):
+        cut = CheckpointCut(
+            members=(checkpoint(0, 0, (1, 0)), checkpoint(1, 0, (0, 1)))
+        )
+        assert cut.member_for(1).process == 1
+        with pytest.raises(RecoveryError):
+            cut.member_for(7)
+
+
+class TestConsistency:
+    def test_concurrent_cut_consistent(self):
+        cut = CheckpointCut(
+            members=(checkpoint(0, 0, (1, 0)), checkpoint(1, 0, (0, 1)))
+        )
+        assert cut_is_consistent(cut)
+
+    def test_ordered_cut_inconsistent(self):
+        cut = CheckpointCut(
+            members=(checkpoint(0, 0, (1, 0)), checkpoint(1, 5, (1, 3)))
+        )
+        assert not cut_is_consistent(cut)
+
+
+class TestStraightCuts:
+    def test_index_must_be_positive(self):
+        with pytest.raises(RecoveryError):
+            straight_cut([], 0)
+
+    def test_missing_checkpoint_returns_none(self):
+        events = [checkpoint(0, 0, (1, 0))]
+        assert straight_cut(events, 1, processes=[0, 1]) is None
+
+    def test_dynamic_numbering_selects_ith(self):
+        events = [
+            checkpoint(0, 0, (1, 0), number=1),
+            checkpoint(0, 5, (5, 0), number=2),
+            checkpoint(1, 0, (0, 1), number=1),
+        ]
+        cut = straight_cut(events, 1, processes=[0, 1])
+        assert cut.member_for(0).seq == 0
+
+    def test_simulated_jacobi_all_cuts_consistent(self):
+        trace = Simulation(jacobi(), 4, params={"steps": 4}).run().trace
+        for index in range(1, trace.max_straight_cut_index() + 1):
+            cut = trace.straight_cut(index)
+            assert cut_is_consistent(cut), index
+
+    def test_simulated_odd_even_has_inconsistent_cut(self):
+        trace = Simulation(jacobi_odd_even(), 4, params={"steps": 4}).run().trace
+        assert not trace.all_straight_cuts_consistent()
+
+
+class TestLatestStraightCut:
+    def test_latest_instances_selected(self):
+        program = jacobi()
+        stmt = next(
+            n for n in ast.walk(program) if isinstance(n, ast.Checkpoint)
+        )
+        trace = Simulation(program, 4, params={"steps": 3}).run().trace
+        cut = latest_straight_cut(
+            trace.events,
+            {1: frozenset({stmt.node_id})},
+            1,
+            processes=list(range(4)),
+        )
+        assert cut is not None
+        # latest instance = the 3rd (last) iteration's checkpoint
+        for member in cut.members:
+            assert member.checkpoint_number == 3
+
+    def test_unknown_index_raises(self):
+        with pytest.raises(RecoveryError):
+            latest_straight_cut([], {}, 1, processes=[0])
+
+
+class TestOrphanMessages:
+    def test_consistent_cut_has_no_orphans(self):
+        trace = Simulation(jacobi(), 4, params={"steps": 4}).run().trace
+        for index in range(1, trace.max_straight_cut_index() + 1):
+            assert orphan_messages(trace.events, trace.straight_cut(index)) == []
+
+    def test_inconsistent_cut_has_orphans(self):
+        trace = Simulation(jacobi_odd_even(), 4, params={"steps": 4}).run().trace
+        found = False
+        for index in range(1, trace.max_straight_cut_index() + 1):
+            cut = trace.straight_cut(index)
+            if not cut_is_consistent(cut):
+                orphans = orphan_messages(trace.events, cut)
+                assert orphans, f"inconsistent R_{index} without orphan witness"
+                for send, recv in orphans:
+                    assert send.message_id == recv.message_id
+                found = True
+        assert found
+
+    def test_orphan_iff_inconsistent_on_straight_cuts(self):
+        """On exchange traces, the hb criterion and the orphan-message
+        criterion agree — two independent consistency definitions."""
+        for make in (jacobi, jacobi_odd_even):
+            trace = Simulation(make(), 4, params={"steps": 4}).run().trace
+            for index in range(1, trace.max_straight_cut_index() + 1):
+                cut = trace.straight_cut(index)
+                has_orphans = bool(orphan_messages(trace.events, cut))
+                assert has_orphans == (not cut_is_consistent(cut))

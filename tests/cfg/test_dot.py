@@ -1,0 +1,37 @@
+"""DOT export smoke tests."""
+
+from repro.cfg import build_cfg, to_dot
+from repro.phases.matching import build_extended_cfg
+from repro.lang.programs import jacobi, jacobi_odd_even
+
+
+class TestDot:
+    def test_plain_cfg_renders(self, any_program):
+        text = to_dot(build_cfg(any_program))
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+
+    def test_every_node_present(self):
+        cfg = build_cfg(jacobi())
+        text = to_dot(cfg)
+        for node in cfg.nodes():
+            assert f"n{node.node_id} " in text
+
+    def test_back_edge_marked(self):
+        text = to_dot(build_cfg(jacobi()))
+        assert "back" in text
+
+    def test_message_edges_dashed(self):
+        ext = build_extended_cfg(jacobi_odd_even())
+        text = to_dot(ext)
+        assert "style=dashed" in text
+        assert text.count("msg") == len(ext.message_edges)
+
+    def test_checkpoint_shape(self):
+        text = to_dot(build_cfg(jacobi()))
+        assert "doublecircle" in text
+
+    def test_labels_escaped(self):
+        text = to_dot(build_cfg(jacobi()))
+        # quotes inside labels must not break the dot syntax
+        assert text.count('"') % 2 == 0

@@ -1,0 +1,95 @@
+"""V4/V5: protocol-comparison experiments on the simulator.
+
+These are the empirical counterparts of the paper's analytic Section 4:
+same workload, same seed, different protocols.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    ProtocolRunSummary,
+    run_protocol_comparison,
+    standard_workloads,
+    strip_checkpoints,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.programs import jacobi
+from repro.runtime import FailurePlan
+
+
+@pytest.fixture(scope="module")
+def comparison_rows():
+    workload = standard_workloads(steps=12)[0]  # jacobi
+    return run_protocol_comparison(
+        workload, period=6.0, failure_plan=FailurePlan.single(14.3, 2)
+    )
+
+
+class TestCoordinationCosts:
+    def test_appl_driven_is_coordination_free(self, comparison_rows):
+        appl = next(r for r in comparison_rows if r.protocol == "appl-driven")
+        assert appl.control_messages == 0
+        assert appl.forced_checkpoints == 0
+
+    def test_coordinated_protocols_pay_messages(self, comparison_rows):
+        for name in ("SaS", "C-L"):
+            row = next(r for r in comparison_rows if r.protocol == name)
+            assert row.control_messages > 0
+
+    def test_cl_sends_more_messages_than_sas(self):
+        """Per round, C-L floods (n-1)(n+1) control messages vs SaS's
+        5(n-1) — strictly more for n > 4 (at n = 4 they tie)."""
+        workload = next(
+            w for w in standard_workloads(steps=12) if w.name == "pingpong"
+        )
+        assert workload.n_processes == 6
+        rows = run_protocol_comparison(
+            workload, period=6.0, protocols=("SaS", "C-L")
+        )
+        sas = next(r for r in rows if r.protocol == "SaS")
+        cl = next(r for r in rows if r.protocol == "C-L")
+        assert cl.control_messages / max(1, cl.rollbacks + 1) > 0
+        per_round_sas = 5 * (6 - 1)
+        per_round_cl = 6 * 5 + 5
+        assert per_round_cl > per_round_sas
+        assert cl.control_messages > sas.control_messages
+
+    def test_uncoordinated_and_cic_message_free(self, comparison_rows):
+        for name in ("uncoordinated", "CIC-BCS"):
+            row = next(r for r in comparison_rows if r.protocol == name)
+            assert row.control_messages == 0
+
+    def test_all_protocols_complete_and_recover(self, comparison_rows):
+        for row in comparison_rows:
+            assert row.completed, row.protocol
+            assert row.failures == 1, row.protocol
+            assert row.rollbacks == 1, row.protocol
+
+
+class TestHarness:
+    def test_rows_render(self, comparison_rows):
+        header = ProtocolRunSummary.header()
+        for row in comparison_rows:
+            line = row.row()
+            assert len(line.split()) >= 7
+        assert "protocol" in header
+
+    def test_strip_checkpoints(self):
+        stripped = strip_checkpoints(jacobi())
+        assert ast.count_statements(stripped, ast.Checkpoint) == 0
+        # original untouched
+        assert ast.count_statements(jacobi(), ast.Checkpoint) == 1
+
+    def test_standard_workloads_all_run(self):
+        for spec in standard_workloads(steps=4):
+            rows = run_protocol_comparison(
+                spec, period=8.0, protocols=("appl-driven",)
+            )
+            assert rows[0].completed, spec.name
+
+    def test_subset_of_protocols(self):
+        workload = standard_workloads(steps=4)[0]
+        rows = run_protocol_comparison(
+            workload, protocols=("appl-driven", "SaS")
+        )
+        assert [r.protocol for r in rows] == ["appl-driven", "SaS"]

@@ -1,0 +1,84 @@
+"""The workload × protocol matrix under failure.
+
+Systematic coverage: every standard workload, under every protocol,
+with one injected mid-run crash, must (a) complete, (b) reach the same
+final state as a failure-free run, and (c) respect its protocol's
+coordination profile. This is the broadest single integration surface
+in the suite.
+"""
+
+import pytest
+
+from repro.bench.workloads import (
+    run_protocol_comparison,
+    standard_workloads,
+    strip_checkpoints,
+)
+from repro.runtime import FailurePlan, Simulation
+
+PROTOCOLS = ("appl-driven", "SaS", "C-L", "uncoordinated", "CIC-BCS",
+             "msg-logging")
+COORDINATION_FREE = {"appl-driven", "uncoordinated", "CIC-BCS", "msg-logging"}
+
+
+def _workloads():
+    return {w.name: w for w in standard_workloads(steps=10)}
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """Run the full matrix once; tests inspect slices of it."""
+    results = {}
+    for name, spec in _workloads().items():
+        bare = Simulation(
+            strip_checkpoints(spec.make_program()),
+            spec.n_processes,
+            params=dict(spec.params),
+        ).run()
+        crash_time = bare.completion_time * 0.6
+        rows = run_protocol_comparison(
+            spec,
+            period=max(2.0, bare.completion_time / 5),
+            failure_plan=FailurePlan.single(crash_time, spec.n_processes - 1),
+            protocols=PROTOCOLS,
+        )
+        results[name] = (bare, rows)
+    return results
+
+
+class TestMatrix:
+    def test_every_cell_completes(self, matrix):
+        incomplete = [
+            (name, row.protocol)
+            for name, (_, rows) in matrix.items()
+            for row in rows
+            if not row.completed
+        ]
+        assert incomplete == []
+
+    def test_every_cell_recovered_exactly_once(self, matrix):
+        wrong = [
+            (name, row.protocol, row.rollbacks)
+            for name, (_, rows) in matrix.items()
+            for row in rows
+            if row.failures != 1 or row.rollbacks != 1
+        ]
+        assert wrong == []
+
+    def test_coordination_profiles(self, matrix):
+        for name, (_, rows) in matrix.items():
+            for row in rows:
+                if row.protocol in COORDINATION_FREE:
+                    assert row.control_messages == 0, (name, row.protocol)
+                else:
+                    assert row.control_messages > 0, (name, row.protocol)
+
+    def test_appl_driven_never_forces_checkpoints(self, matrix):
+        for name, (_, rows) in matrix.items():
+            appl = next(r for r in rows if r.protocol == "appl-driven")
+            assert appl.forced_checkpoints == 0, name
+
+    def test_crash_really_happened_mid_run(self, matrix):
+        for name, (bare, rows) in matrix.items():
+            for row in rows:
+                assert row.failures == 1, (name, row.protocol)

@@ -1,0 +1,206 @@
+"""Parser tests: every construct, operator precedence, error positions."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+
+
+def parse_body(statements: str) -> ast.Block:
+    indented = "\n".join("    " + line for line in statements.splitlines())
+    return parse(f"program t():\n{indented}\n").body
+
+
+def parse_expr(text: str) -> ast.Expr:
+    block = parse_body(f"x = {text}")
+    return block.statements[0].value
+
+
+class TestProgramStructure:
+    def test_program_name(self):
+        program = parse("program demo():\n    pass\n")
+        assert program.name == "demo"
+        assert len(program.body) == 1
+
+    def test_missing_program_keyword(self):
+        with pytest.raises(ParseError, match="program"):
+            parse("x = 1\n")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("program t():\n    pass\nprogram u():\n    pass\nxx\n")
+
+
+class TestSimpleStatements:
+    def test_assign(self):
+        stmt = parse_body("x = 3").statements[0]
+        assert isinstance(stmt, ast.Assign)
+        assert stmt.target == "x"
+        assert isinstance(stmt.value, ast.Const) and stmt.value.value == 3
+
+    def test_send(self):
+        stmt = parse_body("send(1, x)").statements[0]
+        assert isinstance(stmt, ast.Send)
+        assert isinstance(stmt.dest, ast.Const)
+
+    def test_recv(self):
+        stmt = parse_body("y = recv(myrank - 1)").statements[0]
+        assert isinstance(stmt, ast.Recv)
+        assert stmt.target == "y"
+        assert isinstance(stmt.source, ast.BinOp)
+
+    def test_bcast(self):
+        stmt = parse_body("v = bcast(0, x)").statements[0]
+        assert isinstance(stmt, ast.Bcast)
+        assert stmt.target == "v"
+
+    def test_checkpoint(self):
+        stmt = parse_body("checkpoint").statements[0]
+        assert isinstance(stmt, ast.Checkpoint)
+
+    def test_compute(self):
+        stmt = parse_body("compute(5)").statements[0]
+        assert isinstance(stmt, ast.Compute)
+
+    def test_pass(self):
+        stmt = parse_body("pass").statements[0]
+        assert isinstance(stmt, ast.Pass)
+
+    def test_statements_carry_line_numbers(self):
+        block = parse_body("x = 1\ny = 2")
+        assert block.statements[0].line == 2
+        assert block.statements[1].line == 3
+
+
+class TestCompoundStatements:
+    def test_if_without_else(self):
+        stmt = parse_body("if myrank == 0:\n    x = 1").statements[0]
+        assert isinstance(stmt, ast.If)
+        assert len(stmt.then_block) == 1
+        assert len(stmt.else_block) == 0
+
+    def test_if_else(self):
+        stmt = parse_body(
+            "if myrank == 0:\n    x = 1\nelse:\n    x = 2"
+        ).statements[0]
+        assert len(stmt.else_block) == 1
+
+    def test_elif_desugars_to_nested_if(self):
+        stmt = parse_body(
+            "if a == 0:\n    x = 1\nelif a == 1:\n    x = 2\nelse:\n    x = 3"
+        ).statements[0]
+        assert isinstance(stmt, ast.If)
+        nested = stmt.else_block.statements[0]
+        assert isinstance(nested, ast.If)
+        assert len(nested.else_block) == 1
+
+    def test_while(self):
+        stmt = parse_body("while i < 10:\n    i = i + 1").statements[0]
+        assert isinstance(stmt, ast.While)
+        assert len(stmt.body) == 1
+
+    def test_for(self):
+        stmt = parse_body("for k in range(4):\n    compute(k)").statements[0]
+        assert isinstance(stmt, ast.For)
+        assert stmt.var == "k"
+
+    def test_nested_compounds(self):
+        stmt = parse_body(
+            "while i < 2:\n    if myrank == 0:\n        send(1, x)\n"
+            "    else:\n        y = recv(0)\n    i = i + 1"
+        ).statements[0]
+        inner = stmt.body.statements[0]
+        assert isinstance(inner, ast.If)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_comparison(self):
+        expr = parse_expr("myrank % 2 == 0")
+        assert expr.op == "=="
+        assert expr.left.op == "%"
+
+    def test_boolean_precedence(self):
+        expr = parse_expr("a == 1 or b == 2 and c == 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = parse_expr("not a == b")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "not"
+
+    def test_unary_minus(self):
+        expr = parse_expr("-myrank")
+        assert isinstance(expr, ast.UnaryOp)
+        assert isinstance(expr.operand, ast.MyRank)
+
+    def test_myrank_nprocs(self):
+        assert isinstance(parse_expr("myrank"), ast.MyRank)
+        assert isinstance(parse_expr("nprocs"), ast.NProcs)
+
+    def test_true_false_literals(self):
+        assert parse_expr("True").value == 1
+        assert parse_expr("False").value == 0
+
+    def test_input_expression(self):
+        expr = parse_expr("input(routing)")
+        assert isinstance(expr, ast.InputData)
+        assert expr.label == "routing"
+
+    def test_call_with_args(self):
+        expr = parse_expr("combine(x, y)")
+        assert isinstance(expr, ast.Call)
+        assert expr.func == "combine"
+        assert len(expr.args) == 2
+
+    def test_call_no_args(self):
+        expr = parse_expr("init()")
+        assert expr.args == []
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "x =",
+            "send(1)",
+            "send 1, x",
+            "if myrank:",
+            "y = recv()",
+            "for k in 4:\n    pass",
+            "x = (1 + 2",
+            "x = 1 +",
+            "checkpoint()",
+        ],
+    )
+    def test_malformed_statement_raises(self, body):
+        with pytest.raises(ParseError):
+            parse_body(body)
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_body("x = 1\ny = *")
+        assert excinfo.value.line == 3
+
+
+class TestNodeIds:
+    def test_node_ids_unique_within_program(self):
+        program = parse_body("x = 1\ny = 2\nif x == y:\n    pass")
+        ids = [node.node_id for node in ast.walk(program)]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,75 @@
+"""End-to-end transform() pipeline tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.programs import jacobi, jacobi_odd_even, jacobi_plain
+from repro.phases.insertion import CostModel
+from repro.phases.pipeline import transform
+from repro.phases.verification import verify_program
+
+
+class TestTransform:
+    def test_plain_program_gets_phase1(self):
+        result = transform(
+            jacobi_plain(),
+            cost_model=CostModel(
+                checkpoint_overhead=2.0, failure_rate=0.1, params={"steps": 10}
+            ),
+        )
+        assert result.insertion is not None
+        assert ast.count_statements(result.program, ast.Checkpoint) >= 1
+
+    def test_checkpointed_program_skips_phase1(self):
+        result = transform(jacobi_odd_even())
+        assert result.insertion is None
+
+    def test_force_insertion(self):
+        result = transform(
+            jacobi(),
+            cost_model=CostModel(
+                checkpoint_overhead=2.0, failure_rate=0.1, params={"steps": 10}
+            ),
+            force_insertion=True,
+        )
+        assert result.insertion is not None
+
+    def test_output_always_verifies(self):
+        for make in (jacobi, jacobi_odd_even, jacobi_plain):
+            result = transform(
+                make(),
+                cost_model=CostModel(
+                    checkpoint_overhead=2.0,
+                    failure_rate=0.1,
+                    params={"steps": 10},
+                ),
+            )
+            assert result.verification.ok
+            assert verify_program(result.program).ok
+
+    def test_transformed_plain_program_is_simulation_safe(self):
+        result = transform(
+            jacobi_plain(),
+            cost_model=CostModel(
+                checkpoint_overhead=2.0, failure_rate=0.1, params={"steps": 10}
+            ),
+        )
+        from repro.runtime import Simulation
+
+        run = Simulation(result.program, 4, params={"steps": 6}).run()
+        assert run.stats.completed
+        assert run.trace.all_straight_cuts_consistent()
+
+    def test_loop_optimization_flag_propagates(self):
+        result = transform(jacobi_odd_even(), loop_optimization=True)
+        assert result.placement.ordering_constraints
+
+    def test_input_never_mutated(self):
+        import copy
+
+        from repro.lang.printer import ast_equal
+
+        source = jacobi_odd_even()
+        before = copy.deepcopy(source)
+        transform(source)
+        assert ast_equal(source, before)

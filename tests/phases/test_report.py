@@ -1,0 +1,50 @@
+"""Transformation-report tests."""
+
+from repro.lang.programs import jacobi, jacobi_odd_even, jacobi_plain
+from repro.phases.insertion import CostModel
+from repro.phases.pipeline import transform
+from repro.phases.report import transform_report
+
+
+class TestTransformReport:
+    def test_insertion_section(self):
+        result = transform(
+            jacobi_plain(),
+            cost_model=CostModel(
+                checkpoint_overhead=2.0, failure_rate=0.05,
+                params={"steps": 10},
+            ),
+        )
+        report = transform_report(result)
+        assert "phase I : inserted" in report
+        assert "verified : Condition 1 holds" in report
+
+    def test_skipped_insertion_reported(self):
+        report = transform_report(transform(jacobi()))
+        assert "skipped" in report
+
+    def test_moves_listed(self):
+        report = transform_report(transform(jacobi_odd_even()))
+        assert "phase III:" in report
+        assert "move checkpoint" in report
+
+    def test_no_moves_case(self):
+        report = transform_report(transform(jacobi()))
+        assert "no moves" in report
+
+    def test_ordering_constraints_shown(self):
+        result = transform(jacobi_odd_even(), loop_optimization=True)
+        report = transform_report(result)
+        assert "ordering constraint" in report
+
+    def test_depth_reported(self):
+        report = transform_report(transform(jacobi()))
+        assert "1 straight cut(s)" in report
+
+    def test_cli_transform_uses_report(self, capsys):
+        from repro.cli import main
+
+        assert main(["transform", "@jacobi_odd_even"]) == 0
+        err = capsys.readouterr().err
+        assert "# phase III:" in err
+        assert "# verified :" in err

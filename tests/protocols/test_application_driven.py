@@ -1,0 +1,97 @@
+"""Application-driven protocol tests — the coordination-free claims."""
+
+import pytest
+
+from repro.errors import RecoveryError
+from repro.lang.programs import default_params, jacobi, jacobi_odd_even, ring_pipeline
+from repro.protocols import ApplicationDrivenProtocol
+from repro.runtime import FailurePlan, Simulation
+
+
+class TestCoordinationFreedom:
+    """The paper's headline claims, checked on real runs (V4)."""
+
+    def test_zero_control_messages(self, any_program):
+        result = Simulation(
+            any_program, 4,
+            params=default_params(any_program.name),
+            protocol=ApplicationDrivenProtocol(),
+        ).run()
+        assert result.stats.control_messages == 0
+
+    def test_zero_forced_checkpoints(self, any_program):
+        result = Simulation(
+            any_program, 4,
+            params=default_params(any_program.name),
+            protocol=ApplicationDrivenProtocol(),
+        ).run()
+        assert result.stats.forced_checkpoints == 0
+
+    def test_no_overhead_vs_bare_run(self):
+        bare = Simulation(jacobi(), 4, params={"steps": 5}).run()
+        with_protocol = Simulation(
+            jacobi(), 4, params={"steps": 5},
+            protocol=ApplicationDrivenProtocol(),
+        ).run()
+        assert with_protocol.completion_time == bare.completion_time
+
+
+class TestRecovery:
+    def test_recovers_to_deepest_common_cut(self):
+        protocol = ApplicationDrivenProtocol()
+        result = Simulation(
+            jacobi(), 4, params={"steps": 10}, protocol=protocol,
+            failure_plan=FailurePlan.single(12.0, 3),
+        ).run()
+        assert result.stats.completed
+        assert protocol.recovered_to
+        assert protocol.recovered_to[0] >= 1
+
+    def test_early_crash_restarts_from_initial(self):
+        protocol = ApplicationDrivenProtocol()
+        result = Simulation(
+            jacobi(), 4, params={"steps": 5}, protocol=protocol,
+            failure_plan=FailurePlan.single(0.001, 0),
+        ).run()
+        assert result.stats.completed
+        assert protocol.recovered_to[0] == 0
+
+    def test_validation_rejects_untransformed_program(self):
+        protocol = ApplicationDrivenProtocol(validate=True)
+        with pytest.raises(RecoveryError, match="not a recovery line"):
+            Simulation(
+                jacobi_odd_even(), 4, params={"steps": 10}, protocol=protocol,
+                failure_plan=FailurePlan.single(12.0, 1),
+            ).run()
+
+    def test_validation_can_be_disabled(self):
+        protocol = ApplicationDrivenProtocol(validate=False)
+        # without validation the restore proceeds (into a formally
+        # inconsistent state); the run itself still finishes.
+        result = Simulation(
+            jacobi_odd_even(), 4, params={"steps": 10}, protocol=protocol,
+            failure_plan=FailurePlan.single(12.0, 1),
+        ).run()
+        assert result.stats.rollbacks == 1
+
+    def test_repeated_failures_bounded_rollback(self):
+        """No rollback propagation: each recovery loses at most one
+        checkpoint interval per process."""
+        protocol = ApplicationDrivenProtocol()
+        plan = FailurePlan(
+            crashes=[],
+        )
+        from repro.runtime.failures import CrashEvent
+
+        plan.crashes.extend(
+            CrashEvent(time, rank)
+            for time, rank in ((8.2, 0), (16.9, 2), (25.4, 1))
+        )
+        result = Simulation(
+            ring_pipeline(), 5, params={"steps": 10}, protocol=protocol,
+            failure_plan=plan,
+        ).run()
+        assert result.stats.completed
+        assert result.stats.rollbacks == 3
+        # recovered indexes never regress more than one failure's worth
+        assert protocol.recovered_to == sorted(protocol.recovered_to)

@@ -1,0 +1,71 @@
+"""Crashes landing in the middle of coordinated rounds.
+
+The hard edge for SaS/C-L: a failure while a round is in flight must
+abort the round (stale control messages ignored), fall back to the last
+*completed* round, and still finish with correct results.
+"""
+
+import pytest
+
+from repro.lang.programs import jacobi_plain
+from repro.protocols import ChandyLamportProtocol, SyncAndStopProtocol
+from repro.runtime import FailurePlan, RuntimeCosts, Simulation
+from repro.runtime.failures import CrashEvent
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return Simulation(jacobi_plain(), 4, params={"steps": 20}).run()
+
+
+def run_with_crashes(protocol, crashes):
+    plan = FailurePlan(crashes=[CrashEvent(t, r) for t, r in crashes])
+    return Simulation(
+        jacobi_plain(), 4, params={"steps": 20},
+        protocol=protocol, failure_plan=plan,
+    ).run()
+
+
+class TestSaSMidRound:
+    def test_crash_right_after_round_start(self, baseline):
+        protocol = SyncAndStopProtocol(period=8)
+        # round starts at t=8; STOP messages land ~8.05
+        result = run_with_crashes(protocol, [(8.2, 2)])
+        assert result.stats.completed
+        assert result.final_env == baseline.final_env
+
+    def test_crash_between_stop_and_resume(self, baseline):
+        protocol = SyncAndStopProtocol(period=8)
+        # kill the coordinator itself mid-round
+        result = run_with_crashes(protocol, [(8.1, 0)])
+        assert result.stats.completed
+        assert result.final_env == baseline.final_env
+
+    def test_rounds_continue_after_recovery(self, baseline):
+        protocol = SyncAndStopProtocol(period=6)
+        result = run_with_crashes(protocol, [(6.2, 1)])
+        assert result.stats.completed
+        # at least one round completed after the crash
+        assert protocol.completed_rounds
+        assert result.final_env == baseline.final_env
+
+
+class TestCLMidRound:
+    def test_crash_during_marker_flood(self, baseline):
+        protocol = ChandyLamportProtocol(period=8)
+        result = run_with_crashes(protocol, [(8.07, 3)])
+        assert result.stats.completed
+        assert result.final_env == baseline.final_env
+
+    def test_crash_of_initiator_mid_round(self, baseline):
+        protocol = ChandyLamportProtocol(period=8)
+        result = run_with_crashes(protocol, [(8.02, 0)])
+        assert result.stats.completed
+        assert result.final_env == baseline.final_env
+
+    def test_two_crashes_spanning_rounds(self, baseline):
+        protocol = ChandyLamportProtocol(period=7)
+        result = run_with_crashes(protocol, [(7.1, 1), (15.0, 2)])
+        assert result.stats.completed
+        assert result.stats.rollbacks == 2
+        assert result.final_env == baseline.final_env

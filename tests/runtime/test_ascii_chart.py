@@ -1,0 +1,66 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.analysis.comparison import figure8_series
+from repro.errors import AnalysisError
+from repro.viz import Series, curves_chart, line_chart
+
+
+def simple_series(name="a", ys=(1.0, 2.0, 3.0)):
+    return Series(name=name, points=tuple((float(i), y) for i, y in enumerate(ys)))
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart([simple_series()])
+        assert "o a" in chart
+        assert chart.count("o") >= 3
+
+    def test_multiple_series_distinct_markers(self):
+        chart = line_chart([simple_series("one"), simple_series("two", (3, 2, 1))])
+        assert "o one" in chart and "x two" in chart
+
+    def test_y_range_labels(self):
+        chart = line_chart([simple_series(ys=(1.0, 5.0))])
+        assert "1" in chart and "5" in chart
+
+    def test_log_scale(self):
+        chart = line_chart(
+            [simple_series(ys=(0.01, 1.0, 100.0))], log_y=True
+        )
+        assert "1e" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(AnalysisError):
+            line_chart([simple_series(ys=(0.0, 1.0))], log_y=True)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AnalysisError):
+            line_chart([])
+        with pytest.raises(AnalysisError):
+            line_chart([Series(name="e", points=())])
+
+    def test_constant_series_does_not_crash(self):
+        chart = line_chart([simple_series(ys=(2.0, 2.0, 2.0))])
+        assert "o" in chart
+
+    def test_dimensions_respected(self):
+        chart = line_chart([simple_series()], width=30, height=8)
+        rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(rows) == 8
+
+
+class TestCurvesChart:
+    def test_figure8_chart(self):
+        chart = curves_chart(figure8_series(), log_y=True)
+        for name in ("appl-driven", "SaS", "C-L"):
+            assert name in chart
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["figures", "--figure", "8", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "appl-driven" in out
+        assert "|" in out

@@ -1,0 +1,88 @@
+"""Checkpoint size accounting (full vs incremental model)."""
+
+import pytest
+
+from repro.lang.parser import parse
+from repro.lang.programs import jacobi
+from repro.protocols import ApplicationDrivenProtocol
+from repro.runtime import FailurePlan, Simulation
+from repro.runtime.interpreter import ProcessSnapshot
+from repro.runtime.storage import FRAME_BYTES, WORD_BYTES, snapshot_sizes
+
+
+def snapshot(env, frames=1):
+    return ProcessSnapshot(
+        env=dict(env),
+        frames=tuple(object() for _ in range(frames)),
+        checkpoint_count=0,
+        input_counters={},
+    )
+
+
+class TestSizeModel:
+    def test_full_size_counts_all_variables(self):
+        snap = snapshot({"a": 1, "b": 2, "c": 3}, frames=2)
+        full, delta = snapshot_sizes(snap, previous_env=None)
+        assert full == 3 * WORD_BYTES + 2 * FRAME_BYTES
+        assert delta == full  # first checkpoint is always full
+
+    def test_delta_counts_only_changes(self):
+        snap = snapshot({"a": 1, "b": 99, "c": 3}, frames=1)
+        full, delta = snapshot_sizes(snap, previous_env={"a": 1, "b": 2, "c": 3})
+        assert delta == 1 * WORD_BYTES + FRAME_BYTES
+        assert delta < full
+
+    def test_new_variables_count_as_changes(self):
+        snap = snapshot({"a": 1, "new": 7})
+        _, delta = snapshot_sizes(snap, previous_env={"a": 1})
+        assert delta == 1 * WORD_BYTES + FRAME_BYTES
+
+    def test_unchanged_env_delta_is_frames_only(self):
+        snap = snapshot({"a": 1}, frames=3)
+        _, delta = snapshot_sizes(snap, previous_env={"a": 1})
+        assert delta == 3 * FRAME_BYTES
+
+
+class TestSimulationAccounting:
+    def test_totals_accumulate(self):
+        result = Simulation(jacobi(), 4, params={"steps": 6}).run()
+        full = result.storage.total_bytes()
+        incremental = result.storage.total_bytes(incremental=True)
+        assert full > 0
+        assert 0 < incremental <= full
+
+    def test_mostly_constant_state_saves_a_lot(self):
+        program = parse(
+            "program steady():\n"
+            "    a = 1\n"
+            "    b = 2\n"
+            "    c = 3\n"
+            "    d = 4\n"
+            "    i = 0\n"
+            "    while i < 10:\n"
+            "        checkpoint\n"
+            "        i = i + 1\n"
+        )
+        result = Simulation(program, 2).run()
+        full = result.storage.total_bytes()
+        incremental = result.storage.total_bytes(incremental=True)
+        # only `i` changes between checkpoints
+        assert incremental < 0.7 * full
+
+    def test_every_checkpoint_carries_sizes(self):
+        result = Simulation(jacobi(), 4, params={"steps": 3}).run()
+        for rank in range(4):
+            for checkpoint in result.storage.history(rank):
+                assert checkpoint.full_bytes > 0
+                assert 0 < checkpoint.delta_bytes <= checkpoint.full_bytes
+
+    def test_rollback_resets_delta_baseline(self):
+        result = Simulation(
+            jacobi(), 4, params={"steps": 8},
+            protocol=ApplicationDrivenProtocol(),
+            failure_plan=FailurePlan.single(9.0, 1),
+        ).run()
+        # all stored checkpoints still have sane sizes after recovery
+        for rank in range(4):
+            for checkpoint in result.storage.history(rank):
+                assert checkpoint.delta_bytes <= checkpoint.full_bytes

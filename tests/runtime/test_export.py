@@ -1,0 +1,101 @@
+"""Trace serialisation tests."""
+
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang.programs import jacobi, tree_reduce
+from repro.protocols import ApplicationDrivenProtocol
+from repro.runtime import FailurePlan, Simulation
+from repro.runtime.export import (
+    export_trace,
+    import_trace,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def sample_trace(make=jacobi, n=4, steps=3, plan=None, protocol=None):
+    return Simulation(
+        make(), n, params={"steps": steps},
+        failure_plan=plan, protocol=protocol,
+    ).run().trace
+
+
+class TestRoundTrip:
+    def test_events_preserved_exactly(self):
+        trace = sample_trace()
+        rebuilt = import_trace(export_trace(trace))
+        assert rebuilt.n_processes == trace.n_processes
+        assert rebuilt.events == trace.events
+
+    def test_json_round_trip(self):
+        trace = sample_trace(make=tree_reduce)
+        text = trace_to_json(trace)
+        json.loads(text)  # valid JSON
+        rebuilt = trace_from_json(text)
+        assert rebuilt.events == trace.events
+
+    def test_failure_events_round_trip(self):
+        trace = sample_trace(
+            steps=8,
+            plan=FailurePlan.single(8.0, 1),
+            protocol=ApplicationDrivenProtocol(),
+        )
+        rebuilt = trace_from_json(trace_to_json(trace))
+        kinds = [e.kind for e in rebuilt.events]
+        assert kinds == [e.kind for e in trace.events]
+
+    def test_analyses_work_on_rebuilt_trace(self):
+        trace = sample_trace()
+        rebuilt = import_trace(export_trace(trace))
+        assert rebuilt.all_straight_cuts_consistent() == (
+            trace.all_straight_cuts_consistent()
+        )
+        assert rebuilt.max_straight_cut_index() == trace.max_straight_cut_index()
+
+    def test_appending_after_import_continues_sequences(self):
+        from repro.causality.records import EventKind
+        from repro.causality.vector_clock import VectorClock
+
+        trace = sample_trace()
+        rebuilt = import_trace(export_trace(trace))
+        before = len(rebuilt.events_for(0))
+        event = rebuilt.append(
+            EventKind.COMPUTE, 0, 99.0, VectorClock.zero(4)
+        )
+        assert event.seq == before
+
+
+class TestErrors:
+    def test_unsupported_format(self):
+        with pytest.raises(SimulationError, match="format"):
+            import_trace({"format": 99, "n_processes": 1, "events": []})
+
+    def test_malformed_event(self):
+        with pytest.raises(SimulationError, match="malformed"):
+            import_trace(
+                {
+                    "format": 1,
+                    "n_processes": 1,
+                    "events": [{"kind": "nonsense"}],
+                }
+            )
+
+    def test_optional_fields_absent(self):
+        data = {
+            "format": 1,
+            "n_processes": 1,
+            "events": [
+                {
+                    "kind": "compute",
+                    "process": 0,
+                    "seq": 0,
+                    "time": 1.0,
+                    "clock": [1],
+                }
+            ],
+        }
+        trace = import_trace(data)
+        assert trace.events[0].message_id is None

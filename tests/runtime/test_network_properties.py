@@ -1,0 +1,113 @@
+"""Model-based property tests for the FIFO network.
+
+A hypothesis-driven reference-model test: the network under a random
+program of sends/consumes/rollbacks must agree with a trivially correct
+in-memory model (per-channel list + cursor pair).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.network import Network
+
+N = 3
+CHANNELS = [(s, d) for s in range(N) for d in range(N) if s != d]
+
+
+class _ReferenceModel:
+    """The obviously-correct model: per-channel log + cursors."""
+
+    def __init__(self) -> None:
+        self.logs = {key: [] for key in CHANNELS}
+        self.delivered = {key: 0 for key in CHANNELS}
+        self.next_value = 0
+
+    def send(self, key) -> int:
+        value = self.next_value
+        self.next_value += 1
+        self.logs[key].append(value)
+        return value
+
+    def queue(self, key):
+        return self.logs[key][self.delivered[key]:]
+
+    def consume(self, key):
+        value = self.logs[key][self.delivered[key]]
+        self.delivered[key] += 1
+        return value
+
+    def cursors(self):
+        return {
+            key: (len(self.logs[key]), self.delivered[key])
+            for key in CHANNELS
+        }
+
+    def rollback(self, cursors):
+        for key, (sent, delivered) in cursors.items():
+            del self.logs[key][sent:]
+            self.delivered[key] = min(delivered, sent)
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("send"), st.sampled_from(CHANNELS)),
+        st.tuples(st.just("consume"), st.sampled_from(CHANNELS)),
+        st.tuples(st.just("snapshot"), st.just(None)),
+        st.tuples(st.just("rollback"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=operations)
+def test_network_matches_reference_model(ops):
+    network = Network(N, base_latency=0.1, jitter=0.0)
+    model = _ReferenceModel()
+    time = 0.0
+    snapshots = []
+
+    for op, arg in ops:
+        time += 0.1
+        if op == "send":
+            expected = model.send(arg)
+            message = network.send(arg[0], arg[1], expected, send_time=time)
+            assert message.value == expected
+        elif op == "consume":
+            if model.queue(arg):
+                expected = model.consume(arg)
+                assert network.consume(arg[0], arg[1]).value == expected
+            else:
+                assert network.peek(arg[0], arg[1]) is None
+        elif op == "snapshot":
+            snapshots.append(model.cursors())
+        elif op == "rollback" and snapshots:
+            cursors = snapshots.pop()
+            model.rollback(cursors)
+            network.rollback(
+                {(s, d, "p2p"): v for (s, d), v in cursors.items()},
+                restart_time=time,
+            )
+
+    # Final state: every channel's queue must match the model.
+    for key in CHANNELS:
+        queue = [
+            m.value for m in network.queued_messages()
+            if (m.src, m.dst) == key
+        ]
+        assert queue == model.queue(key)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sends=st.lists(st.floats(min_value=0, max_value=100), max_size=20),
+)
+def test_fifo_arrivals_monotone(sends):
+    """Whatever the send times, per-channel arrivals never reorder."""
+    network = Network(2, base_latency=0.5, jitter=0.3)
+    arrivals = [
+        network.send(0, 1, i, send_time=t).arrival_time
+        for i, t in enumerate(sends)
+    ]
+    assert arrivals == sorted(arrivals)

@@ -1,0 +1,179 @@
+"""Stable-storage, input-provider, and failure-plan tests."""
+
+import pytest
+
+from repro.causality.vector_clock import VectorClock
+from repro.errors import SimulationError, StorageError
+from repro.runtime.failures import CrashEvent, FailurePlan, exponential_failures
+from repro.runtime.inputs import InputProvider
+from repro.runtime.interpreter import ProcessSnapshot
+from repro.runtime.storage import StableStorage, StoredCheckpoint
+
+
+def checkpoint(rank, number, time=0.0, tag=""):
+    return StoredCheckpoint(
+        rank=rank,
+        number=number,
+        snapshot=ProcessSnapshot(
+            env={}, frames=(), checkpoint_count=number, input_counters={}
+        ),
+        clock=VectorClock.zero(2).tick(rank),
+        time=time,
+        channel_cursors={},
+        tag=tag,
+    )
+
+
+class TestStorage:
+    def test_store_and_latest(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        storage.store(checkpoint(0, 1))
+        assert storage.latest(0).number == 1
+
+    def test_latest_missing_rank(self):
+        with pytest.raises(StorageError, match="no checkpoint"):
+            StableStorage().latest(3)
+
+    def test_latest_with_number_picks_most_recent_instance(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 1, time=1.0))
+        storage.store(checkpoint(0, 1, time=9.0))
+        assert storage.latest_with_number(0, 1).time == 9.0
+
+    def test_latest_with_number_missing(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        with pytest.raises(StorageError):
+            storage.latest_with_number(0, 5)
+
+    def test_latest_with_tag(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 1, tag="sas-1"))
+        storage.store(checkpoint(0, 2, tag="sas-2"))
+        assert storage.latest_with_tag(0, "sas-1").number == 1
+        assert storage.latest_with_tag(0, "nope") is None
+
+    def test_max_common_number(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        storage.store(checkpoint(0, 1))
+        storage.store(checkpoint(0, 2))
+        storage.store(checkpoint(1, 0))
+        storage.store(checkpoint(1, 1))
+        assert storage.max_common_number([0, 1]) == 1
+
+    def test_max_common_number_empty_rank(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        assert storage.max_common_number([0, 1]) == -1
+
+    def test_truncate_to(self):
+        storage = StableStorage()
+        keep = checkpoint(0, 1)
+        storage.store(checkpoint(0, 0))
+        storage.store(keep)
+        storage.store(checkpoint(0, 2))
+        dropped = storage.truncate_to(keep)
+        assert dropped == 1
+        assert storage.latest(0) is keep
+
+    def test_truncate_unknown_checkpoint(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        with pytest.raises(StorageError, match="not in storage"):
+            storage.truncate_to(checkpoint(0, 9))
+
+    def test_counts(self):
+        storage = StableStorage()
+        storage.store(checkpoint(0, 0))
+        storage.store(checkpoint(1, 0))
+        storage.store(checkpoint(1, 1))
+        assert storage.count(1) == 2
+        assert storage.total_count() == 3
+
+
+class TestInputProvider:
+    def test_deterministic_per_seed(self):
+        a = InputProvider(seed=5)
+        b = InputProvider(seed=5)
+        assert a.value("x", 0) == b.value("x", 0)
+
+    def test_different_seeds_differ(self):
+        assert InputProvider(seed=1).value("x", 0) != InputProvider(seed=2).value(
+            "x", 0
+        )
+
+    def test_stream_advances(self):
+        provider = InputProvider()
+        assert provider.value("x", 0) != provider.value("x", 0)
+
+    def test_labels_and_ranks_independent(self):
+        provider = InputProvider()
+        x0 = provider.value("x", 0)
+        provider.value("y", 1)
+        fresh = InputProvider()
+        assert fresh.value("x", 0) == x0
+
+    def test_snapshot_restore_replays(self):
+        provider = InputProvider(seed=3)
+        provider.value("x", 0)
+        snap = provider.snapshot(0)
+        second = provider.value("x", 0)
+        provider.restore(0, snap)
+        assert provider.value("x", 0) == second
+
+    def test_restore_does_not_affect_other_ranks(self):
+        provider = InputProvider()
+        provider.value("x", 0)
+        provider.value("x", 1)
+        snap = provider.snapshot(0)
+        next_for_1 = provider.value("x", 1)
+        provider.restore(0, snap)
+        assert provider.value("x", 1) != next_for_1  # rank 1 stream moved on
+
+
+class TestFailurePlans:
+    def test_crashes_sorted_by_time(self):
+        plan = FailurePlan(
+            crashes=[CrashEvent(5.0, 1), CrashEvent(2.0, 0), CrashEvent(9.0, 2)]
+        )
+        times = [c.time for c in plan.effective()]
+        assert times == sorted(times)
+
+    def test_single_and_none(self):
+        assert FailurePlan.none().effective() == []
+        plan = FailurePlan.single(3.0, 1)
+        assert len(plan.effective()) == 1
+
+    def test_max_failures_cap(self):
+        plan = FailurePlan(
+            crashes=[CrashEvent(float(i), 0) for i in range(10)],
+            max_failures=3,
+        )
+        assert len(plan.effective()) == 3
+
+    def test_exponential_plan_reproducible(self):
+        a = exponential_failures(4, 0.05, horizon=100, seed=1)
+        b = exponential_failures(4, 0.05, horizon=100, seed=1)
+        assert [(c.time, c.rank) for c in a.crashes] == [
+            (c.time, c.rank) for c in b.crashes
+        ]
+
+    def test_exponential_plan_within_horizon(self):
+        plan = exponential_failures(4, 0.1, horizon=50, seed=2)
+        assert all(c.time < 50 for c in plan.crashes)
+
+    def test_zero_rate_empty(self):
+        assert exponential_failures(4, 0.0, horizon=50).crashes == []
+
+    def test_invalid_args(self):
+        with pytest.raises(SimulationError):
+            exponential_failures(2, -1.0, horizon=10)
+        with pytest.raises(SimulationError):
+            exponential_failures(2, 0.1, horizon=0)
+
+    def test_rate_scales_count(self):
+        sparse = exponential_failures(8, 0.01, horizon=200, seed=0)
+        dense = exponential_failures(8, 0.1, horizon=200, seed=0)
+        assert len(dense.crashes) > len(sparse.crashes)

@@ -1,0 +1,59 @@
+"""CLI tests for trace export + analysis."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def safe_trace(tmp_path, capsys):
+    path = tmp_path / "safe.json"
+    assert main(
+        ["simulate", "@jacobi", "-n", "4", "--steps", "3",
+         "--export-trace", str(path)]
+    ) == 0
+    capsys.readouterr()
+    return path
+
+
+@pytest.fixture
+def unsafe_trace(tmp_path, capsys):
+    path = tmp_path / "unsafe.json"
+    assert main(
+        ["simulate", "@jacobi_odd_even", "-n", "4", "--steps", "3",
+         "--export-trace", str(path)]
+    ) == 0
+    capsys.readouterr()
+    return path
+
+
+class TestExportAndAnalyze:
+    def test_export_writes_json(self, safe_trace):
+        import json
+
+        data = json.loads(safe_trace.read_text())
+        assert data["n_processes"] == 4
+        assert data["events"]
+
+    def test_analyze_safe_trace(self, safe_trace, capsys):
+        assert main(["analyze", str(safe_trace)]) == 0
+        out = capsys.readouterr().out
+        assert "every straight cut is a recovery line" in out
+
+    def test_analyze_unsafe_trace(self, unsafe_trace, capsys):
+        assert main(["analyze", str(unsafe_trace)]) == 1
+        out = capsys.readouterr().out
+        assert "NOT recovery lines" in out
+        assert "orphan witness" in out
+
+    def test_analyze_reports_rollback_analysis(self, unsafe_trace, capsys):
+        main(["analyze", str(unsafe_trace)])
+        out = capsys.readouterr().out
+        assert "max consistent cut" in out
+
+    def test_analyze_with_spacetime(self, safe_trace, capsys):
+        assert main(["analyze", str(safe_trace), "--spacetime"]) == 0
+        assert "legend:" in capsys.readouterr().out
+
+    def test_analyze_missing_file(self, capsys):
+        assert main(["analyze", "/nonexistent.json"]) == 2

@@ -1,0 +1,60 @@
+"""Documentation coverage: every public item carries a docstring."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _public_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if "__main__" in module_info.name:
+            continue
+        names.append(module_info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__, f"{module_name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_public_classes_and_functions_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-export; documented at its home
+        if not inspect.getdoc(obj):
+            missing.append(name)
+    assert not missing, f"{module_name}: undocumented public items {missing}"
+
+
+@pytest.mark.parametrize("module_name", _public_modules())
+def test_public_methods_documented(module_name):
+    module = importlib.import_module(module_name)
+    missing = []
+    for class_name, cls in vars(module).items():
+        if class_name.startswith("_") or not inspect.isclass(cls):
+            continue
+        if getattr(cls, "__module__", None) != module_name:
+            continue
+        for method_name, method in vars(cls).items():
+            if method_name.startswith("_"):
+                continue
+            if not (inspect.isfunction(method) or isinstance(method, property)):
+                continue
+            target = method.fget if isinstance(method, property) else method
+            if target is not None and not inspect.getdoc(target):
+                missing.append(f"{class_name}.{method_name}")
+    assert not missing, f"{module_name}: undocumented methods {missing}"

@@ -1,0 +1,39 @@
+"""Every shipped example must run cleanly end to end.
+
+Examples are the first code users run; breaking one is a release
+blocker, so they execute here as subprocesses (import-isolated, like a
+user would run them).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    names = {p.stem for p in EXAMPLES}
+    assert {
+        "quickstart",
+        "jacobi_transform",
+        "protocol_comparison",
+        "failure_recovery",
+        "mpmd_farm",
+    } <= names

@@ -1,0 +1,73 @@
+"""Static hygiene: no unused imports in the library source.
+
+A lightweight AST-based substitute for an external linter (the
+environment is offline). ``__init__.py`` files are exempt — their
+imports are re-exports.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def _module_files():
+    return sorted(
+        path for path in SRC.rglob("*.py") if path.name != "__init__.py"
+    )
+
+
+def _imported_names(tree):
+    names = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                names[bound] = node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                names[bound] = node.lineno
+    return names
+
+
+def _used_names(tree):
+    used = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name):
+            used.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            # record the base of dotted access (module.attr)
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                used.add(base.id)
+        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # string annotations under `from __future__ import annotations`
+            used.update(
+                part
+                for part in node.value.replace("[", " ").replace("]", " ")
+                .replace(".", " ").replace(",", " ").replace('"', " ")
+                .split()
+            )
+    return used
+
+
+@pytest.mark.parametrize(
+    "path", _module_files(), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_no_unused_imports(path):
+    tree = ast.parse(path.read_text())
+    imported = _imported_names(tree)
+    used = _used_names(tree)
+    unused = [
+        f"{name} (line {line})"
+        for name, line in imported.items()
+        if name not in used and name != "annotations"
+    ]
+    assert not unused, f"{path.name}: unused imports: {unused}"

@@ -1,0 +1,47 @@
+"""Tests for the results-regeneration tool."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "regenerate_results", REPO_ROOT / "tools" / "regenerate_results.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRegenerateResults:
+    def test_writes_all_artifacts(self, tmp_path, capsys):
+        tool = load_tool()
+        assert tool.main([str(tmp_path)]) == 0
+        names = {p.name for p in tmp_path.iterdir()}
+        assert names == {
+            "figure8.txt",
+            "figure9.txt",
+            "figure7_markov.txt",
+            "protocol_comparison.txt",
+            "optimal_intervals.txt",
+            "checkpointing_payoff.txt",
+        }
+
+    def test_figures_record_shape_verdicts(self, tmp_path, capsys):
+        tool = load_tool()
+        tool.main([str(tmp_path)])
+        assert "ALL HOLD" in (tmp_path / "figure8.txt").read_text()
+        assert "ALL HOLD" in (tmp_path / "figure9.txt").read_text()
+
+    def test_deterministic(self, tmp_path, capsys):
+        tool = load_tool()
+        first = tmp_path / "a"
+        second = tmp_path / "b"
+        tool.main([str(first)])
+        tool.main([str(second)])
+        for name in ("figure8.txt", "figure7_markov.txt",
+                     "protocol_comparison.txt"):
+            assert (first / name).read_text() == (second / name).read_text()

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Regenerate every quantitative artifact in EXPERIMENTS.md.
+
+Writes one plain-text file per experiment into ``results/`` (created if
+needed). Run from the repository root::
+
+    python tools/regenerate_results.py [output_dir]
+
+Everything is deterministic (fixed seeds), so re-running should produce
+byte-identical outputs on the same platform.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def write(path: Path, text: str) -> None:
+    """Write *text* to *path* and echo the file name."""
+    path.write_text(text)
+    print(f"wrote {path}")
+
+
+def figure8(out: Path) -> None:
+    from repro.analysis.comparison import figure8_series
+    from repro.bench.figures import figure8_table, shape_check_figure8
+
+    problems = shape_check_figure8(figure8_series())
+    body = figure8_table() + "\n\nshape claims: " + (
+        "ALL HOLD" if not problems else "; ".join(problems)
+    ) + "\n"
+    write(out / "figure8.txt", body)
+
+
+def figure9(out: Path) -> None:
+    from repro.analysis.comparison import figure9_series
+    from repro.bench.figures import figure9_table, shape_check_figure9
+
+    problems = shape_check_figure9(figure9_series())
+    body = figure9_table() + "\n\nshape claims: " + (
+        "ALL HOLD" if not problems else "; ".join(problems)
+    ) + "\n"
+    write(out / "figure9.txt", body)
+
+
+def markov_validation(out: Path) -> None:
+    from repro.analysis import (
+        IntervalMarkovChain,
+        STARFISH_DEFAULTS,
+        gamma_closed_form,
+        simulate_interval_time,
+        system_failure_rate,
+    )
+
+    p = STARFISH_DEFAULTS
+    lam = system_failure_rate(p, 256)
+    args = (p.interval, p.checkpoint_overhead, p.recovery_overhead,
+            p.checkpoint_latency)
+    chain = IntervalMarkovChain(lam, *args)
+    monte = simulate_interval_time(lam, *args, trials=20_000)
+    lines = [
+        f"lambda (n=256)     : {lam:.6e}",
+        f"Gamma closed form  : {gamma_closed_form(lam, *args):.6f}",
+        f"Gamma two-path     : {chain.expected_time_two_path():.6f}",
+        f"Gamma linear system: {chain.expected_time_linear_system():.6f}",
+        f"Gamma Monte Carlo  : {monte.mean:.4f} +/- {monte.std_error:.4f}",
+    ]
+    write(out / "figure7_markov.txt", "\n".join(lines) + "\n")
+
+
+def protocol_comparison(out: Path) -> None:
+    from repro.bench.workloads import (
+        ProtocolRunSummary,
+        run_protocol_comparison,
+        standard_workloads,
+    )
+    from repro.runtime import FailurePlan
+
+    workload = standard_workloads(steps=12)[0]
+    rows = run_protocol_comparison(
+        workload, period=6.0, failure_plan=FailurePlan.single(14.3, 2)
+    )
+    body = ProtocolRunSummary.header() + "\n" + "\n".join(
+        row.row() for row in rows
+    ) + "\n"
+    write(out / "protocol_comparison.txt", body)
+
+
+def optimal_intervals(out: Path) -> None:
+    from repro.analysis.sensitivity import optimal_table
+
+    write(out / "optimal_intervals.txt", optimal_table() + "\n")
+
+
+def payoff(out: Path) -> None:
+    from repro.analysis import STARFISH_DEFAULTS, system_failure_rate
+    from repro.analysis.availability import (
+        break_even_work,
+        expected_completion_with_checkpointing,
+        expected_completion_without_checkpointing,
+    )
+
+    p = STARFISH_DEFAULTS
+    lam = system_failure_rate(p, 256)
+    args = dict(
+        interval=p.interval,
+        total_overhead=p.checkpoint_overhead,
+        recovery=p.recovery_overhead,
+        total_latency=p.checkpoint_latency,
+    )
+    lines = [f"{'work':>8s} {'protected':>14s} {'unprotected':>16s}"]
+    for hours in (1, 6, 24):
+        work = hours * 3600.0
+        protected = expected_completion_with_checkpointing(work, lam, **args)
+        unprotected = expected_completion_without_checkpointing(work, lam)
+        lines.append(f"{hours:>6d}h {protected:>14.0f} {unprotected:>16.0f}")
+    point = break_even_work(lam, **args)
+    lines.append(f"break-even work: {point.work:.0f} s")
+    write(out / "checkpointing_payoff.txt", "\n".join(lines) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate all result files; returns the process exit code."""
+    args = argv if argv is not None else sys.argv[1:]
+    out = Path(args[0]) if args else Path("results")
+    out.mkdir(parents=True, exist_ok=True)
+    figure8(out)
+    figure9(out)
+    markov_validation(out)
+    protocol_comparison(out)
+    optimal_intervals(out)
+    payoff(out)
+    print("done")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
