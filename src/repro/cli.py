@@ -138,6 +138,84 @@ def _parse_crash(text: str):
         ) from None
 
 
+def _parse_fault(text: str):
+    from repro.runtime.failures import FaultKind, StorageFaultEvent
+
+    parts = text.split(":")
+    try:
+        kind = FaultKind(parts[0])
+        time = float(parts[1])
+        rank = int(parts[2])
+        number = int(parts[3]) if len(parts) > 3 and parts[3] else None
+        replica = int(parts[4]) if len(parts) > 4 else 0
+        if len(parts) > 5:
+            raise ValueError(text)
+        return StorageFaultEvent(
+            time=time, rank=rank, kind=kind, number=number, replica=replica
+        )
+    except (ValueError, IndexError):
+        kinds = "|".join(k.value for k in FaultKind)
+        raise argparse.ArgumentTypeError(
+            f"fault must be KIND:TIME:RANK[:NUMBER[:REPLICA]] with "
+            f"KIND one of {kinds}, got {text!r}"
+        ) from None
+
+
+def _load_fault_plan(path: str, crashes, faults):
+    """Build a FaultPlan from CLI events plus an optional JSON file.
+
+    The JSON schema mirrors the dataclasses::
+
+        {"max_failures": 4,
+         "crashes": [{"time": 10.0, "rank": 1}, ...],
+         "storage_faults": [{"time": 5.0, "rank": 0, "kind": "bit-rot",
+                             "number": 2, "replica": 0, "attempts": 1}, ...]}
+    """
+    import json
+
+    from repro.runtime.failures import (
+        CrashEvent,
+        FaultPlan,
+        StorageFaultEvent,
+    )
+
+    from repro.errors import SimulationError
+
+    crashes = list(crashes)
+    faults = list(faults)
+    max_failures = None
+    if path:
+        try:
+            data = json.loads(Path(path).read_text())
+            max_failures = data.get("max_failures")
+            for entry in data.get("crashes", []):
+                crashes.append(
+                    CrashEvent(
+                        time=float(entry["time"]), rank=int(entry["rank"])
+                    )
+                )
+            for entry in data.get("storage_faults", []):
+                faults.append(
+                    StorageFaultEvent(
+                        time=float(entry["time"]),
+                        rank=int(entry["rank"]),
+                        kind=entry["kind"],
+                        number=entry.get("number"),
+                        replica=int(entry.get("replica", 0)),
+                        attempts=int(entry.get("attempts", 1)),
+                    )
+                )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"bad fault plan {path!r}: {exc!r} — expected "
+                '{"max_failures": N, "crashes": [{"time", "rank"}], '
+                '"storage_faults": [{"time", "rank", "kind", ...}]}'
+            ) from exc
+    return FaultPlan(
+        crashes=crashes, max_failures=max_failures, storage_faults=faults
+    )
+
+
 _PROTOCOLS = {
     "none": None,
     "appl-driven": "ApplicationDrivenProtocol",
@@ -163,10 +241,9 @@ def _make_protocol(name: str, period: float):
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.runtime.engine import Simulation
-    from repro.runtime.failures import FailurePlan
 
     program = _load(args.program)
-    plan = FailurePlan(crashes=list(args.crash))
+    plan = _load_fault_plan(args.fault_plan, args.crash, args.fault)
     protocol = _make_protocol(args.protocol, args.period)
     sim = Simulation(
         program,
@@ -175,6 +252,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         protocol=protocol,
         failure_plan=plan,
         seed=args.seed,
+        storage_replicas=args.storage_replicas,
     )
     result = sim.run()
     stats = result.stats
@@ -186,6 +264,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
           f"(forced: {stats.forced_checkpoints})")
     print(f"failures/rollbacks: {stats.failures}/{stats.rollbacks}")
     print(f"lost work         : {stats.lost_work:.3f}")
+    if plan.storage_faults or args.storage_replicas > 1:
+        print(f"storage faults    : write-failures={stats.storage_write_failures} "
+              f"torn={stats.torn_writes} retries={stats.storage_retries} "
+              f"bit-rot={stats.bit_rot_injected} "
+              f"corrupt-detected={stats.corrupt_checkpoints}")
+        print(f"degraded recovery : {stats.recovery_fallbacks} "
+              f"(max fallback depth: {stats.max_fallback_depth})")
     consistent = result.trace.all_straight_cuts_consistent()
     print(f"straight cuts are recovery lines: {consistent}")
     if args.spacetime:
@@ -354,6 +439,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=0)
     simulate.add_argument("--crash", type=_parse_crash, action="append",
                           default=[], metavar="TIME:RANK")
+    simulate.add_argument("--fault", type=_parse_fault, action="append",
+                          default=[], metavar="KIND:TIME:RANK[:NUM[:REP]]",
+                          help="inject a storage fault (kind: write-fail, "
+                               "torn-write, bit-rot, transient)")
+    simulate.add_argument("--fault-plan", metavar="PATH",
+                          help="JSON file with crashes and storage_faults")
+    simulate.add_argument("--storage-replicas", type=int, default=1,
+                          metavar="N",
+                          help="replicate stable storage N-way with "
+                               "majority-quorum reads")
     simulate.add_argument("--protocol", choices=sorted(_PROTOCOLS),
                           default="appl-driven")
     simulate.add_argument("--period", type=float, default=10.0,

@@ -74,12 +74,79 @@ class DeadlockError(SimulationError):
         self.blocked = blocked
 
 
+def _context_suffix(pairs: list[tuple[str, object]]) -> str:
+    parts = [f"{key}={value}" for key, value in pairs if value is not None]
+    return f" ({', '.join(parts)})" if parts else ""
+
+
 class ChannelError(SimulationError):
-    """Raised on invalid channel operations (unknown endpoint, etc.)."""
+    """Raised on invalid channel operations (unknown endpoint, etc.).
+
+    Carries the channel coordinates (``src``, ``dst``, ``lane``) when
+    the raise site knows them, so fault-path failures name the exact
+    channel instead of forcing a reader to parse the message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        src: int | None = None,
+        dst: int | None = None,
+        lane: str | None = None,
+    ) -> None:
+        super().__init__(
+            message + _context_suffix([("src", src), ("dst", dst), ("lane", lane)])
+        )
+        self.src = src
+        self.dst = dst
+        self.lane = lane
 
 
 class StorageError(SimulationError):
-    """Raised on invalid stable-storage operations."""
+    """Raised on invalid stable-storage operations.
+
+    Carries the owning ``rank``, the checkpoint ``number``, and (for
+    replicated stores) the ``replica`` index when known, so a storage
+    fault is debuggable from the exception alone.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: int | None = None,
+        number: int | None = None,
+        replica: int | None = None,
+    ) -> None:
+        super().__init__(
+            message
+            + _context_suffix(
+                [("rank", rank), ("checkpoint", number), ("replica", replica)]
+            )
+        )
+        self.rank = rank
+        self.number = number
+        self.replica = replica
+
+
+class StorageWriteError(StorageError):
+    """A checkpoint write failed permanently (all retries exhausted)."""
+
+
+class TornWriteError(StorageWriteError):
+    """A staged checkpoint write landed partially and failed validation.
+
+    Raised (or recorded on the write receipt) when the two-phase commit
+    detects that the staged bytes do not match the intended payload —
+    the torn blob is discarded and never published.
+    """
+
+
+class TransientStorageError(StorageError):
+    """A retryable I/O error on stable storage (succeeds on retry)."""
+
+
+class CorruptCheckpointError(StorageError):
+    """A stored checkpoint failed its checksum at read time (bit rot)."""
 
 
 class RecoveryError(SimulationError):

@@ -54,27 +54,28 @@ class ApplicationDrivenProtocol(CheckpointingProtocol):
             )
 
     def on_failure(self, sim: "Simulation", rank: int, time: float) -> None:
-        """Restore the deepest common straight cut ``R_i``."""
+        """Restore the deepest *intact* common straight cut ``R_i``.
+
+        When storage faults have eaten members of the nominal ``R_i``,
+        the shared degraded-recovery helper falls back to the deepest
+        fully-intact ``R_{i-1}``; validation then checks the cut that
+        is actually about to be restored.
+        """
         if self.validate:
-            self._validate_cut(sim)
+            number, members, _ = self.deepest_intact_cut(sim)
+            self._validate_cut(sim, number, list(members.values()))
         common = self.restore_common_number(sim, time)
         self.recovered_to.append(common)
 
-    def _validate_cut(self, sim: "Simulation") -> None:
+    def _validate_cut(self, sim: "Simulation", common: int, members) -> None:
         """Check by vector clocks that the straight cut is a recovery line.
 
         Uses the *trace*'s checkpoint events (same clocks as storage);
         a failure here means the program was not properly transformed —
         surfacing it beats silently restoring an inconsistent state.
         """
-        ranks = list(range(sim.n))
-        common = sim.storage.max_common_number(ranks)
         if common <= 0:
             return  # initial cut, trivially consistent
-        members = []
-        for rank in ranks:
-            stored = sim.storage.latest_with_number(rank, common)
-            members.append(stored)
         # Build a lightweight cut from the stored clocks by reusing the
         # checkpoint events recorded in the trace.
         events = []

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError
+from repro.errors import RecoveryError, StorageError
 from repro.runtime.hooks import ProtocolHooks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -12,28 +12,73 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.storage import StoredCheckpoint
 
 
+def _intact_with_number(sim: "Simulation", rank: int, number: int):
+    """Fault-aware lookup with a plain-storage fallback."""
+    lookup = getattr(sim.storage, "intact_with_number", None)
+    if lookup is not None:
+        return lookup(rank, number)
+    try:
+        return sim.storage.latest_with_number(rank, number)
+    except StorageError:
+        return None
+
+
 class CheckpointingProtocol(ProtocolHooks):
     """Base class with shared recovery helpers."""
 
     name = "abstract"
 
-    def restore_common_number(self, sim: "Simulation", at_time: float) -> int:
-        """Roll back to the deepest common checkpoint number.
+    def deepest_intact_cut(
+        self, sim: "Simulation"
+    ) -> tuple[int, dict[int, "StoredCheckpoint"], int]:
+        """The deepest fully-intact straight cut, with fallback depth.
 
-        This is straight-cut recovery: with checkpoint number ``i`` =
-        the largest number every process has reached (0 = initial
-        state), restore each process's latest number-``i`` checkpoint.
-        Returns ``i``.
+        Starts from ``i`` = the deepest checkpoint number every process
+        has reached and walks down: whenever any member of cut ``R_i``
+        is missing (lost write) or fails its checksum (bit rot), fall
+        back to ``R_{i-1}`` — which the paper's straight-cut structure
+        makes well-defined and still coordination-free, since no
+        process needs to negotiate which cut to use. Returns
+        ``(number, cut, depth)`` where *depth* counts how many cuts had
+        to be skipped (0 = the nominal recovery line was intact).
         """
         ranks = list(range(sim.n))
         common = sim.storage.max_common_number(ranks)
         if common < 0:
             raise RecoveryError("storage has no checkpoints at all")
-        cut = {
-            rank: sim.storage.latest_with_number(rank, common) for rank in ranks
-        }
+        target = common
+        while target >= 0:
+            cut: dict[int, "StoredCheckpoint"] = {}
+            for rank in ranks:
+                checkpoint = _intact_with_number(sim, rank, target)
+                if checkpoint is None:
+                    break
+                cut[rank] = checkpoint
+            else:
+                return target, cut, common - target
+            target -= 1
+        raise RecoveryError(
+            "no fully-intact straight cut survives on stable storage "
+            f"(searched R_{common} down to R_0)"
+        )
+
+    def restore_common_number(self, sim: "Simulation", at_time: float) -> int:
+        """Roll back to the deepest *intact* common checkpoint number.
+
+        This is straight-cut recovery with graceful degradation: with
+        checkpoint number ``i`` = the largest number every process has
+        reached (0 = initial state), restore each process's latest
+        intact number-``i`` checkpoint, falling back to ``R_{i-1}``
+        when a member is missing or corrupt. The fallback depth is
+        recorded in :class:`~repro.runtime.engine.SimulationStats`.
+        Returns the restored number.
+        """
+        number, cut, depth = self.deepest_intact_cut(sim)
+        sim.stats.fallback_depths.append(depth)
+        if depth:
+            sim.stats.recovery_fallbacks += 1
         sim.restore_cut(cut, at_time)
-        return common
+        return number
 
     def restore_tagged_round(
         self, sim: "Simulation", tag: str, at_time: float
@@ -42,6 +87,8 @@ class CheckpointingProtocol(ProtocolHooks):
 
         Used by coordinated protocols: *tag* identifies a completed
         round, so every process has exactly one matching checkpoint.
+        A corrupt member is a hard error here — round tags carry no
+        straight-cut structure to degrade along.
         """
         cut: dict[int, "StoredCheckpoint"] = {}
         for rank in range(sim.n):

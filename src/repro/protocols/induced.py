@@ -74,7 +74,8 @@ class InducedProtocol(CheckpointingProtocol):
             rank, time, tag=f"bcs-{index}", forced=forced
         )
         self._index[rank] = index
-        self._by_index[rank][index] = stored
+        if stored is not None:
+            self._by_index[rank][index] = stored
 
     def on_failure(self, sim: "Simulation", rank: int, time: float) -> None:
         """Roll back to the highest index every process has covered.

@@ -55,7 +55,20 @@ class MessageLoggingProtocol(CheckpointingProtocol):
         sim.schedule_timer(rank, time + self.period, "mlog")
 
     def on_failure(self, sim: "Simulation", rank: int, time: float) -> None:
-        """Restart only the failed process; survivors are untouched."""
-        checkpoint = sim.storage.latest(rank)
+        """Restart only the failed process; survivors are untouched.
+
+        Corrupt checkpoints of the victim are skipped (newest-first):
+        the channel logs reach arbitrarily far back, so replay from an
+        older intact checkpoint still converges to the pre-crash state —
+        it just replays more. The skip depth is recorded as a degraded
+        recovery.
+        """
+        if hasattr(sim.storage, "latest_intact"):
+            checkpoint, depth = sim.storage.latest_intact(rank)
+        else:
+            checkpoint, depth = sim.storage.latest(rank), 0
+        sim.stats.fallback_depths.append(depth)
+        if depth:
+            sim.stats.recovery_fallbacks += 1
         sim.restore_single(checkpoint, time)
         self.single_restarts.append(rank)

@@ -51,9 +51,19 @@ class UncoordinatedProtocol(CheckpointingProtocol):
 
         Every process always has its number-0 (initial) checkpoint, so
         the fixpoint always lands on a valid cut — in the worst case the
-        full restart the domino effect forces.
+        full restart the domino effect forces. Checkpoints that fail
+        their checksum (bit rot, torn survivors) are excluded from the
+        search up front, so the rollback can only land on restorable
+        state; any such exclusion is recorded as a degraded recovery.
         """
-        histories = {r: sim.storage.history(r) for r in range(sim.n)}
+        intact = getattr(sim.storage, "intact_history", sim.storage.history)
+        histories = {r: intact(r) for r in range(sim.n)}
+        skipped = sum(
+            sim.storage.count(r) - len(h) for r, h in histories.items()
+        )
+        sim.stats.fallback_depths.append(skipped)
+        if skipped:
+            sim.stats.recovery_fallbacks += 1
         positions, domino = max_consistent_positions(
             {r: [c.clock for c in h] for r, h in histories.items()}
         )

@@ -19,30 +19,51 @@ from repro.runtime.effects import (
     SendEffect,
 )
 from repro.runtime.engine import RuntimeCosts, Simulation, SimulationResult
-from repro.runtime.failures import FailurePlan, exponential_failures
+from repro.runtime.failures import (
+    CrashEvent,
+    FailurePlan,
+    FaultKind,
+    FaultPlan,
+    StorageFaultEvent,
+    exponential_failures,
+    exponential_fault_plan,
+)
 from repro.runtime.interpreter import ProcessInterpreter, ProcessSnapshot
 from repro.runtime.network import Message, Network
-from repro.runtime.storage import StableStorage
+from repro.runtime.storage import (
+    CheckpointStore,
+    ReplicatedCheckpointStore,
+    StableStorage,
+    StoredCheckpoint,
+)
 from repro.runtime.trace import ExecutionTrace
 
 __all__ = [
     "BcastRecvEffect",
     "BcastSendEffect",
     "CheckpointEffect",
+    "CheckpointStore",
     "ComputeEffect",
+    "CrashEvent",
     "Effect",
     "ExecutionTrace",
     "FailurePlan",
+    "FaultKind",
+    "FaultPlan",
     "LocalEffect",
     "Message",
     "Network",
     "ProcessInterpreter",
     "ProcessSnapshot",
     "RecvEffect",
+    "ReplicatedCheckpointStore",
     "RuntimeCosts",
     "SendEffect",
     "Simulation",
     "SimulationResult",
     "StableStorage",
+    "StorageFaultEvent",
+    "StoredCheckpoint",
     "exponential_failures",
+    "exponential_fault_plan",
 ]

@@ -16,7 +16,7 @@ yields a causally consistent interleaving: an item executed at time
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.causality.records import EventKind
 from repro.causality.vector_clock import VectorClock
@@ -32,12 +32,18 @@ from repro.runtime.effects import (
     RecvEffect,
     SendEffect,
 )
-from repro.runtime.failures import FailurePlan
+from repro.runtime.failures import FailurePlan, FaultKind, StorageFaultEvent
 from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
 from repro.runtime.inputs import InputProvider
 from repro.runtime.interpreter import ProcessInterpreter
 from repro.runtime.network import Message, Network
-from repro.runtime.storage import StableStorage, StoredCheckpoint, snapshot_sizes
+from repro.runtime.storage import (
+    CheckpointStore,
+    ReplicatedCheckpointStore,
+    StableStorage,
+    StoredCheckpoint,
+    snapshot_sizes,
+)
 from repro.runtime.trace import ExecutionTrace
 
 
@@ -56,6 +62,7 @@ class RuntimeCosts:
     checkpoint_overhead: float = 1.0       # the paper's o
     recovery_overhead: float = 2.0         # the paper's R
     control_latency: float = 0.05          # transit time of a control message
+    storage_retry_backoff: float = 0.25    # base of the exponential backoff
 
 
 @dataclass
@@ -71,6 +78,19 @@ class SimulationStats:
     lost_work: float = 0.0
     completed: bool = False
     steps: int = 0
+    # Storage-fault accounting (all zero under a fault-free plan).
+    storage_write_failures: int = 0
+    torn_writes: int = 0
+    storage_retries: int = 0
+    bit_rot_injected: int = 0
+    corrupt_checkpoints: int = 0
+    recovery_fallbacks: int = 0
+    fallback_depths: list[int] = field(default_factory=list)
+
+    @property
+    def max_fallback_depth(self) -> int:
+        """Deepest degraded-recovery fallback seen (0 = never degraded)."""
+        return max(self.fallback_depths, default=0)
 
 
 @dataclass
@@ -117,15 +137,26 @@ class Simulation:
         base_latency: float = 0.5,
         record_compute_events: bool = False,
         max_steps: int = 2_000_000,
+        storage_replicas: int = 1,
+        max_storage_retries: int = 3,
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
+        if storage_replicas < 1:
+            raise SimulationError(
+                f"need at least one storage replica, got {storage_replicas}"
+            )
         self.program = program
         self.n = n_processes
         self.costs = costs
         self.protocol = protocol if protocol is not None else NullProtocol()
         self.network = Network(n_processes, base_latency=base_latency, seed=seed)
-        self.storage = StableStorage()
+        if storage_replicas == 1:
+            self.storage = CheckpointStore(max_retries=max_storage_retries)
+        else:
+            self.storage = ReplicatedCheckpointStore(
+                replicas=storage_replicas, max_retries=max_storage_retries
+            )
         self.trace = ExecutionTrace(n_processes=n_processes)
         self.stats = SimulationStats()
         self.record_compute_events = record_compute_events
@@ -136,7 +167,32 @@ class Simulation:
         self._control_queue: list[ControlMessage] = []
         self._timers: list[tuple[float, int, int, str]] = []
         self._timer_seq = 0
-        self._crashes = list((failure_plan or FailurePlan.none()).effective())
+        plan = failure_plan or FailurePlan.none()
+        self._crashes = list(plan.effective())
+        storage_faults: list[StorageFaultEvent] = list(
+            getattr(plan, "storage_faults", []) or []
+        )
+        for fault in storage_faults:
+            if fault.rank >= n_processes:
+                raise SimulationError(
+                    f"storage fault targets rank {fault.rank} but the "
+                    f"simulation has only {n_processes} processes"
+                )
+            if fault.replica >= storage_replicas:
+                raise SimulationError(
+                    f"storage fault targets replica {fault.replica} but "
+                    f"storage has only {storage_replicas} replica(s)"
+                )
+        # Bit rot fires through the event loop; write faults arm and
+        # wait for a matching checkpoint write.
+        self._rot_events = sorted(
+            (f for f in storage_faults if f.kind is FaultKind.BIT_ROT),
+            key=lambda f: (f.time, f.rank),
+        )
+        self._write_faults = sorted(
+            (f for f in storage_faults if f.kind is not FaultKind.BIT_ROT),
+            key=lambda f: (f.time, f.rank),
+        )
         self._last_checkpoint_env: dict[int, dict[str, int]] = {}
         self.procs = [
             _Proc(
@@ -192,8 +248,13 @@ class Simulation:
 
     def take_checkpoint(
         self, rank: int, at_time: float, tag: str, forced: bool = False
-    ) -> StoredCheckpoint:
-        """Protocol-initiated checkpoint of *rank* (legal while blocked)."""
+    ) -> StoredCheckpoint | None:
+        """Protocol-initiated checkpoint of *rank* (legal while blocked).
+
+        Returns ``None`` when a storage fault made the write fail — the
+        checkpoint overhead is still paid, but nothing was published
+        and ``on_checkpoint`` does not fire.
+        """
         proc = self.procs[rank]
         if proc.status in (_Status.CRASHED, _Status.DONE):
             raise SimulationError(
@@ -207,7 +268,8 @@ class Simulation:
         self.stats.checkpoints += 1
         if forced:
             self.stats.forced_checkpoints += 1
-        self.protocol.on_checkpoint(self, rank, stored.number)
+        if stored is not None:
+            self.protocol.on_checkpoint(self, rank, stored.number)
         return stored
 
     def restore_cut(
@@ -222,6 +284,7 @@ class Simulation:
         """
         if set(cut) != set(range(self.n)):
             raise RecoveryError("restore_cut needs one checkpoint per process")
+        self._refuse_corrupt(cut.values())
         cursors: dict[tuple[int, int, str], tuple[int, int]] = {}
         for rank, checkpoint in cut.items():
             for key, (sent, delivered) in checkpoint.channel_cursors.items():
@@ -276,6 +339,7 @@ class Simulation:
         replay cursors. Deterministic replay brings it back to its
         pre-crash state without any rollback of other processes.
         """
+        self._refuse_corrupt([checkpoint])
         rank = checkpoint.rank
         proc = self.procs[rank]
         restart = at_time + self.costs.recovery_overhead
@@ -309,6 +373,24 @@ class Simulation:
         )
         self.stats.rollbacks += 1
 
+    def _refuse_corrupt(self, checkpoints) -> None:
+        """A corrupt checkpoint must never be restored — fail loudly.
+
+        Recovery paths are expected to have already degraded around
+        corruption; reaching here with a bad checksum is a protocol
+        bug, and restoring silently would resurrect rotten state.
+        """
+        verify = getattr(self.storage, "verify", None)
+        if verify is None:
+            return
+        for checkpoint in checkpoints:
+            if not verify(checkpoint):
+                raise RecoveryError(
+                    f"refusing to restore corrupt checkpoint "
+                    f"{checkpoint.number} of rank {checkpoint.rank} "
+                    "(checksum mismatch)"
+                )
+
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
@@ -340,7 +422,9 @@ class Simulation:
             time, priority, payload = item
             if max_time is not None and time > max_time:
                 break
-            if priority == 0:
+            if priority == -1:
+                self._apply_storage_fault(payload, time)
+            elif priority == 0:
                 self._apply_crash(payload, time)
             elif priority == 1:
                 self._control_queue.remove(payload)
@@ -351,6 +435,9 @@ class Simulation:
             else:
                 self._execute_process(payload)
         self.stats.completed = all(p.status is _Status.DONE for p in self.procs)
+        self.stats.corrupt_checkpoints = getattr(
+            self.storage, "corruption_detected", 0
+        )
         return SimulationResult(
             trace=self.trace,
             stats=self.stats,
@@ -369,6 +456,12 @@ class Simulation:
             if best is None or (time, priority) < (best[0], best[1]):
                 best = (time, priority, payload)
 
+        if self._rot_events:
+            # Bit rot sorts ahead of a same-instant crash: the most
+            # adversarial interleaving corrupts storage first, so the
+            # crash's recovery must already cope with it.
+            rot = self._rot_events[0]
+            consider(rot.time, -1, rot)
         if self._crashes:
             crash = self._crashes[0]
             consider(crash.time, 0, crash)
@@ -447,16 +540,17 @@ class Simulation:
             return
         if isinstance(effect, CheckpointEffect):
             proc.clock += costs.checkpoint_overhead
-            self._store_checkpoint(
+            stored = self._store_checkpoint(
                 proc,
                 stmt_id=effect.stmt.node_id,
                 tag="app",
                 time=proc.clock,
             )
             self.stats.checkpoints += 1
-            self.protocol.on_checkpoint(
-                self, proc.rank, proc.interp.checkpoint_count
-            )
+            if stored is not None:
+                self.protocol.on_checkpoint(
+                    self, proc.rank, proc.interp.checkpoint_count
+                )
             return
         raise SimulationError(f"unknown effect {effect!r}")
 
@@ -518,12 +612,18 @@ class Simulation:
 
     def _store_checkpoint(
         self, proc: _Proc, stmt_id: int | None, tag: str, time: float
-    ) -> StoredCheckpoint:
+    ) -> StoredCheckpoint | None:
+        """Write a checkpoint through the fault-aware store.
+
+        Returns the published checkpoint, or ``None`` when an injected
+        storage fault made the write fail (the process carries on — its
+        checkpoint numbering keeps advancing, so the straight-cut
+        structure stays globally consistent with a hole at this number).
+        """
         self._tick(proc.rank)
         snapshot = proc.interp.snapshot()
         previous_env = self._last_checkpoint_env.get(proc.rank)
         full_bytes, delta_bytes = snapshot_sizes(snapshot, previous_env)
-        self._last_checkpoint_env[proc.rank] = dict(snapshot.env)
         stored = StoredCheckpoint(
             rank=proc.rank,
             number=proc.interp.checkpoint_count,
@@ -537,7 +637,21 @@ class Simulation:
             full_bytes=full_bytes,
             delta_bytes=delta_bytes,
         )
-        self.storage.store(stored)
+        fault = self._take_write_fault(proc.rank, time, stored.number)
+        receipt = self.storage.store(stored, fault=fault)
+        if receipt.retries:
+            # Bounded retry with exponential backoff: attempt k waits
+            # backoff * 2^(k-1), charged to the writer's local clock.
+            self.stats.storage_retries += receipt.retries
+            proc.clock += self.costs.storage_retry_backoff * (
+                2 ** receipt.retries - 1
+            )
+        if not receipt.published:
+            self.stats.storage_write_failures += 1
+            if receipt.torn:
+                self.stats.torn_writes += 1
+            return None
+        self._last_checkpoint_env[proc.rank] = dict(snapshot.env)
         if tag != "initial":
             self.trace.append(
                 EventKind.CHECKPOINT,
@@ -548,6 +662,37 @@ class Simulation:
                 stmt_id=stmt_id,
             )
         return stored
+
+    def _take_write_fault(
+        self, rank: int, now: float, number: int
+    ) -> StorageFaultEvent | None:
+        """Pop the first armed write fault matching this write, if any."""
+        for position, fault in enumerate(self._write_faults):
+            if fault.time > now:
+                break
+            if fault.rank != rank:
+                continue
+            if fault.number is not None and fault.number != number:
+                continue
+            return self._write_faults.pop(position)
+        return None
+
+    # -- storage faults ----------------------------------------------------------
+
+    def _apply_storage_fault(
+        self, fault: StorageFaultEvent, time: float
+    ) -> None:
+        """Fire a scheduled bit-rot event: corrupt a stored checkpoint.
+
+        Silent by construction — nothing advances any process clock and
+        no trace event is recorded, so detection can only happen at
+        read (recovery) time, via checksums.
+        """
+        self._rot_events.remove(fault)
+        if self.storage.corrupt(
+            fault.rank, number=fault.number, replica=fault.replica
+        ):
+            self.stats.bit_rot_injected += 1
 
     # -- crashes ---------------------------------------------------------------------
 

@@ -1,14 +1,18 @@
-"""Failure injection.
+"""Failure and fault injection.
 
 A :class:`FailurePlan` is a pre-drawn list of (time, rank) crash
-events. Plans are generated ahead of the run (exponential arrivals per
-process, or fixed schedules in tests), so simulations stay reproducible
-and independent of execution order.
+events. A :class:`FaultPlan` extends it with *stable-storage* faults —
+checkpoint write failures, torn (partial) writes, silent bit rot, and
+transient I/O errors — so recovery itself can be stressed, not just
+triggered. Plans are generated ahead of the run (exponential arrivals
+per process, or fixed schedules in tests), so simulations stay
+reproducible and independent of execution order.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from enum import Enum
 
 import numpy as np
 
@@ -23,6 +27,59 @@ class CrashEvent:
     rank: int
 
 
+class FaultKind(str, Enum):
+    """Taxonomy of stable-storage faults.
+
+    ``WRITE_FAIL``
+        Every attempt to write the targeted checkpoint errors; the
+        checkpoint is never published (a lost write).
+    ``TORN_WRITE``
+        The write lands partially: the staged bytes are truncated. The
+        store's two-phase commit detects the tear at validation time
+        and discards the blob — the checkpoint is never published, but
+        (unlike a naive store) garbage is never visible either.
+    ``BIT_ROT``
+        Silent corruption of an *already stored* checkpoint at a given
+        simulation time; detected only at read time by checksum.
+    ``TRANSIENT``
+        A retryable I/O error: the first ``attempts`` tries fail, after
+        which the write succeeds (if the retry budget allows).
+    """
+
+    WRITE_FAIL = "write-fail"
+    TORN_WRITE = "torn-write"
+    BIT_ROT = "bit-rot"
+    TRANSIENT = "transient"
+
+
+@dataclass(frozen=True)
+class StorageFaultEvent:
+    """One injected stable-storage fault.
+
+    Attributes:
+        time: Activation time. Write-targeting faults (``WRITE_FAIL``,
+            ``TORN_WRITE``, ``TRANSIENT``) arm at *time* and hit the
+            first matching checkpoint write at or after it; ``BIT_ROT``
+            fires at *time* through the event loop, corrupting a
+            checkpoint already on storage.
+        rank: The process whose checkpoint is targeted.
+        kind: The fault class (see :class:`FaultKind`).
+        number: Target checkpoint number, or ``None`` for "the next
+            write" (write faults) / "the latest stored" (bit rot).
+        replica: Which storage replica the fault hits (0 = primary);
+            only meaningful with a replicated store.
+        attempts: For ``TRANSIENT`` faults, how many write attempts
+            fail before one succeeds.
+    """
+
+    time: float
+    rank: int
+    kind: FaultKind
+    number: int | None = None
+    replica: int = 0
+    attempts: int = 1
+
+
 @dataclass
 class FailurePlan:
     """An ordered schedule of crashes.
@@ -35,6 +92,32 @@ class FailurePlan:
     max_failures: int | None = None
 
     def __post_init__(self) -> None:
+        if self.max_failures is not None and self.max_failures < 0:
+            raise SimulationError(
+                f"max_failures must be >= 0, got {self.max_failures}"
+            )
+        self.crashes = [
+            crash if isinstance(crash, CrashEvent) else CrashEvent(*crash)
+            for crash in self.crashes
+        ]
+        seen: set[tuple[float, int]] = set()
+        for crash in self.crashes:
+            if crash.time < 0:
+                raise SimulationError(
+                    f"crash time must be >= 0, got {crash.time} "
+                    f"(rank {crash.rank})"
+                )
+            if crash.rank < 0:
+                raise SimulationError(
+                    f"crash rank must be >= 0, got {crash.rank}"
+                )
+            key = (crash.time, crash.rank)
+            if key in seen:
+                raise SimulationError(
+                    f"duplicate crash event (time={crash.time}, "
+                    f"rank={crash.rank})"
+                )
+            seen.add(key)
         self.crashes.sort(key=lambda c: c.time)
 
     @classmethod
@@ -52,6 +135,71 @@ class FailurePlan:
         if self.max_failures is None:
             return list(self.crashes)
         return self.crashes[: self.max_failures]
+
+
+@dataclass
+class FaultPlan(FailurePlan):
+    """Crashes plus stable-storage faults, in one adversarial schedule.
+
+    A :class:`FaultPlan` is accepted anywhere a :class:`FailurePlan`
+    is; engines that understand storage faults additionally thread the
+    ``storage_faults`` through their event loop so fault timing
+    interleaves deterministically with crashes and messages.
+    """
+
+    storage_faults: list[StorageFaultEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        normalised: list[StorageFaultEvent] = []
+        seen: set[tuple[float, int, str, int | None, int]] = set()
+        for fault in self.storage_faults:
+            kind = fault.kind
+            if not isinstance(kind, FaultKind):
+                try:
+                    kind = FaultKind(kind)
+                except ValueError:
+                    known = ", ".join(k.value for k in FaultKind)
+                    raise SimulationError(
+                        f"unknown fault kind {fault.kind!r}; known: {known}"
+                    ) from None
+                fault = replace(fault, kind=kind)
+            if fault.time < 0:
+                raise SimulationError(
+                    f"fault time must be >= 0, got {fault.time} "
+                    f"(rank {fault.rank})"
+                )
+            if fault.rank < 0:
+                raise SimulationError(
+                    f"fault rank must be >= 0, got {fault.rank}"
+                )
+            if fault.replica < 0:
+                raise SimulationError(
+                    f"fault replica must be >= 0, got {fault.replica}"
+                )
+            if fault.attempts < 1:
+                raise SimulationError(
+                    f"fault attempts must be >= 1, got {fault.attempts}"
+                )
+            key = (fault.time, fault.rank, kind.value, fault.number,
+                   fault.replica)
+            if key in seen:
+                raise SimulationError(
+                    f"duplicate storage fault (time={fault.time}, "
+                    f"rank={fault.rank}, kind={kind.value})"
+                )
+            seen.add(key)
+            normalised.append(fault)
+        normalised.sort(key=lambda f: (f.time, f.rank))
+        self.storage_faults = normalised
+
+    def write_faults(self) -> list[StorageFaultEvent]:
+        """The write-targeting faults (armed, consumed by writes)."""
+        return [f for f in self.storage_faults if f.kind is not FaultKind.BIT_ROT]
+
+    def rot_events(self) -> list[StorageFaultEvent]:
+        """The bit-rot faults (scheduled through the event loop)."""
+        return [f for f in self.storage_faults if f.kind is FaultKind.BIT_ROT]
 
 
 def exponential_failures(
@@ -82,3 +230,54 @@ def exponential_failures(
                     break
                 crashes.append(CrashEvent(time=t, rank=rank))
     return FailurePlan(crashes=crashes, max_failures=max_failures)
+
+
+def exponential_fault_plan(
+    n_processes: int,
+    horizon: float,
+    failure_rate: float = 0.0,
+    storage_fault_rate: float = 0.0,
+    seed: int = 0,
+    max_failures: int | None = None,
+    kinds: tuple[FaultKind, ...] = (
+        FaultKind.WRITE_FAIL,
+        FaultKind.TORN_WRITE,
+        FaultKind.BIT_ROT,
+        FaultKind.TRANSIENT,
+    ),
+) -> FaultPlan:
+    """Draw a combined crash + storage-fault schedule up to *horizon*.
+
+    Crashes arrive per process at *failure_rate* exactly as in
+    :func:`exponential_failures`; storage faults arrive per process at
+    *storage_fault_rate* with kinds cycled deterministically from
+    *kinds* by the same seeded generator, so the whole adversarial
+    schedule is reproducible from ``(seed, rates, horizon)``.
+    """
+    if storage_fault_rate < 0:
+        raise SimulationError(
+            f"storage_fault_rate must be >= 0, got {storage_fault_rate}"
+        )
+    base = exponential_failures(
+        n_processes, failure_rate, horizon, seed=seed, max_failures=max_failures
+    )
+    faults: list[StorageFaultEvent] = []
+    if storage_fault_rate > 0:
+        if not kinds:
+            raise SimulationError("kinds must name at least one fault kind")
+        rng = np.random.default_rng(seed + 1)
+        for rank in range(n_processes):
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / storage_fault_rate))
+                if t >= horizon:
+                    break
+                kind = kinds[int(rng.integers(len(kinds)))]
+                faults.append(
+                    StorageFaultEvent(time=t, rank=rank, kind=kind)
+                )
+    return FaultPlan(
+        crashes=base.crashes,
+        max_failures=max_failures,
+        storage_faults=faults,
+    )

@@ -139,8 +139,9 @@ class Network:
             original = channel.log[channel.replayed]
             if original.value != value:
                 raise ChannelError(
-                    f"non-deterministic replay on channel {src}->{dst}: "
-                    f"resent {value!r}, logged {original.value!r}"
+                    f"non-deterministic replay: "
+                    f"resent {value!r}, logged {original.value!r}",
+                    src=src, dst=dst, lane=lane,
                 )
             channel.replayed += 1
             if channel.replayed >= len(channel.log):
@@ -172,7 +173,9 @@ class Network:
         channel = self._channel((src, dst, lane))
         head = channel.queue_head()
         if head is None:
-            raise ChannelError(f"channel {src}->{dst} ({lane}) is empty")
+            raise ChannelError(
+                "channel is empty", src=src, dst=dst, lane=lane
+            )
         channel.delivered += 1
         return head
 
@@ -213,8 +216,9 @@ class Network:
             sent, delivered = cut_cursors.get(key, (0, 0))
             if sent > channel.sent:
                 raise ChannelError(
-                    f"corrupt cut cursors for channel {key}: "
-                    f"({sent}, {delivered}) vs log length {channel.sent}"
+                    f"corrupt cut cursors: "
+                    f"({sent}, {delivered}) vs log length {channel.sent}",
+                    src=key[0], dst=key[1], lane=key[2],
                 )
             # delivered > sent happens only for *inconsistent* cuts (the
             # receiver's checkpoint saw an orphan message the sender's

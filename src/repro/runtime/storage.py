@@ -4,14 +4,25 @@ Each stored checkpoint bundles the process snapshot, the vector clock
 at the checkpoint, the channel cursors needed for exact channel
 rollback, and bookkeeping tags (which protocol round produced it, which
 statement). Storage survives process failures — that is its point.
+
+:class:`StableStorage` is the idealised store (every write succeeds,
+reads never lie). :class:`CheckpointStore` hardens it against the
+faults real checkpoint stores exhibit — lost writes, torn (partial)
+writes, silent bit rot, transient I/O errors — with per-checkpoint
+checksums, an atomic two-phase commit (stage → validate → publish),
+and bounded retry. :class:`ReplicatedCheckpointStore` additionally
+mirrors every published checkpoint across replicas and answers
+integrity queries by majority quorum.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.causality.vector_clock import VectorClock
 from repro.errors import StorageError
+from repro.runtime.failures import FaultKind, StorageFaultEvent
 from repro.runtime.interpreter import ProcessSnapshot
 
 
@@ -69,7 +80,7 @@ class StableStorage:
         """The most recent checkpoint of *rank*."""
         history = self._checkpoints.get(rank)
         if not history:
-            raise StorageError(f"no checkpoint stored for rank {rank}")
+            raise StorageError("no checkpoint stored", rank=rank)
         return history[-1]
 
     def latest_with_number(self, rank: int, number: int) -> StoredCheckpoint:
@@ -81,7 +92,9 @@ class StableStorage:
         for checkpoint in reversed(self._checkpoints.get(rank, [])):
             if checkpoint.number == number:
                 return checkpoint
-        raise StorageError(f"rank {rank} has no checkpoint number {number}")
+        raise StorageError(
+            "rank has no checkpoint with this number", rank=rank, number=number
+        )
 
     def latest_with_tag(self, rank: int, tag: str) -> StoredCheckpoint | None:
         """The most recent checkpoint of *rank* carrying *tag*, if any."""
@@ -113,9 +126,17 @@ class StableStorage:
                 del history[position + 1 :]
                 return dropped
         raise StorageError(
-            f"checkpoint {checkpoint.number} of rank {checkpoint.rank} "
-            "is not in storage"
+            "checkpoint is not in storage",
+            rank=checkpoint.rank,
+            number=checkpoint.number,
         )
+
+    def drop_prefix(self, rank: int, keep_from: int) -> int:
+        """Drop the oldest *keep_from* checkpoints of *rank* (GC helper)."""
+        history = self._checkpoints.get(rank, [])
+        keep_from = max(0, min(keep_from, len(history)))
+        del history[:keep_from]
+        return keep_from
 
     def count(self, rank: int) -> int:
         """Number of checkpoints stored for *rank*."""
@@ -161,8 +182,7 @@ def prune_below_common(storage: "StableStorage", ranks: list[int]) -> int:
         for position, checkpoint in enumerate(history):
             if checkpoint.number == common:
                 keep_from = position
-        dropped += keep_from
-        del history[:keep_from]
+        dropped += storage.drop_prefix(rank, keep_from)
     return dropped
 
 
@@ -189,3 +209,294 @@ def snapshot_sizes(
         if previous_env.get(name) != value
     )
     return full, WORD_BYTES * changed + frames
+
+
+# ----------------------------------------------------------------------
+# Fault-tolerant storage
+# ----------------------------------------------------------------------
+
+
+def checkpoint_payload(checkpoint: StoredCheckpoint) -> bytes:
+    """Canonical byte serialisation of a checkpoint's durable content.
+
+    Covers everything recovery depends on (snapshot, clock, cursors,
+    numbering) but excludes in-memory-only fields (``blocked_effect``
+    holds an AST-bearing effect object whose repr is not stable). Frames
+    are reduced to their control coordinates; the shared AST is not
+    serialised, matching how :class:`ProcessSnapshot` shares it.
+    """
+    snapshot = checkpoint.snapshot
+    frames = tuple(
+        (f.kind, f.index, f.remaining, f.trip) for f in snapshot.frames
+    )
+    return repr((
+        checkpoint.rank,
+        checkpoint.number,
+        sorted(snapshot.env.items()),
+        frames,
+        snapshot.checkpoint_count,
+        sorted(snapshot.input_counters.items()),
+        snapshot.pending_recv,
+        checkpoint.clock,
+        checkpoint.time,
+        sorted(checkpoint.channel_cursors.items()),
+        checkpoint.stmt_id,
+        checkpoint.tag,
+    )).encode()
+
+
+def checkpoint_checksum(checkpoint: StoredCheckpoint) -> int:
+    """CRC-32 over :func:`checkpoint_payload` (deterministic per content)."""
+    return zlib.crc32(checkpoint_payload(checkpoint))
+
+
+@dataclass(frozen=True)
+class StoreReceipt:
+    """Outcome of one two-phase checkpoint write.
+
+    Attributes:
+        published: Whether the checkpoint became visible.
+        retries: How many failed attempts preceded the outcome (used by
+            the engine to charge simulated backoff time).
+        torn: Whether a torn write was detected (and discarded) during
+            validation.
+        fault: The fault that was applied to this write, if any.
+    """
+
+    published: bool
+    retries: int = 0
+    torn: bool = False
+    fault: StorageFaultEvent | None = None
+
+
+class CheckpointStore(StableStorage):
+    """A :class:`StableStorage` hardened against storage faults.
+
+    Every write goes through an atomic two-phase commit: the payload is
+    *staged*, its checksum is *validated* against the intended content,
+    and only then is the checkpoint *published* into the history — so a
+    torn write is detected and discarded rather than published, and a
+    reader can never observe a half-written checkpoint. Published
+    checkpoints carry a checksum that read paths re-verify, which is
+    how silent bit rot is caught. Transient write errors are retried up
+    to ``max_retries`` times.
+
+    With a zero-fault plan the store behaves byte-identically to
+    :class:`StableStorage` (same histories, same ordering); the
+    integrity machinery only changes behaviour when faults fire.
+    """
+
+    def __init__(self, max_retries: int = 3) -> None:
+        super().__init__()
+        if max_retries < 0:
+            raise StorageError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+        # Published checksums, keyed by checkpoint object identity. An
+        # entry is (re)written on every publish, so identity reuse after
+        # truncation cannot produce a stale verdict for a live entry.
+        self._checksums: dict[int, int] = {}
+        # Distinct corrupt checkpoints seen by read paths.
+        self._detected: set[int] = set()
+
+    # -- counters --------------------------------------------------------------
+
+    @property
+    def corruption_detected(self) -> int:
+        """Distinct corrupt checkpoints read paths have caught so far."""
+        return len(self._detected)
+
+    # -- writes ----------------------------------------------------------------
+
+    def store(
+        self,
+        checkpoint: StoredCheckpoint,
+        fault: StorageFaultEvent | None = None,
+    ) -> StoreReceipt:
+        """Two-phase commit of *checkpoint*, optionally under *fault*.
+
+        Returns a :class:`StoreReceipt`; the checkpoint is visible to
+        readers iff ``receipt.published``. A failed or torn write
+        leaves the history exactly as it was (atomicity).
+        """
+        payload = checkpoint_payload(checkpoint)
+        expected = zlib.crc32(payload)
+        kind = fault.kind if fault is not None else None
+        if kind is FaultKind.WRITE_FAIL:
+            # Every attempt errors; exhaust the retry budget and give up.
+            return StoreReceipt(
+                published=False, retries=self.max_retries, fault=fault
+            )
+        retries = 0
+        if kind is FaultKind.TRANSIENT:
+            if fault.attempts > self.max_retries:
+                return StoreReceipt(
+                    published=False, retries=self.max_retries, fault=fault
+                )
+            retries = fault.attempts
+        # Stage: a torn write truncates the staged bytes.
+        staged = payload[: len(payload) // 2] if kind is FaultKind.TORN_WRITE \
+            else payload
+        # Validate: the staged checksum must match the intended content.
+        if zlib.crc32(staged) != expected:
+            return StoreReceipt(
+                published=False, retries=retries, torn=True, fault=fault
+            )
+        # Publish: append atomically and record the content checksum.
+        self._publish(checkpoint, expected)
+        return StoreReceipt(published=True, retries=retries, fault=fault)
+
+    def _publish(self, checkpoint: StoredCheckpoint, checksum: int) -> None:
+        super().store(checkpoint)
+        self._checksums[id(checkpoint)] = checksum
+
+    # -- integrity -------------------------------------------------------------
+
+    def corrupt(
+        self, rank: int, number: int | None = None, replica: int = 0
+    ) -> bool:
+        """Inject bit rot into a stored checkpoint of *rank*.
+
+        Flips the stored checksum of the latest *intact* checkpoint (or
+        the latest intact instance with *number*), so the next read
+        catches the mismatch. Already-corrupt instances are skipped —
+        rot on the same slot twice must not cancel out. Returns whether
+        a checkpoint was actually corrupted.
+        """
+        if replica != 0:
+            raise StorageError(
+                "unreplicated store has only replica 0",
+                rank=rank, number=number, replica=replica,
+            )
+        target: StoredCheckpoint | None = None
+        for checkpoint in reversed(self._checkpoints.get(rank, [])):
+            if number is not None and checkpoint.number != number:
+                continue
+            if self.verify(checkpoint):
+                target = checkpoint
+                break
+        if target is None:
+            return False
+        key = id(target)
+        if key in self._checksums:
+            self._checksums[key] ^= 0x5A5A5A5A
+        return True
+
+    def verify(self, checkpoint: StoredCheckpoint) -> bool:
+        """Whether *checkpoint*'s stored checksum matches its content.
+
+        Checkpoints this store never published (e.g. synthetic test
+        fixtures) have no integrity record and are treated as intact.
+        """
+        stored = self._checksums.get(id(checkpoint))
+        if stored is None:
+            return True
+        return stored == checkpoint_checksum(checkpoint)
+
+    def _note_corrupt(self, checkpoint: StoredCheckpoint) -> None:
+        self._detected.add(id(checkpoint))
+
+    # -- fault-aware reads -----------------------------------------------------
+
+    def intact_with_number(
+        self, rank: int, number: int
+    ) -> StoredCheckpoint | None:
+        """The most recent *intact* number-*number* checkpoint of *rank*.
+
+        Corrupt instances are skipped (and counted); returns ``None``
+        when the number is missing entirely or every instance is
+        corrupt — the caller's cue to degrade to a shallower cut.
+        """
+        for checkpoint in reversed(self._checkpoints.get(rank, [])):
+            if checkpoint.number != number:
+                continue
+            if self.verify(checkpoint):
+                return checkpoint
+            self._note_corrupt(checkpoint)
+        return None
+
+    def latest_intact(self, rank: int) -> tuple[StoredCheckpoint, int]:
+        """The most recent intact checkpoint of *rank*, with skip depth.
+
+        Returns ``(checkpoint, depth)`` where *depth* counts the newer
+        (corrupt) entries that had to be skipped.
+        """
+        history = self._checkpoints.get(rank, [])
+        for depth, checkpoint in enumerate(reversed(history)):
+            if self.verify(checkpoint):
+                return checkpoint, depth
+            self._note_corrupt(checkpoint)
+        raise StorageError("no intact checkpoint on storage", rank=rank)
+
+    def intact_history(self, rank: int) -> list[StoredCheckpoint]:
+        """All intact checkpoints of *rank*, oldest first (corrupt skipped)."""
+        intact = []
+        for checkpoint in self._checkpoints.get(rank, []):
+            if self.verify(checkpoint):
+                intact.append(checkpoint)
+            else:
+                self._note_corrupt(checkpoint)
+        return intact
+
+
+class ReplicatedCheckpointStore(CheckpointStore):
+    """A checkpoint store mirrored across ``replicas`` copies.
+
+    The primary replica is this store itself; ``replicas - 1`` mirrors
+    receive every published checkpoint. Integrity queries are answered
+    by **majority quorum**: a checkpoint counts as intact iff at least
+    ``replicas // 2 + 1`` replicas hold an uncorrupted copy, so a
+    minority of rotten replicas is survivable without any fallback.
+    """
+
+    def __init__(self, replicas: int = 3, max_retries: int = 3) -> None:
+        super().__init__(max_retries=max_retries)
+        if replicas < 1:
+            raise StorageError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._mirrors = [
+            CheckpointStore(max_retries=max_retries)
+            for _ in range(replicas - 1)
+        ]
+
+    @property
+    def quorum(self) -> int:
+        """Copies that must be intact for a read to succeed."""
+        return self.replicas // 2 + 1
+
+    def _publish(self, checkpoint: StoredCheckpoint, checksum: int) -> None:
+        super()._publish(checkpoint, checksum)
+        for mirror in self._mirrors:
+            mirror._publish(checkpoint, checksum)
+
+    def corrupt(
+        self, rank: int, number: int | None = None, replica: int = 0
+    ) -> bool:
+        if replica == 0:
+            return super().corrupt(rank, number=number)
+        if not 1 <= replica < self.replicas:
+            raise StorageError(
+                f"replica out of range [0, {self.replicas})",
+                rank=rank, number=number, replica=replica,
+            )
+        return self._mirrors[replica - 1].corrupt(rank, number=number)
+
+    def verify(self, checkpoint: StoredCheckpoint) -> bool:
+        """Quorum read: intact iff a majority of copies verify."""
+        copies = [super().verify(checkpoint)]
+        copies.extend(
+            CheckpointStore.verify(mirror, checkpoint)
+            for mirror in self._mirrors
+        )
+        return sum(copies) >= self.quorum
+
+    def truncate_to(self, checkpoint: StoredCheckpoint) -> int:
+        dropped = super().truncate_to(checkpoint)
+        for mirror in self._mirrors:
+            mirror.truncate_to(checkpoint)
+        return dropped
+
+    def drop_prefix(self, rank: int, keep_from: int) -> int:
+        dropped = super().drop_prefix(rank, keep_from)
+        for mirror in self._mirrors:
+            mirror.drop_prefix(rank, keep_from)
+        return dropped

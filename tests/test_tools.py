@@ -28,6 +28,7 @@ class TestRegenerateResults:
             "protocol_comparison.txt",
             "optimal_intervals.txt",
             "checkpointing_payoff.txt",
+            "fault_tolerance.txt",
         }
 
     def test_figures_record_shape_verdicts(self, tmp_path, capsys):

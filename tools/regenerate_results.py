@@ -120,6 +120,21 @@ def payoff(out: Path) -> None:
     write(out / "checkpointing_payoff.txt", "\n".join(lines) + "\n")
 
 
+def fault_tolerance(out: Path) -> None:
+    from repro.bench.fault_tolerance import (
+        fault_tolerance_sweep,
+        format_fault_table,
+    )
+
+    rows = fault_tolerance_sweep()
+    lost = sum(r.runs - r.completed for r in rows)
+    body = format_fault_table(rows) + "\n\nruns lost: " + (
+        "NONE (degraded recovery absorbed every fault)"
+        if lost == 0 else str(lost)
+    ) + "\n"
+    write(out / "fault_tolerance.txt", body)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Regenerate all result files; returns the process exit code."""
     args = argv if argv is not None else sys.argv[1:]
@@ -131,6 +146,7 @@ def main(argv: list[str] | None = None) -> int:
     protocol_comparison(out)
     optimal_intervals(out)
     payoff(out)
+    fault_tolerance(out)
     print("done")
     return 0
 
