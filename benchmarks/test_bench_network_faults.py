@@ -1,0 +1,52 @@
+"""Network-fault bench: transport overhead vs drop/duplicate rates.
+
+Sweeps Poisson-drawn frame drops and duplicates over the ring-pipeline
+workload under three protocols. The shape claims: the reliable
+transport keeps availability at 1.0 across the whole sweep (every run
+completes despite the lossy wire), the overhead ratio ``r = Γ/T − 1``
+grows monotonically with the fault rate, and the zero-rate column is
+retransmission-free by construction (the RTO exceeds a round trip).
+"""
+
+from repro.bench.network_faults import (
+    DEFAULT_NETWORK_RATES,
+    format_network_table,
+    network_fault_sweep,
+)
+
+
+def test_bench_network_fault_sweep(benchmark):
+    rows = benchmark(network_fault_sweep)
+
+    print("\n=== Transport overhead vs network-fault rate "
+          "(ring_pipeline, n=3, 4 seeds) ===")
+    print(format_network_table(rows))
+
+    by_protocol = {}
+    for row in rows:
+        by_protocol.setdefault(row.protocol, []).append(row)
+
+    assert set(by_protocol) == {"appl-driven", "uncoordinated",
+                                "msg-logging"}
+    for protocol, series in by_protocol.items():
+        assert [r.rate for r in series] == list(DEFAULT_NETWORK_RATES)
+
+        # The reliable transport absorbs every fault: no run lost,
+        # availability 1.0 at drop rates up to 10%.
+        assert all(r.availability == 1.0 for r in series), protocol
+
+        # Zero-rate column is genuinely fault-free: no retransmission,
+        # one data frame per application message.
+        clean = series[0]
+        assert clean.retransmits == clean.dropped == clean.duplicated == 0
+        assert clean.overhead_ratio == 0.0
+
+        # Overhead r = Γ/T − 1 grows with the fault rate ...
+        overheads = [r.overhead_ratio for r in series]
+        assert overheads == sorted(overheads), protocol
+        assert overheads[-1] > 0
+
+        # ... because retransmissions do (drops force retries).
+        retx = [r.retransmits for r in series]
+        assert retx == sorted(retx)
+        assert retx[-1] > 0

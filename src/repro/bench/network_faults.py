@@ -1,0 +1,148 @@
+"""Network-fault sweep: transport overhead vs message-fault rates.
+
+The network companion to :mod:`repro.bench.fault_tolerance`: run the
+same workload while the medium drops and duplicates frames at
+increasing Poisson rates (:func:`repro.runtime.failures.
+exponential_network_plan`) and summarise, per protocol:
+
+- **availability** — the fraction of runs that still complete (the
+  reliable transport must absorb every fault, so the claim is 1.0
+  across the whole sweep);
+- **overhead ratio** ``r = Γ/T − 1`` — mean completion time Γ under
+  faults relative to the same protocol's fault-free baseline T, the
+  paper's overhead metric applied to the transport;
+- the transport accounting (frames, retransmits, drops, duplicates).
+
+The paper's protocols assume reliable FIFO channels; this sweep prices
+what *earning* that assumption costs when the wire misbehaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.programs import ring_pipeline
+from repro.protocols import (
+    ApplicationDrivenProtocol,
+    MessageLoggingProtocol,
+    UncoordinatedProtocol,
+)
+from repro.runtime import Simulation
+from repro.runtime.failures import exponential_network_plan
+
+DEFAULT_NETWORK_RATES = (0.0, 0.02, 0.05, 0.1)
+
+
+@dataclass(frozen=True)
+class NetworkSweepRow:
+    """Aggregate of one (protocol, network-fault-rate) cell."""
+
+    protocol: str
+    rate: float
+    runs: int
+    completed: int
+    mean_time: float
+    baseline_time: float
+    frames: int
+    retransmits: int
+    dropped: int
+    duplicated: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of runs in this cell that completed."""
+        return self.completed / self.runs if self.runs else 0.0
+
+    @property
+    def overhead_ratio(self) -> float:
+        """The paper's ``r = Γ/T − 1`` against the fault-free baseline."""
+        if not self.baseline_time or not self.completed:
+            return 0.0
+        return self.mean_time / self.baseline_time - 1.0
+
+    @staticmethod
+    def header() -> str:
+        """Column headers aligned with :meth:`row`."""
+        return (f"{'protocol':>14s} {'rate':>6s} {'avail':>6s} "
+                f"{'time':>8s} {'r':>8s} {'frames':>7s} {'retx':>6s} "
+                f"{'drop':>5s} {'dup':>4s}")
+
+    def row(self) -> str:
+        """One aligned table line for this cell."""
+        return (f"{self.protocol:>14s} {self.rate:>6.2f} "
+                f"{self.availability:>6.2f} {self.mean_time:>8.2f} "
+                f"{self.overhead_ratio:>8.4f} {self.frames:>7d} "
+                f"{self.retransmits:>6d} {self.dropped:>5d} "
+                f"{self.duplicated:>4d}")
+
+
+def _protocols() -> list[tuple[str, object]]:
+    return [
+        ("appl-driven", ApplicationDrivenProtocol()),
+        ("uncoordinated", UncoordinatedProtocol(period=6.0)),
+        ("msg-logging", MessageLoggingProtocol(period=6.0)),
+    ]
+
+
+def network_fault_sweep(
+    rates: tuple[float, ...] = DEFAULT_NETWORK_RATES,
+    seeds: range = range(4),
+    n_processes: int = 3,
+    steps: int = 10,
+    horizon: float = 30.0,
+) -> list[NetworkSweepRow]:
+    """Run the sweep and return one row per (protocol, rate) cell.
+
+    Each rate drives both the drop and duplicate Poisson processes per
+    directed channel; each cell averages over ``seeds`` independently
+    drawn schedules. No crashes are injected, so the overhead column
+    isolates the transport's retransmission cost.
+    """
+    rows: list[NetworkSweepRow] = []
+    for name, _ in _protocols():
+        baseline = Simulation(
+            ring_pipeline(), n_processes,
+            params={"steps": steps}, protocol=dict(_protocols())[name],
+        ).run().completion_time
+        for rate in rates:
+            completed = 0
+            total_time = 0.0
+            counters = dict.fromkeys(
+                ("frames", "retransmits", "dropped", "duplicated"), 0)
+            for seed in seeds:
+                plan = exponential_network_plan(
+                    n_processes, horizon,
+                    drop_rate=rate, duplicate_rate=rate,
+                    seed=seed,
+                )
+                sim = Simulation(
+                    ring_pipeline(), n_processes,
+                    params={"steps": steps},
+                    protocol=dict(_protocols())[name],
+                    failure_plan=plan,
+                )
+                result = sim.run()
+                stats = result.stats
+                if stats.completed:
+                    completed += 1
+                    total_time += result.completion_time
+                counters["frames"] += stats.frames_sent
+                counters["retransmits"] += stats.retransmits
+                counters["dropped"] += stats.dropped_frames
+                counters["duplicated"] += stats.duplicate_frames
+            rows.append(NetworkSweepRow(
+                protocol=name, rate=rate, runs=len(seeds),
+                completed=completed,
+                mean_time=total_time / completed if completed else 0.0,
+                baseline_time=baseline,
+                frames=counters["frames"],
+                retransmits=counters["retransmits"],
+                dropped=counters["dropped"],
+                duplicated=counters["duplicated"],
+            ))
+    return rows
+
+
+def format_network_table(rows: list[NetworkSweepRow]) -> str:
+    """Render sweep rows as the aligned plain-text table."""
+    return NetworkSweepRow.header() + "\n" + "\n".join(r.row() for r in rows)

@@ -139,9 +139,33 @@ def _parse_crash(text: str):
 
 
 def _parse_fault(text: str):
-    from repro.runtime.failures import FaultKind, StorageFaultEvent
+    from repro.runtime.failures import (
+        FaultKind,
+        NetworkFaultEvent,
+        NetworkFaultKind,
+        StorageFaultEvent,
+    )
 
     parts = text.split(":")
+    network_kinds = {k.value for k in NetworkFaultKind}
+    if parts and parts[0] in network_kinds:
+        try:
+            kind = NetworkFaultKind(parts[0])
+            time = float(parts[1])
+            src = int(parts[2])
+            dst = int(parts[3])
+            delay = float(parts[4]) if len(parts) > 4 else 0.0
+            if len(parts) > 5:
+                raise ValueError(text)
+            return NetworkFaultEvent(
+                time=time, kind=kind, src=src, dst=dst, delay=delay
+            )
+        except (ValueError, IndexError):
+            kinds = "|".join(k.value for k in NetworkFaultKind)
+            raise argparse.ArgumentTypeError(
+                f"network fault must be KIND:TIME:SRC:DST[:DELAY] with "
+                f"KIND one of {kinds}, got {text!r}"
+            ) from None
     try:
         kind = FaultKind(parts[0])
         time = float(parts[1])
@@ -154,39 +178,68 @@ def _parse_fault(text: str):
             time=time, rank=rank, kind=kind, number=number, replica=replica
         )
     except (ValueError, IndexError):
-        kinds = "|".join(k.value for k in FaultKind)
+        kinds = "|".join(
+            k.value for k in FaultKind
+        ) + "|" + "|".join(k.value for k in NetworkFaultKind)
         raise argparse.ArgumentTypeError(
-            f"fault must be KIND:TIME:RANK[:NUMBER[:REPLICA]] with "
+            f"fault must be KIND:TIME:RANK[:NUMBER[:REPLICA]] (storage) or "
+            f"KIND:TIME:SRC:DST[:DELAY] (network) with "
             f"KIND one of {kinds}, got {text!r}"
         ) from None
+
+
+_FAULT_PLAN_KEYS = frozenset(
+    {"max_failures", "crashes", "storage_faults", "network_faults"}
+)
+
+_FAULT_PLAN_SCHEMA = (
+    '{"max_failures": N, "crashes": [{"time", "rank"}], '
+    '"storage_faults": [{"time", "rank", "kind", ...}], '
+    '"network_faults": [{"time", "kind", "src", "dst", "delay"?}]}'
+)
 
 
 def _load_fault_plan(path: str, crashes, faults):
     """Build a FaultPlan from CLI events plus an optional JSON file.
 
-    The JSON schema mirrors the dataclasses::
+    *faults* may mix storage and network fault events (as produced by
+    ``--fault``); they are routed to the right plan field here. The
+    JSON schema mirrors the dataclasses::
 
         {"max_failures": 4,
          "crashes": [{"time": 10.0, "rank": 1}, ...],
          "storage_faults": [{"time": 5.0, "rank": 0, "kind": "bit-rot",
-                             "number": 2, "replica": 0, "attempts": 1}, ...]}
+                             "number": 2, "replica": 0, "attempts": 1}, ...],
+         "network_faults": [{"time": 4.0, "kind": "drop",
+                             "src": 0, "dst": 1, "delay": 0.0}, ...]}
+
+    Unknown top-level keys are rejected (a typo like ``"netwrok_faults"``
+    must not silently disable the faults it was meant to inject).
     """
     import json
 
     from repro.runtime.failures import (
         CrashEvent,
         FaultPlan,
+        NetworkFaultEvent,
         StorageFaultEvent,
     )
 
     from repro.errors import SimulationError
 
     crashes = list(crashes)
-    faults = list(faults)
+    storage_faults = [f for f in faults if isinstance(f, StorageFaultEvent)]
+    network_faults = [f for f in faults if isinstance(f, NetworkFaultEvent)]
     max_failures = None
     if path:
         try:
             data = json.loads(Path(path).read_text())
+            unknown = sorted(set(data) - _FAULT_PLAN_KEYS)
+            if unknown:
+                raise SimulationError(
+                    f"bad fault plan {path!r}: unknown top-level "
+                    f"key(s) {unknown} — expected {_FAULT_PLAN_SCHEMA}"
+                )
             max_failures = data.get("max_failures")
             for entry in data.get("crashes", []):
                 crashes.append(
@@ -195,7 +248,7 @@ def _load_fault_plan(path: str, crashes, faults):
                     )
                 )
             for entry in data.get("storage_faults", []):
-                faults.append(
+                storage_faults.append(
                     StorageFaultEvent(
                         time=float(entry["time"]),
                         rank=int(entry["rank"]),
@@ -205,15 +258,58 @@ def _load_fault_plan(path: str, crashes, faults):
                         attempts=int(entry.get("attempts", 1)),
                     )
                 )
+            for entry in data.get("network_faults", []):
+                network_faults.append(
+                    NetworkFaultEvent(
+                        time=float(entry["time"]),
+                        kind=entry["kind"],
+                        src=int(entry["src"]),
+                        dst=int(entry["dst"]),
+                        delay=float(entry.get("delay", 0.0)),
+                    )
+                )
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise SimulationError(
                 f"bad fault plan {path!r}: {exc!r} — expected "
-                '{"max_failures": N, "crashes": [{"time", "rank"}], '
-                '"storage_faults": [{"time", "rank", "kind", ...}]}'
+                f"{_FAULT_PLAN_SCHEMA}"
             ) from exc
     return FaultPlan(
-        crashes=crashes, max_failures=max_failures, storage_faults=faults
+        crashes=crashes,
+        max_failures=max_failures,
+        storage_faults=storage_faults,
+        network_faults=network_faults,
     )
+
+
+def _check_plan_ranks(plan, n_processes: int) -> None:
+    """Fail fast (clean error, no traceback) on out-of-range ranks.
+
+    Every rank mentioned by a crash, storage fault, or network fault
+    must exist in the simulated system; a plan written for a bigger run
+    silently doing nothing is the failure mode this guards against.
+    """
+    from repro.errors import SimulationError
+
+    for crash in plan.crashes:
+        if crash.rank >= n_processes:
+            raise SimulationError(
+                f"crash at t={crash.time} targets rank {crash.rank} but "
+                f"the simulation has only {n_processes} processes (-n)"
+            )
+    for fault in plan.storage_faults:
+        if fault.rank >= n_processes:
+            raise SimulationError(
+                f"storage fault at t={fault.time} targets rank "
+                f"{fault.rank} but the simulation has only "
+                f"{n_processes} processes (-n)"
+            )
+    for fault in plan.network_faults:
+        if fault.src >= n_processes or fault.dst >= n_processes:
+            raise SimulationError(
+                f"network fault at t={fault.time} targets channel "
+                f"{fault.src}->{fault.dst} but the simulation has only "
+                f"{n_processes} processes (-n)"
+            )
 
 
 _PROTOCOLS = {
@@ -244,6 +340,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
     program = _load(args.program)
     plan = _load_fault_plan(args.fault_plan, args.crash, args.fault)
+    _check_plan_ranks(plan, args.n)
     protocol = _make_protocol(args.protocol, args.period)
     sim = Simulation(
         program,
@@ -271,7 +368,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"corrupt-detected={stats.corrupt_checkpoints}")
         print(f"degraded recovery : {stats.recovery_fallbacks} "
               f"(max fallback depth: {stats.max_fallback_depth})")
-    consistent = result.trace.all_straight_cuts_consistent()
+    if plan.network_faults:
+        print(f"network faults    : dropped={stats.dropped_frames} "
+              f"corrupt={stats.corrupt_frames} "
+              f"delayed={stats.delayed_frames} "
+              f"duplicated={stats.duplicate_frames} "
+              f"(dups suppressed: {stats.dups_suppressed})")
+        print(f"transport         : frames={stats.frames_sent} "
+              f"retransmits={stats.retransmits} "
+              f"acks={stats.ack_frames} acks-lost={stats.acks_lost}")
+    if stats.rollbacks:
+        # The raw trace keeps discarded-timeline checkpoint events, so
+        # the positional straight-cut check is meaningless once a
+        # rollback happened; judge the surviving timeline on stable
+        # storage instead.
+        from repro.runtime.chaos import storage_recovery_lines_consistent
+
+        consistent = storage_recovery_lines_consistent(result, args.n)
+    else:
+        consistent = result.trace.all_straight_cuts_consistent()
     print(f"straight cuts are recovery lines: {consistent}")
     if args.spacetime:
         from repro.viz import render_spacetime
@@ -440,11 +555,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--crash", type=_parse_crash, action="append",
                           default=[], metavar="TIME:RANK")
     simulate.add_argument("--fault", type=_parse_fault, action="append",
-                          default=[], metavar="KIND:TIME:RANK[:NUM[:REP]]",
-                          help="inject a storage fault (kind: write-fail, "
-                               "torn-write, bit-rot, transient)")
+                          default=[], metavar="KIND:...",
+                          help="inject a storage fault "
+                               "(KIND:TIME:RANK[:NUM[:REP]], kind: "
+                               "write-fail, torn-write, bit-rot, transient) "
+                               "or a network fault "
+                               "(KIND:TIME:SRC:DST[:DELAY], kind: drop, "
+                               "duplicate, delay, corrupt, partition, heal)")
     simulate.add_argument("--fault-plan", metavar="PATH",
-                          help="JSON file with crashes and storage_faults")
+                          help="JSON file with crashes, storage_faults, "
+                               "and network_faults")
     simulate.add_argument("--storage-replicas", type=int, default=1,
                           metavar="N",
                           help="replicate stable storage N-way with "

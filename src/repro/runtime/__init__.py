@@ -8,6 +8,14 @@ interpreter keeps an explicit control stack (no native coroutines), so
 a checkpoint is a genuine restorable snapshot of process state.
 """
 
+from repro.runtime.chaos import (
+    ChaosConfig,
+    ChaosOutcome,
+    chaos_sweep,
+    draw_schedule,
+    run_schedule,
+    shrink_schedule,
+)
 from repro.runtime.effects import (
     BcastRecvEffect,
     BcastSendEffect,
@@ -24,12 +32,21 @@ from repro.runtime.failures import (
     FailurePlan,
     FaultKind,
     FaultPlan,
+    NetworkFaultEvent,
+    NetworkFaultKind,
     StorageFaultEvent,
     exponential_failures,
     exponential_fault_plan,
+    exponential_network_plan,
 )
 from repro.runtime.interpreter import ProcessInterpreter, ProcessSnapshot
 from repro.runtime.network import Message, Network
+from repro.runtime.transport import (
+    NetworkFaultInjector,
+    ReliableTransport,
+    TransportConfig,
+    TransportStats,
+)
 from repro.runtime.storage import (
     CheckpointStore,
     ReplicatedCheckpointStore,
@@ -42,6 +59,8 @@ __all__ = [
     "BcastRecvEffect",
     "BcastSendEffect",
     "CheckpointEffect",
+    "ChaosConfig",
+    "ChaosOutcome",
     "CheckpointStore",
     "ComputeEffect",
     "CrashEvent",
@@ -53,9 +72,13 @@ __all__ = [
     "LocalEffect",
     "Message",
     "Network",
+    "NetworkFaultEvent",
+    "NetworkFaultInjector",
+    "NetworkFaultKind",
     "ProcessInterpreter",
     "ProcessSnapshot",
     "RecvEffect",
+    "ReliableTransport",
     "ReplicatedCheckpointStore",
     "RuntimeCosts",
     "SendEffect",
@@ -64,6 +87,13 @@ __all__ = [
     "StableStorage",
     "StorageFaultEvent",
     "StoredCheckpoint",
+    "TransportConfig",
+    "TransportStats",
+    "chaos_sweep",
+    "draw_schedule",
     "exponential_failures",
     "exponential_fault_plan",
+    "exponential_network_plan",
+    "run_schedule",
+    "shrink_schedule",
 ]

@@ -1,0 +1,381 @@
+"""Chaos-schedule harness: randomized fault schedules, replayed and shrunk.
+
+Property-based robustness testing for the network layer. A *schedule*
+is a :class:`~repro.runtime.failures.FaultPlan` of crashes plus network
+faults drawn **seed-deterministically** (the same ``(seed, config)``
+always yields the same plan, and replaying a plan reproduces a
+byte-identical :class:`~repro.runtime.engine.SimulationResult`). The
+harness runs a schedule against a checkpointing protocol and checks the
+paper's end-to-end contract:
+
+1. the run **completes** (the reliable transport absorbs every fault);
+2. every surviving straight cut ``R_i`` on stable storage is a
+   **recovery line** (Definition 2.1 over the stored vector clocks —
+   storage is truncated on rollback, so it holds exactly the surviving
+   timeline);
+3. the **final state** equals the fault-free baseline (the transport
+   must hide the unreliable medium from the application entirely).
+
+When a schedule fails, :func:`shrink_schedule` delta-debugs it down to
+a minimal counterexample — repeatedly dropping event chunks while the
+failure persists — which is only sound because replay is deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError, SimulationError, StorageError
+from repro.runtime.engine import Simulation, SimulationResult
+from repro.runtime.failures import (
+    ONE_SHOT_NETWORK_KINDS,
+    CrashEvent,
+    FaultPlan,
+    NetworkFaultEvent,
+    NetworkFaultKind,
+)
+from repro.runtime.transport import TransportConfig
+
+#: The protocols the chaos harness exercises by default.
+CHAOS_PROTOCOLS = ("appl-driven", "uncoordinated", "msg-logging")
+
+
+def _make_protocol(name: str):
+    from repro.protocols import (
+        ApplicationDrivenProtocol,
+        MessageLoggingProtocol,
+        UncoordinatedProtocol,
+    )
+
+    factories = {
+        "appl-driven": lambda: ApplicationDrivenProtocol(),
+        "uncoordinated": lambda: UncoordinatedProtocol(period=6.0),
+        "msg-logging": lambda: MessageLoggingProtocol(period=6.0),
+    }
+    if name not in factories:
+        known = ", ".join(sorted(factories))
+        raise SimulationError(f"unknown chaos protocol {name!r}; known: {known}")
+    return factories[name]()
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of the chaos draw and of the simulated workload.
+
+    Attributes:
+        n_processes: System size of each run.
+        steps: The workload's ``steps`` parameter.
+        horizon: Fault times are drawn in ``[0, horizon)``.
+        max_events: Upper bound on one-shot frame faults per schedule.
+        max_delay: Upper bound of a delay fault's extra latency.
+        partition_probability: Chance a schedule contains one healed
+            partition window.
+        partition_duration: Upper bound of that window's length.
+        crash_probability: Chance a schedule contains one crash.
+        sim_seed: Simulator seed (inputs, latencies) — *not* the
+            schedule seed, so one workload meets many schedules.
+    """
+
+    n_processes: int = 3
+    steps: int = 8
+    horizon: float = 30.0
+    max_events: int = 12
+    max_delay: float = 2.0
+    partition_probability: float = 0.5
+    partition_duration: float = 3.0
+    crash_probability: float = 0.5
+    sim_seed: int = 0
+
+
+def draw_schedule(seed: int, config: ChaosConfig = ChaosConfig()) -> FaultPlan:
+    """Draw one randomized, seed-deterministic fault schedule.
+
+    The draw mixes one-shot frame faults on random directed channels,
+    an optional healed partition window, and an optional crash. Exact
+    duplicates (which :class:`FaultPlan` rejects) are skipped, so the
+    result is always a valid plan.
+    """
+    rng = np.random.default_rng(seed)
+    n = config.n_processes
+    events: list[NetworkFaultEvent] = []
+    seen: set[tuple[float, str, int, int]] = set()
+    count = int(rng.integers(1, config.max_events + 1))
+    for _ in range(count):
+        kind = ONE_SHOT_NETWORK_KINDS[
+            int(rng.integers(len(ONE_SHOT_NETWORK_KINDS)))
+        ]
+        src = int(rng.integers(n))
+        dst = int(rng.integers(n - 1))
+        if dst >= src:
+            dst += 1
+        time = round(float(rng.uniform(0.0, config.horizon)), 6)
+        key = (time, kind.value, src, dst)
+        if key in seen:
+            continue
+        seen.add(key)
+        delay = (
+            round(float(rng.uniform(0.1, config.max_delay)), 6)
+            if kind is NetworkFaultKind.DELAY
+            else 0.0
+        )
+        events.append(NetworkFaultEvent(
+            time=time, kind=kind, src=src, dst=dst, delay=delay,
+        ))
+    if rng.random() < config.partition_probability:
+        a = int(rng.integers(n))
+        b = int(rng.integers(n - 1))
+        if b >= a:
+            b += 1
+        start = round(float(rng.uniform(0.0, config.horizon * 0.6)), 6)
+        length = round(float(rng.uniform(0.5, config.partition_duration)), 6)
+        events.append(NetworkFaultEvent(
+            time=start, kind=NetworkFaultKind.PARTITION, src=a, dst=b,
+        ))
+        events.append(NetworkFaultEvent(
+            time=start + length, kind=NetworkFaultKind.HEAL, src=a, dst=b,
+        ))
+    crashes: list[CrashEvent] = []
+    if rng.random() < config.crash_probability:
+        crashes.append(CrashEvent(
+            time=round(float(rng.uniform(1.0, config.horizon * 0.8)), 6),
+            rank=int(rng.integers(n)),
+        ))
+    return FaultPlan(crashes=crashes, max_failures=2, network_faults=events)
+
+
+@dataclass(frozen=True)
+class ChaosOutcome:
+    """Verdict of one schedule replay against one protocol."""
+
+    ok: bool
+    reason: str
+    completed: bool
+    recovery_lines_ok: bool
+    state_ok: bool
+    faults: int
+    crashes: int
+
+    def describe(self) -> str:
+        """One-line human-readable verdict."""
+        status = "ok" if self.ok else f"FAIL ({self.reason})"
+        return (
+            f"{status}: {self.faults} network fault(s), "
+            f"{self.crashes} crash(es)"
+        )
+
+
+def storage_recovery_lines_consistent(
+    result: SimulationResult, n_processes: int
+) -> bool:
+    """Whether every surviving straight cut on storage is a recovery line.
+
+    Storage is truncated to the surviving timeline on every rollback,
+    so — unlike the raw trace, which keeps discarded-timeline events —
+    its per-number cuts are exactly the recovery lines a failure at
+    run end could use. Checks Definition 2.1 (no member happened
+    before another) over the stored vector clocks for every common
+    checkpoint number.
+    """
+    ranks = list(range(n_processes))
+    storage = result.storage
+    common = storage.max_common_number(ranks)
+    for number in range(1, common + 1):
+        try:
+            members = [
+                storage.latest_with_number(rank, number) for rank in ranks
+            ]
+        except StorageError:
+            # A rank's surviving history skips this number (GC or
+            # truncation) — there is no straight cut R_number to check.
+            continue
+        for a in members:
+            for b in members:
+                if a is not b and a.clock.happened_before(b.clock):
+                    return False
+    return True
+
+
+_BASELINES: dict[tuple[str, int, int, int], dict] = {}
+
+
+def _workload():
+    from repro.lang.programs import ring_pipeline
+
+    return ring_pipeline()
+
+
+def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
+    """Final environment of the fault-free run (cached per workload)."""
+    key = (protocol, config.n_processes, config.steps, config.sim_seed)
+    if key not in _BASELINES:
+        result = Simulation(
+            _workload(),
+            config.n_processes,
+            params={"steps": config.steps},
+            protocol=_make_protocol(protocol),
+            seed=config.sim_seed,
+        ).run()
+        _BASELINES[key] = result.final_env
+    return _BASELINES[key]
+
+
+def run_schedule(
+    plan: FaultPlan,
+    protocol: str = "appl-driven",
+    config: ChaosConfig = ChaosConfig(),
+    transport_config: TransportConfig | None = None,
+) -> ChaosOutcome:
+    """Replay one schedule against one protocol and judge the outcome.
+
+    ``transport_config`` is the test hook: passing a config with
+    ``dedup=False`` runs the deliberately-broken transport the harness
+    must be able to catch and shrink.
+    """
+    faults = len(plan.network_faults)
+    crashes = len(plan.effective())
+    baseline = _baseline_env(protocol, config)
+    sim = Simulation(
+        _workload(),
+        config.n_processes,
+        params={"steps": config.steps},
+        protocol=_make_protocol(protocol),
+        failure_plan=plan,
+        seed=config.sim_seed,
+        transport_config=transport_config,
+    )
+    try:
+        result = sim.run()
+    except ReproError as error:
+        return ChaosOutcome(
+            ok=False,
+            reason=f"{type(error).__name__}: {error}",
+            completed=False,
+            recovery_lines_ok=False,
+            state_ok=False,
+            faults=faults,
+            crashes=crashes,
+        )
+    completed = bool(result.stats.completed)
+    lines_ok = storage_recovery_lines_consistent(result, config.n_processes)
+    state_ok = result.final_env == baseline
+    ok = completed and lines_ok and state_ok
+    if ok:
+        reason = ""
+    elif not completed:
+        reason = "run did not complete"
+    elif not lines_ok:
+        reason = "a surviving straight cut is not a recovery line"
+    else:
+        reason = "final state diverged from the fault-free baseline"
+    return ChaosOutcome(
+        ok=ok,
+        reason=reason,
+        completed=completed,
+        recovery_lines_ok=lines_ok,
+        state_ok=state_ok,
+        faults=faults,
+        crashes=crashes,
+    )
+
+
+def chaos_sweep(
+    seeds: range,
+    protocols: tuple[str, ...] = CHAOS_PROTOCOLS,
+    config: ChaosConfig = ChaosConfig(),
+    transport_config: TransportConfig | None = None,
+) -> dict[tuple[str, int], ChaosOutcome]:
+    """Run every (protocol, seed) cell and collect the verdicts."""
+    outcomes: dict[tuple[str, int], ChaosOutcome] = {}
+    for protocol in protocols:
+        for seed in seeds:
+            plan = draw_schedule(seed, config)
+            outcomes[(protocol, seed)] = run_schedule(
+                plan, protocol=protocol, config=config,
+                transport_config=transport_config,
+            )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Shrinking
+# ----------------------------------------------------------------------
+
+
+def _atoms(plan: FaultPlan) -> list[tuple[str, object]]:
+    """Flatten a plan into removable atoms (tagged events)."""
+    atoms: list[tuple[str, object]] = []
+    atoms.extend(("crash", c) for c in plan.crashes)
+    atoms.extend(("storage", f) for f in plan.storage_faults)
+    atoms.extend(("network", f) for f in plan.network_faults)
+    return atoms
+
+
+def _build(
+    atoms: list[tuple[str, object]], max_failures: int | None
+) -> FaultPlan | None:
+    """Reassemble a plan from atoms; ``None`` when validation rejects it
+
+    (e.g. a heal whose partition was removed — such candidates are
+    simply skipped by the shrinker).
+    """
+    try:
+        return FaultPlan(
+            crashes=[e for tag, e in atoms if tag == "crash"],
+            max_failures=max_failures,
+            storage_faults=[e for tag, e in atoms if tag == "storage"],
+            network_faults=[e for tag, e in atoms if tag == "network"],
+        )
+    except SimulationError:
+        return None
+
+
+def shrink_schedule(
+    plan: FaultPlan,
+    still_fails,
+    max_runs: int = 500,
+) -> FaultPlan:
+    """Delta-debug *plan* to a locally-minimal failing schedule.
+
+    *still_fails* is a predicate over :class:`FaultPlan`; the input
+    plan must satisfy it. Works ddmin-style: first tries dropping
+    large chunks of the event list, then single events, until no
+    single-event removal keeps the failure — the classic 1-minimal
+    guarantee. Deterministic replay makes the predicate stable, so the
+    result is reproducible. ``max_runs`` bounds predicate evaluations.
+    """
+    current = _atoms(plan)
+    runs = 0
+
+    def failing(atoms: list[tuple[str, object]]) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        candidate = _build(atoms, plan.max_failures)
+        if candidate is None:
+            return False
+        runs += 1
+        return still_fails(candidate)
+
+    if not still_fails(plan):
+        raise SimulationError(
+            "shrink_schedule needs a failing schedule to start from"
+        )
+    chunk = max(1, len(current) // 2)
+    while chunk >= 1:
+        shrunk_this_pass = True
+        while shrunk_this_pass:
+            shrunk_this_pass = False
+            start = 0
+            while start < len(current):
+                candidate = current[:start] + current[start + chunk:]
+                if candidate and failing(candidate):
+                    current = candidate
+                    shrunk_this_pass = True
+                else:
+                    start += chunk
+        chunk //= 2
+    result = _build(current, plan.max_failures)
+    assert result is not None  # current always came from a valid build
+    return result

@@ -32,7 +32,12 @@ from repro.runtime.effects import (
     RecvEffect,
     SendEffect,
 )
-from repro.runtime.failures import FailurePlan, FaultKind, StorageFaultEvent
+from repro.runtime.failures import (
+    FailurePlan,
+    FaultKind,
+    NetworkFaultEvent,
+    StorageFaultEvent,
+)
 from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
 from repro.runtime.inputs import InputProvider
 from repro.runtime.interpreter import ProcessInterpreter
@@ -45,6 +50,7 @@ from repro.runtime.storage import (
     snapshot_sizes,
 )
 from repro.runtime.trace import ExecutionTrace
+from repro.runtime.transport import NetworkFaultInjector, TransportConfig
 
 
 @dataclass(frozen=True)
@@ -86,6 +92,17 @@ class SimulationStats:
     corrupt_checkpoints: int = 0
     recovery_fallbacks: int = 0
     fallback_depths: list[int] = field(default_factory=list)
+    # Transport accounting (all zero under a fault-free network, except
+    # the frame/ACK traffic every message generates).
+    frames_sent: int = 0
+    retransmits: int = 0
+    dropped_frames: int = 0
+    corrupt_frames: int = 0
+    delayed_frames: int = 0
+    duplicate_frames: int = 0
+    dups_suppressed: int = 0
+    ack_frames: int = 0
+    acks_lost: int = 0
 
     @property
     def max_fallback_depth(self) -> int:
@@ -139,6 +156,7 @@ class Simulation:
         max_steps: int = 2_000_000,
         storage_replicas: int = 1,
         max_storage_retries: int = 3,
+        transport_config: TransportConfig | None = None,
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
@@ -150,7 +168,24 @@ class Simulation:
         self.n = n_processes
         self.costs = costs
         self.protocol = protocol if protocol is not None else NullProtocol()
-        self.network = Network(n_processes, base_latency=base_latency, seed=seed)
+        plan = failure_plan or FailurePlan.none()
+        network_faults: list[NetworkFaultEvent] = list(
+            getattr(plan, "network_faults", []) or []
+        )
+        for net_fault in network_faults:
+            if net_fault.src >= n_processes or net_fault.dst >= n_processes:
+                raise SimulationError(
+                    f"network fault targets channel {net_fault.src}->"
+                    f"{net_fault.dst} but the simulation has only "
+                    f"{n_processes} processes"
+                )
+        self.network = Network(
+            n_processes,
+            base_latency=base_latency,
+            seed=seed,
+            fault_injector=NetworkFaultInjector(network_faults),
+            transport_config=transport_config,
+        )
         if storage_replicas == 1:
             self.storage = CheckpointStore(max_retries=max_storage_retries)
         else:
@@ -167,7 +202,6 @@ class Simulation:
         self._control_queue: list[ControlMessage] = []
         self._timers: list[tuple[float, int, int, str]] = []
         self._timer_seq = 0
-        plan = failure_plan or FailurePlan.none()
         self._crashes = list(plan.effective())
         storage_faults: list[StorageFaultEvent] = list(
             getattr(plan, "storage_faults", []) or []
@@ -438,6 +472,16 @@ class Simulation:
         self.stats.corrupt_checkpoints = getattr(
             self.storage, "corruption_detected", 0
         )
+        transport = self.network.transport.stats
+        self.stats.frames_sent = transport.frames_sent
+        self.stats.retransmits = transport.retransmits
+        self.stats.dropped_frames = transport.dropped_frames
+        self.stats.corrupt_frames = transport.corrupt_frames
+        self.stats.delayed_frames = transport.delayed_frames
+        self.stats.duplicate_frames = transport.duplicate_frames
+        self.stats.dups_suppressed = transport.dups_suppressed
+        self.stats.ack_frames = transport.ack_frames
+        self.stats.acks_lost = transport.acks_lost
         return SimulationResult(
             trace=self.trace,
             stats=self.stats,

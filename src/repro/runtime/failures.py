@@ -3,10 +3,12 @@
 A :class:`FailurePlan` is a pre-drawn list of (time, rank) crash
 events. A :class:`FaultPlan` extends it with *stable-storage* faults —
 checkpoint write failures, torn (partial) writes, silent bit rot, and
-transient I/O errors — so recovery itself can be stressed, not just
-triggered. Plans are generated ahead of the run (exponential arrivals
-per process, or fixed schedules in tests), so simulations stay
-reproducible and independent of execution order.
+transient I/O errors — and with *network* faults — dropped, duplicated,
+delayed, and corrupted frames plus timed partitions between rank pairs
+— so recovery itself can be stressed, not just triggered. Plans are
+generated ahead of the run (exponential arrivals per process or per
+channel, or fixed schedules in tests), so simulations stay reproducible
+and independent of execution order.
 """
 
 from __future__ import annotations
@@ -80,6 +82,75 @@ class StorageFaultEvent:
     attempts: int = 1
 
 
+class NetworkFaultKind(str, Enum):
+    """Taxonomy of message/channel faults.
+
+    ``DROP``
+        The targeted frame transmission is lost on the wire; the
+        transport's retransmission timer recovers it.
+    ``DUPLICATE``
+        The targeted frame arrives twice; the receiver's sequence-number
+        dedup suppresses the second copy.
+    ``DELAY``
+        The targeted frame is held on the wire for ``delay`` extra
+        seconds, arriving out of order; the receiver's reorder buffer
+        withholds later frames until the gap fills.
+    ``CORRUPT``
+        The targeted frame's payload is bit-flipped in transit; the
+        receiver's CRC rejects it and retransmission recovers it.
+    ``PARTITION``
+        From ``time`` on, every frame (data and ACK) between the rank
+        pair ``{src, dst}`` is lost, in both directions, until a
+        matching ``HEAL``.
+    ``HEAL``
+        Ends the open partition between ``{src, dst}``.
+    """
+
+    DROP = "drop"
+    DUPLICATE = "duplicate"
+    DELAY = "delay"
+    CORRUPT = "corrupt"
+    PARTITION = "partition"
+    HEAL = "heal"
+
+
+#: The one-shot kinds, each consumed by a single frame transmission.
+ONE_SHOT_NETWORK_KINDS = (
+    NetworkFaultKind.DROP,
+    NetworkFaultKind.DUPLICATE,
+    NetworkFaultKind.DELAY,
+    NetworkFaultKind.CORRUPT,
+)
+
+
+@dataclass(frozen=True)
+class NetworkFaultEvent:
+    """One injected network fault.
+
+    Attributes:
+        time: Activation time. One-shot kinds (``DROP``, ``DUPLICATE``,
+            ``DELAY``, ``CORRUPT``) arm at *time* and hit the first
+            frame transmission on the ``src -> dst`` channel at or
+            after it; ``PARTITION``/``HEAL`` open and close a blackout
+            window for the unordered pair ``{src, dst}``.
+        kind: The fault class (see :class:`NetworkFaultKind`).
+        src: Sending rank (for partitions, one side of the pair).
+        dst: Receiving rank (for partitions, the other side).
+        delay: Extra in-flight seconds, ``DELAY`` faults only.
+    """
+
+    time: float
+    kind: NetworkFaultKind
+    src: int
+    dst: int
+    delay: float = 0.0
+
+    @property
+    def pair(self) -> tuple[int, int]:
+        """The unordered ``{src, dst}`` pair (partition identity)."""
+        return (min(self.src, self.dst), max(self.src, self.dst))
+
+
 @dataclass
 class FailurePlan:
     """An ordered schedule of crashes.
@@ -144,13 +215,17 @@ class FaultPlan(FailurePlan):
     A :class:`FaultPlan` is accepted anywhere a :class:`FailurePlan`
     is; engines that understand storage faults additionally thread the
     ``storage_faults`` through their event loop so fault timing
-    interleaves deterministically with crashes and messages.
+    interleaves deterministically with crashes and messages, and feed
+    the ``network_faults`` to the reliable transport's fault injector
+    (:class:`repro.runtime.transport.NetworkFaultInjector`).
     """
 
     storage_faults: list[StorageFaultEvent] = field(default_factory=list)
+    network_faults: list[NetworkFaultEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         super().__post_init__()
+        self.network_faults = _validate_network_faults(self.network_faults)
         normalised: list[StorageFaultEvent] = []
         seen: set[tuple[float, int, str, int | None, int]] = set()
         for fault in self.storage_faults:
@@ -200,6 +275,88 @@ class FaultPlan(FailurePlan):
     def rot_events(self) -> list[StorageFaultEvent]:
         """The bit-rot faults (scheduled through the event loop)."""
         return [f for f in self.storage_faults if f.kind is FaultKind.BIT_ROT]
+
+
+def _validate_network_faults(
+    faults: list[NetworkFaultEvent],
+) -> list[NetworkFaultEvent]:
+    """Normalise, validate, and time-sort a network-fault schedule.
+
+    Rejects unknown kinds, negative times/ranks, self-channels,
+    non-positive delays on ``DELAY`` (or any delay elsewhere), exact
+    duplicates, and heals that do not close an open partition. A
+    trailing unhealed partition is allowed — it is a legitimate
+    adversarial scenario (the transport eventually gives up on the
+    dead pair with a :class:`~repro.errors.ChannelError`).
+    """
+    normalised: list[NetworkFaultEvent] = []
+    seen: set[tuple[float, str, int, int]] = set()
+    for fault in faults:
+        kind = fault.kind
+        if not isinstance(kind, NetworkFaultKind):
+            try:
+                kind = NetworkFaultKind(kind)
+            except ValueError:
+                known = ", ".join(k.value for k in NetworkFaultKind)
+                raise SimulationError(
+                    f"unknown network fault kind {fault.kind!r}; "
+                    f"known: {known}"
+                ) from None
+            fault = replace(fault, kind=kind)
+        if fault.time < 0:
+            raise SimulationError(
+                f"network fault time must be >= 0, got {fault.time} "
+                f"({kind.value} {fault.src}->{fault.dst})"
+            )
+        if fault.src < 0 or fault.dst < 0:
+            raise SimulationError(
+                f"network fault ranks must be >= 0, got "
+                f"{fault.src}->{fault.dst} ({kind.value})"
+            )
+        if fault.src == fault.dst:
+            raise SimulationError(
+                f"network fault targets the self-channel "
+                f"{fault.src}->{fault.dst} ({kind.value}); processes "
+                "do not message themselves"
+            )
+        if kind is NetworkFaultKind.DELAY:
+            if fault.delay <= 0:
+                raise SimulationError(
+                    f"delay fault needs a positive delay, got "
+                    f"{fault.delay} ({fault.src}->{fault.dst})"
+                )
+        elif fault.delay:
+            raise SimulationError(
+                f"delay={fault.delay} is only meaningful on "
+                f"{NetworkFaultKind.DELAY.value!r} faults, not "
+                f"{kind.value!r}"
+            )
+        key = (fault.time, kind.value, fault.src, fault.dst)
+        if key in seen:
+            raise SimulationError(
+                f"duplicate network fault (time={fault.time}, "
+                f"kind={kind.value}, {fault.src}->{fault.dst})"
+            )
+        seen.add(key)
+        normalised.append(fault)
+    normalised.sort(key=lambda f: (f.time, f.src, f.dst, f.kind.value))
+    open_partitions: set[tuple[int, int]] = set()
+    for fault in normalised:
+        if fault.kind is NetworkFaultKind.PARTITION:
+            if fault.pair in open_partitions:
+                raise SimulationError(
+                    f"partition of pair {fault.pair} at time "
+                    f"{fault.time} is already open"
+                )
+            open_partitions.add(fault.pair)
+        elif fault.kind is NetworkFaultKind.HEAL:
+            if fault.pair not in open_partitions:
+                raise SimulationError(
+                    f"heal of pair {fault.pair} at time {fault.time} "
+                    "closes no open partition"
+                )
+            open_partitions.discard(fault.pair)
+    return normalised
 
 
 def exponential_failures(
@@ -280,4 +437,106 @@ def exponential_fault_plan(
         crashes=base.crashes,
         max_failures=max_failures,
         storage_faults=faults,
+    )
+
+
+def exponential_network_plan(
+    n_processes: int,
+    horizon: float,
+    failure_rate: float = 0.0,
+    drop_rate: float = 0.0,
+    duplicate_rate: float = 0.0,
+    delay_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    partition_rate: float = 0.0,
+    mean_delay: float = 1.0,
+    mean_partition: float = 2.0,
+    seed: int = 0,
+    max_failures: int | None = None,
+) -> FaultPlan:
+    """Draw a combined crash + network-fault schedule up to *horizon*.
+
+    Crashes arrive per process at *failure_rate* exactly as in
+    :func:`exponential_failures`. One-shot frame faults arrive
+    independently per **directed channel** at their per-kind rates
+    (``drop_rate``, ``duplicate_rate``, ``delay_rate``,
+    ``corrupt_rate``); delays draw exponential extra latency with mean
+    *mean_delay*. Partitions arrive per **unordered pair** at
+    *partition_rate*, each healing after an exponential duration with
+    mean *mean_partition* (clipped below the pair's next partition, so
+    windows never overlap). The whole schedule is reproducible from
+    ``(seed, rates, horizon)``, which is what makes fault sweeps and
+    chaos replays deterministic.
+    """
+    for name, rate in (
+        ("drop_rate", drop_rate),
+        ("duplicate_rate", duplicate_rate),
+        ("delay_rate", delay_rate),
+        ("corrupt_rate", corrupt_rate),
+        ("partition_rate", partition_rate),
+    ):
+        if rate < 0:
+            raise SimulationError(f"{name} must be >= 0, got {rate}")
+    if mean_delay <= 0:
+        raise SimulationError(f"mean_delay must be positive, got {mean_delay}")
+    if mean_partition <= 0:
+        raise SimulationError(
+            f"mean_partition must be positive, got {mean_partition}"
+        )
+    base = exponential_failures(
+        n_processes, failure_rate, horizon, seed=seed, max_failures=max_failures
+    )
+    faults: list[NetworkFaultEvent] = []
+    rng = np.random.default_rng(seed + 2)
+    one_shot_rates = (
+        (NetworkFaultKind.DROP, drop_rate),
+        (NetworkFaultKind.DUPLICATE, duplicate_rate),
+        (NetworkFaultKind.DELAY, delay_rate),
+        (NetworkFaultKind.CORRUPT, corrupt_rate),
+    )
+    for src in range(n_processes):
+        for dst in range(n_processes):
+            if src == dst:
+                continue
+            for kind, rate in one_shot_rates:
+                if rate <= 0:
+                    continue
+                t = 0.0
+                while True:
+                    t += float(rng.exponential(1.0 / rate))
+                    if t >= horizon:
+                        break
+                    delay = (
+                        float(rng.exponential(mean_delay))
+                        if kind is NetworkFaultKind.DELAY
+                        else 0.0
+                    )
+                    faults.append(NetworkFaultEvent(
+                        time=t, kind=kind, src=src, dst=dst, delay=delay,
+                    ))
+    if partition_rate > 0:
+        for a in range(n_processes):
+            for b in range(a + 1, n_processes):
+                t = 0.0
+                while True:
+                    t += float(rng.exponential(1.0 / partition_rate))
+                    if t >= horizon:
+                        break
+                    gap = float(rng.exponential(1.0 / partition_rate))
+                    duration = max(
+                        min(float(rng.exponential(mean_partition)), gap * 0.5),
+                        1e-6,
+                    )
+                    faults.append(NetworkFaultEvent(
+                        time=t, kind=NetworkFaultKind.PARTITION, src=a, dst=b,
+                    ))
+                    faults.append(NetworkFaultEvent(
+                        time=t + duration, kind=NetworkFaultKind.HEAL,
+                        src=a, dst=b,
+                    ))
+                    t += gap
+    return FaultPlan(
+        crashes=base.crashes,
+        max_failures=max_failures,
+        network_faults=faults,
     )

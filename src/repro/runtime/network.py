@@ -15,6 +15,14 @@ middle segment is precisely the messages *in flight across the cut*
 Latency model: ``base_latency`` plus a small deterministic per-pair
 offset (derived from the seed), with FIFO delivery enforced by making
 arrival times non-decreasing per channel.
+
+Beneath the send/consume API sits a :class:`~repro.runtime.transport.
+ReliableTransport`: every send is pushed through a (possibly faulty)
+medium — sequence numbers, CRC, dedup/reorder, cumulative ACKs,
+retransmission with exponential backoff — and the resulting delivery
+time becomes the message's arrival time. With no injected network
+faults the transport is a pass-through (one attempt, immediate ACK)
+and behaviour is byte-identical to the bare FIFO model.
 """
 
 from __future__ import annotations
@@ -23,6 +31,11 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import ChannelError
+from repro.runtime.transport import (
+    NetworkFaultInjector,
+    ReliableTransport,
+    TransportConfig,
+)
 
 _MASK = (1 << 31) - 1
 
@@ -88,6 +101,8 @@ class Network:
         base_latency: float = 0.5,
         jitter: float = 0.05,
         seed: int = 0,
+        fault_injector: NetworkFaultInjector | None = None,
+        transport_config: TransportConfig | None = None,
     ) -> None:
         if n_processes < 1:
             raise ChannelError(f"need at least one process, got {n_processes}")
@@ -97,6 +112,9 @@ class Network:
         self.base_latency = base_latency
         self.jitter = jitter
         self.seed = seed
+        self.transport = ReliableTransport(
+            injector=fault_injector, config=transport_config
+        )
         self._channels: dict[tuple[int, int, str], _Channel] = {}
         self._ids = itertools.count(1)
 
@@ -147,9 +165,10 @@ class Network:
             if channel.replayed >= len(channel.log):
                 channel.replayed = None
             return original
-        arrival = max(
-            send_time + self.latency(src, dst), channel.last_arrival
+        delivery = self.transport.transmit(
+            src, dst, lane, value, send_time, self.latency(src, dst)
         )
+        arrival = max(delivery.delivery_time, channel.last_arrival)
         channel.last_arrival = arrival
         message = Message(
             message_id=next(self._ids),
@@ -162,6 +181,22 @@ class Network:
             piggyback=dict(piggyback or {}),
         )
         channel.log.append(message)
+        for extra_arrival in delivery.extra_copies:
+            # Only reachable with receiver-side dedup disabled (a test
+            # hook): the duplicate escapes the transport and becomes a
+            # second, app-visible copy on the channel.
+            arrival = max(extra_arrival, channel.last_arrival)
+            channel.last_arrival = arrival
+            channel.log.append(Message(
+                message_id=next(self._ids),
+                src=src,
+                dst=dst,
+                lane=lane,
+                value=value,
+                send_time=send_time,
+                arrival_time=arrival,
+                piggyback=dict(piggyback or {}),
+            ))
         return message
 
     def peek(self, src: int, dst: int, lane: str = "p2p") -> Message | None:
@@ -229,6 +264,7 @@ class Network:
             del channel.log[sent:]
             channel.delivered = min(delivered, channel.sent)
             channel.last_arrival = restart_time
+            self.transport.rebase(key, restart_time)
             for position in range(channel.delivered, channel.sent):
                 message = channel.log[position]
                 arrival = max(

@@ -1,0 +1,1 @@
+"""Chaos-schedule harness tests."""

@@ -1,0 +1,198 @@
+"""End-to-end chaos tests: randomized fault schedules against all protocols.
+
+The acceptance bar from the paper's robustness story: the reliable
+transport must make an adversarial network invisible to every
+checkpointing protocol. We draw hundreds of seed-deterministic
+schedules (drops, duplicates, delays, corruption, partitions, crashes),
+replay each against the three main protocols, and require completion,
+recovery-line consistency on storage, and a final state identical to
+the fault-free baseline. A deliberately-broken transport (receiver
+dedup disabled) must be *caught* by the same harness and shrunk to a
+minimal counterexample.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.lang.programs import ring_pipeline
+from repro.protocols import ApplicationDrivenProtocol
+from repro.runtime.chaos import (
+    CHAOS_PROTOCOLS,
+    ChaosConfig,
+    ChaosOutcome,
+    chaos_sweep,
+    draw_schedule,
+    run_schedule,
+    shrink_schedule,
+)
+from repro.runtime.engine import Simulation
+from repro.runtime.failures import (
+    FaultPlan,
+    NetworkFaultKind,
+    exponential_network_plan,
+)
+from repro.runtime.transport import TransportConfig
+
+CONFIG = ChaosConfig()
+
+
+class TestScheduleDrawing:
+    def test_same_seed_same_schedule(self):
+        for seed in range(20):
+            assert draw_schedule(seed, CONFIG) == draw_schedule(seed, CONFIG)
+
+    def test_different_seeds_differ(self):
+        plans = {repr(draw_schedule(seed, CONFIG)) for seed in range(20)}
+        assert len(plans) > 15  # near-certainly all distinct
+
+    def test_schedules_are_valid_plans(self):
+        # FaultPlan validates at construction; drawing must never trip it.
+        for seed in range(50):
+            plan = draw_schedule(seed, CONFIG)
+            assert plan.network_faults or plan.crashes
+
+    def test_draw_respects_config_bounds(self):
+        cfg = ChaosConfig(horizon=5.0, max_events=3, crash_probability=0.0)
+        for seed in range(30):
+            plan = draw_schedule(seed, cfg)
+            assert not plan.crashes
+            one_shots = [
+                e for e in plan.network_faults
+                if e.kind is not NetworkFaultKind.PARTITION
+                and e.kind is not NetworkFaultKind.HEAL
+            ]
+            assert len(one_shots) <= 3
+            for event in one_shots:
+                assert 0.0 <= event.time < 5.0
+
+
+class TestChaosSweep:
+    """The headline property: ~200 random schedules, zero violations."""
+
+    @pytest.mark.parametrize("protocol", CHAOS_PROTOCOLS)
+    def test_seventy_schedules_per_protocol_all_hold(self, protocol):
+        # 70 seeds x 3 protocols = 210 randomized schedules in total.
+        outcomes = chaos_sweep(range(70), protocols=(protocol,))
+        failures = {
+            seed: outcome.describe()
+            for (_, seed), outcome in outcomes.items()
+            if not outcome.ok
+        }
+        assert not failures, failures
+
+    def test_outcome_reports_fault_counts(self):
+        plan = draw_schedule(3, CONFIG)
+        outcome = run_schedule(plan, config=CONFIG)
+        assert isinstance(outcome, ChaosOutcome)
+        assert outcome.faults == len(plan.network_faults)
+        assert "fault" in outcome.describe()
+
+    def test_availability_one_at_low_drop_rates(self):
+        # Paper-style availability claim: message-drop rates up to 10%
+        # of traffic never prevent a run from completing.
+        completed = total = 0
+        for rate in (0.02, 0.05, 0.1):
+            for seed in range(3):
+                plan = exponential_network_plan(
+                    3, 30.0, drop_rate=rate, seed=seed
+                )
+                outcome = run_schedule(plan, config=CONFIG)
+                total += 1
+                completed += outcome.completed
+                assert outcome.ok, outcome.describe()
+        assert completed == total  # availability 1.0
+
+
+class TestByteIdenticalReplay:
+    def test_identical_seed_and_plan_identical_result(self):
+        plan = draw_schedule(7, CONFIG)
+
+        def run():
+            return Simulation(
+                ring_pipeline(),
+                CONFIG.n_processes,
+                params={"steps": CONFIG.steps},
+                protocol=ApplicationDrivenProtocol(),
+                failure_plan=plan,
+                seed=CONFIG.sim_seed,
+            ).run()
+
+        first, second = run(), run()
+        assert repr(first.stats) == repr(second.stats)
+        assert first.completion_time == second.completion_time
+        assert first.final_env == second.final_env
+        assert [repr(e) for e in first.trace.events] == [
+            repr(e) for e in second.trace.events
+        ]
+
+    def test_replay_includes_retransmission_traffic(self):
+        # The identity above must cover transport accounting, and a
+        # chaotic plan must actually exercise it.
+        plan = draw_schedule(7, CONFIG)
+        result = Simulation(
+            ring_pipeline(),
+            CONFIG.n_processes,
+            params={"steps": CONFIG.steps},
+            protocol=ApplicationDrivenProtocol(),
+            failure_plan=plan,
+            seed=CONFIG.sim_seed,
+        ).run()
+        assert result.stats.frames_sent > 0
+        assert result.stats.ack_frames > 0
+
+
+class TestBrokenTransportShrinking:
+    """The harness must catch a sabotaged transport and minimize it."""
+
+    BROKEN = TransportConfig(dedup=False)
+    QUIET = ChaosConfig(partition_probability=0.0, crash_probability=0.0)
+
+    def _fails(self, plan: FaultPlan) -> bool:
+        outcome = run_schedule(
+            plan, config=self.QUIET, transport_config=self.BROKEN
+        )
+        return not outcome.ok
+
+    def test_dedup_disabled_is_caught(self):
+        plan = draw_schedule(0, self.QUIET)
+        assert run_schedule(plan, config=self.QUIET).ok
+        outcome = run_schedule(
+            plan, config=self.QUIET, transport_config=self.BROKEN
+        )
+        assert not outcome.ok
+        assert outcome.completed  # it finishes, but with divergent state
+        assert not outcome.state_ok
+
+    def test_failure_shrinks_to_minimal_counterexample(self):
+        plan = draw_schedule(0, self.QUIET)
+        assert self._fails(plan)
+        minimal = shrink_schedule(plan, self._fails)
+        events = len(minimal.network_faults) + len(minimal.crashes)
+        assert events == 1
+        assert self._fails(minimal)
+        # 1-minimality: the empty schedule passes even on the broken
+        # transport (no fault ever forces a retransmission, so dedup
+        # never matters).
+        assert not self._fails(FaultPlan())
+
+    def test_shrink_rejects_passing_schedule(self):
+        healthy = FaultPlan()
+        with pytest.raises(SimulationError):
+            shrink_schedule(healthy, self._fails)
+
+    def test_shrink_skips_invalid_candidates(self):
+        # A schedule whose failure needs the partitioned window: the
+        # shrinker must not die on candidates that drop the partition
+        # but keep the heal (invalid plans are skipped, not run).
+        events = draw_schedule(0, self.QUIET).network_faults
+        plan = FaultPlan(network_faults=list(events) + [
+            type(events[0])(
+                time=1.0, kind=NetworkFaultKind.PARTITION, src=0, dst=1
+            ),
+            type(events[0])(
+                time=2.0, kind=NetworkFaultKind.HEAL, src=0, dst=1
+            ),
+        ])
+        assert self._fails(plan)
+        minimal = shrink_schedule(plan, self._fails)
+        assert len(minimal.network_faults) >= 1

@@ -272,6 +272,50 @@ class TestReplicatedStore:
             assert mirror.count(0) == 1
 
 
+class TestEvenReplicaQuorum:
+    """Quorum edges with an even replica count (no strict majority tie).
+
+    With ``k`` replicas the quorum is ``k // 2 + 1``: for even ``k`` an
+    exact half-split of intact copies must FAIL verification — a tie is
+    not a majority.
+    """
+
+    def test_two_replicas_need_both(self):
+        store = ReplicatedCheckpointStore(replicas=2)
+        store.store(checkpoint(0, 0))
+        assert store.quorum == 2
+        assert store.verify(store.latest(0))  # 2/2 intact
+        store.corrupt(0, replica=1)
+        assert not store.verify(store.latest(0))  # 1/2 is a tie, not quorum
+
+    def test_two_replicas_primary_rot_also_fails(self):
+        store = ReplicatedCheckpointStore(replicas=2)
+        store.store(checkpoint(0, 0))
+        store.corrupt(0, replica=0)
+        assert not store.verify(store.latest(0))
+
+    def test_four_replicas_split_verdict_fails(self):
+        store = ReplicatedCheckpointStore(replicas=4)
+        store.store(checkpoint(0, 0))
+        assert store.quorum == 3
+        store.corrupt(0, replica=1)
+        store.corrupt(0, replica=3)
+        assert not store.verify(store.latest(0))  # 2/4 split verdict
+
+    def test_four_replicas_single_rot_masked(self):
+        store = ReplicatedCheckpointStore(replicas=4)
+        store.store(checkpoint(0, 0))
+        store.corrupt(0, replica=2)
+        assert store.verify(store.latest(0))  # 3/4 >= quorum
+
+    def test_four_replicas_majority_rot_fails(self):
+        store = ReplicatedCheckpointStore(replicas=4)
+        store.store(checkpoint(0, 0))
+        for replica in (0, 1, 2):
+            store.corrupt(0, replica=replica)
+        assert not store.verify(store.latest(0))
+
+
 class TestStructuredErrors:
     def test_storage_error_carries_context(self):
         error = StorageError("boom", rank=2, number=5, replica=1)

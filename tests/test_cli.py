@@ -131,6 +131,99 @@ class TestSimulate:
         assert "error" in capsys.readouterr().err
 
 
+class TestSimulateNetworkFaults:
+    def test_network_faults_via_flags(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3", "--steps", "8",
+             "--fault", "drop:3.0:0:1",
+             "--fault", "duplicate:5.0:1:2",
+             "--fault", "delay:6.0:2:0:1.5"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "completed         : True" in out
+        assert "network faults    : dropped=1" in out
+        assert "retransmits=" in out
+
+    def test_partition_heal_window(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3", "--steps", "8",
+             "--fault", "partition:8.0:0:2", "--fault", "heal:10.0:0:2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "transport         : frames=" in out
+
+    def test_network_fault_rank_validated_against_n(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3",
+             "--fault", "drop:3.0:0:5"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "channel 0->5" in err and "only 3 processes" in err
+
+    def test_crash_rank_validated_against_n(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3", "--crash", "5.0:7"]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "rank 7" in err and "only 3 processes" in err
+
+    def test_storage_fault_rank_validated_against_n(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3",
+             "--fault", "bit-rot:5.0:6"]
+        ) == 2
+        assert "rank 6" in capsys.readouterr().err
+
+    def test_bad_network_fault_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "@ring_pipeline", "--fault", "drop:oops:0:1"])
+
+    def test_delay_without_duration_rejected(self, capsys):
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3",
+             "--fault", "delay:3.0:0:1"]
+        ) == 2
+        assert "delay" in capsys.readouterr().err
+
+    def test_fault_plan_json_network_faults(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"crashes": [{"time": 14.0, "rank": 1}],'
+            ' "network_faults": [{"time": 3.0, "kind": "drop",'
+            ' "src": 0, "dst": 1}]}'
+        )
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3", "--steps", "8",
+             "--fault-plan", str(plan)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "network faults    : dropped=1" in out
+        assert "failures/rollbacks: 1/1" in out
+
+    def test_fault_plan_rejects_unknown_keys(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text('{"netwrok_faults": []}')
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3",
+             "--fault-plan", str(plan)]
+        ) == 2
+        err = capsys.readouterr().err
+        assert "unknown top-level key(s) ['netwrok_faults']" in err
+        assert '"network_faults"' in err  # the expected schema is shown
+
+    def test_fault_plan_rejects_unknown_network_kind(self, capsys, tmp_path):
+        plan = tmp_path / "plan.json"
+        plan.write_text(
+            '{"network_faults": [{"time": 1.0, "kind": "teleport",'
+            ' "src": 0, "dst": 1}]}'
+        )
+        assert main(
+            ["simulate", "@ring_pipeline", "-n", "3",
+             "--fault-plan", str(plan)]
+        ) == 2
+        assert "teleport" in capsys.readouterr().err
+
+
 class TestFigures:
     def test_both_tables(self, capsys):
         assert main(["figures"]) == 0

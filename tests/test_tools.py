@@ -29,6 +29,7 @@ class TestRegenerateResults:
             "optimal_intervals.txt",
             "checkpointing_payoff.txt",
             "fault_tolerance.txt",
+            "network_faults.txt",
         }
 
     def test_figures_record_shape_verdicts(self, tmp_path, capsys):

@@ -135,6 +135,21 @@ def fault_tolerance(out: Path) -> None:
     write(out / "fault_tolerance.txt", body)
 
 
+def network_faults(out: Path) -> None:
+    from repro.bench.network_faults import (
+        format_network_table,
+        network_fault_sweep,
+    )
+
+    rows = network_fault_sweep()
+    lost = sum(r.runs - r.completed for r in rows)
+    body = format_network_table(rows) + "\n\nruns lost: " + (
+        "NONE (reliable transport absorbed every network fault)"
+        if lost == 0 else str(lost)
+    ) + "\n"
+    write(out / "network_faults.txt", body)
+
+
 def main(argv: list[str] | None = None) -> int:
     """Regenerate all result files; returns the process exit code."""
     args = argv if argv is not None else sys.argv[1:]
@@ -147,6 +162,7 @@ def main(argv: list[str] | None = None) -> int:
     optimal_intervals(out)
     payoff(out)
     fault_tolerance(out)
+    network_faults(out)
     print("done")
     return 0
 
