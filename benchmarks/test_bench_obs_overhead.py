@@ -1,0 +1,61 @@
+"""Tracing overhead bench: enabled-path cost, disabled-path freedom.
+
+Times a full simulated run with the observability subsystem attached
+(every engine/transport/storage/protocol event published, metrics
+collected, flight recorder ringing) against the identical untraced run,
+and prints the slowdown. The *correctness* side — byte-identical
+artifacts, zero perturbation — is asserted via
+:func:`repro.bench.obs_overhead.obs_overhead_report`, whose
+deterministic verdicts are snapshotted in ``results/obs_overhead.txt``.
+"""
+
+import time
+
+from repro.bench.obs_overhead import _run, obs_overhead_report
+from repro.obs import Observability
+
+
+def test_bench_traced_run(benchmark):
+    """Time the fully-traced run and sanity-check its event volume."""
+
+    def run_traced():
+        obs = Observability()
+        result = _run(observer=obs.bus)
+        return obs, result
+
+    obs, result = benchmark(run_traced)
+    assert result.stats.completed
+    assert obs.bus.events_emitted > 100
+    assert all(
+        e.clock is not None for e in obs.events if e.rank is not None
+    )
+
+
+def test_bench_untraced_run(benchmark):
+    """Time the identical run with observability disabled."""
+    result = benchmark(_run)
+    assert result.stats.completed
+
+
+def test_bench_overhead_report():
+    """The zero-cost claims hold; print the measured relative slowdown."""
+    report = obs_overhead_report()
+    assert report.disabled_deterministic
+    assert report.enabled_deterministic
+    assert report.zero_perturbation
+    assert report.jsonl_deterministic
+    assert report.ok
+
+    start = time.perf_counter()
+    _run()
+    untraced = time.perf_counter() - start
+    obs = Observability()
+    start = time.perf_counter()
+    _run(observer=obs.bus)
+    traced = time.perf_counter() - start
+    slowdown = traced / untraced if untraced else float("inf")
+    print(
+        f"\ntracing overhead: untraced {untraced * 1e3:.2f} ms, "
+        f"traced {traced * 1e3:.2f} ms ({slowdown:.2f}x, "
+        f"{obs.bus.events_emitted} events)"
+    )

@@ -13,6 +13,11 @@ from repro.bench.figures import (
     shape_check_figure8,
     shape_check_figure9,
 )
+from repro.bench.obs_overhead import (
+    ObsOverheadReport,
+    format_obs_overhead,
+    obs_overhead_report,
+)
 from repro.bench.workloads import (
     ProtocolRunSummary,
     WorkloadSpec,
@@ -21,11 +26,14 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "ObsOverheadReport",
     "ProtocolRunSummary",
     "WorkloadSpec",
     "figure8_table",
     "figure9_table",
     "format_curves",
+    "format_obs_overhead",
+    "obs_overhead_report",
     "run_protocol_comparison",
     "shape_check_figure8",
     "shape_check_figure9",

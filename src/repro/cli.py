@@ -10,6 +10,8 @@ simulate   execute a program on the simulator, optionally with
 cfg        dump the (extended) CFG as Graphviz DOT
 figures    print the Figure 8 / Figure 9 data tables
 programs   list the shipped example programs
+trace      inspect/convert a recorded JSONL observability event log
+chaos      run the chaos sweep, dumping diagnostics on failure
 ========== ==========================================================
 
 Program arguments accept either a file path or ``@name`` for a shipped
@@ -342,6 +344,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     plan = _load_fault_plan(args.fault_plan, args.crash, args.fault)
     _check_plan_ranks(plan, args.n)
     protocol = _make_protocol(args.protocol, args.period)
+    obs = None
+    if args.trace_out or args.metrics_out:
+        from repro.obs import Observability
+
+        obs = Observability()
     sim = Simulation(
         program,
         args.n,
@@ -350,6 +357,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         failure_plan=plan,
         seed=args.seed,
         storage_replicas=args.storage_replicas,
+        observer=obs.bus if obs is not None else None,
     )
     result = sim.run()
     stats = result.stats
@@ -398,6 +406,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         Path(args.export_trace).write_text(trace_to_json(result.trace))
         print(f"# wrote trace to {args.export_trace}", file=sys.stderr)
+    if obs is not None and args.trace_out:
+        Path(args.trace_out).write_text(obs.jsonl())
+        print(f"# wrote event log to {args.trace_out}", file=sys.stderr)
+    if obs is not None and args.metrics_out:
+        Path(args.metrics_out).write_text(obs.metrics.to_json() + "\n")
+        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.stats_json:
+        import json
+
+        payload = json.dumps(stats.as_dict(), indent=2, sort_keys=True)
+        if args.stats_json == "-":
+            print(payload)
+        else:
+            Path(args.stats_json).write_text(payload + "\n")
+            print(f"# wrote stats to {args.stats_json}", file=sys.stderr)
     return 0 if stats.completed else 1
 
 
@@ -497,6 +520,60 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if inconsistent else 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        chrome_trace_json,
+        events_to_jsonl,
+        read_event_log,
+        summarize_events,
+    )
+
+    events = read_event_log(args.log)
+
+    def _write(text: str) -> None:
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"# wrote {args.output}", file=sys.stderr)
+        else:
+            print(text, end="")
+
+    if args.format == "summary":
+        _write(summarize_events(events))
+    elif args.format == "chrome":
+        _write(chrome_trace_json(events, indent=2) + "\n")
+    elif args.format == "jsonl":
+        _write(events_to_jsonl(events))
+    else:  # spacetime
+        from repro.viz import render_spacetime_from_log
+
+        _write(render_spacetime_from_log(args.log))
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.runtime.chaos import CHAOS_PROTOCOLS, ChaosConfig, chaos_sweep
+    from repro.runtime.transport import TransportConfig
+
+    transport = TransportConfig(dedup=False) if args.broken_transport else None
+    config = ChaosConfig(sim_seed=args.sim_seed)
+    protocols = tuple(args.protocol) if args.protocol else CHAOS_PROTOCOLS
+    outcomes = chaos_sweep(
+        range(args.seeds),
+        protocols=protocols,
+        config=config,
+        transport_config=transport,
+        artifacts_dir=args.artifacts,
+    )
+    failures = 0
+    for (protocol, seed), outcome in sorted(outcomes.items()):
+        print(f"{protocol:>14s} seed {seed:>3d}: {outcome.describe()}")
+        failures += 0 if outcome.ok else 1
+    print(f"{len(outcomes)} cell(s), {failures} failure(s)")
+    if failures and args.artifacts:
+        print(f"# diagnostics under {args.artifacts}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_optimal(args: argparse.Namespace) -> int:
     from repro.analysis.parameters import ModelParameters
     from repro.analysis.sensitivity import optimal_table
@@ -577,6 +654,16 @@ def build_parser() -> argparse.ArgumentParser:
                           help="print an ASCII space-time diagram")
     simulate.add_argument("--export-trace", metavar="PATH",
                           help="write the execution trace as JSON")
+    simulate.add_argument("--trace-out", metavar="PATH",
+                          help="record the run's observability event log "
+                               "(vector-clock-stamped JSONL; see "
+                               "'repro trace')")
+    simulate.add_argument("--metrics-out", metavar="PATH",
+                          help="write the metrics registry (counters, "
+                               "gauges, histograms) as JSON")
+    simulate.add_argument("--stats-json", metavar="PATH",
+                          help="write SimulationStats as JSON ('-' for "
+                               "stdout)")
     simulate.set_defaults(func=_cmd_simulate)
 
     figures = commands.add_parser("figures", help="print Figure 8/9 tables")
@@ -602,6 +689,39 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("trace", help="path to a JSON trace file")
     analyze.add_argument("--spacetime", action="store_true")
     analyze.set_defaults(func=_cmd_analyze)
+
+    trace = commands.add_parser(
+        "trace", help="inspect or convert a recorded JSONL event log"
+    )
+    trace.add_argument("log", help="path to a JSONL event log "
+                                   "(--trace-out or a flight-recorder dump)")
+    trace.add_argument("--format", choices=("summary", "chrome", "jsonl",
+                                            "spacetime"),
+                       default="summary",
+                       help="summary digest, Chrome trace-event JSON "
+                            "(load in chrome://tracing or Perfetto), "
+                            "normalised JSONL, or an ASCII space-time "
+                            "diagram with recovery lines")
+    trace.add_argument("-o", "--output", metavar="PATH",
+                       help="write here instead of stdout")
+    trace.set_defaults(func=_cmd_trace)
+
+    chaos = commands.add_parser(
+        "chaos", help="run the chaos sweep; dump diagnostics on failure"
+    )
+    chaos.add_argument("--seeds", type=int, default=10,
+                       help="number of schedule seeds per protocol")
+    chaos.add_argument("--protocol", action="append", metavar="NAME",
+                       help="protocol(s) to sweep (default: the chaos set)")
+    chaos.add_argument("--sim-seed", type=int, default=0,
+                       help="simulator seed of the workload")
+    chaos.add_argument("--artifacts", metavar="DIR",
+                       help="on failure, write flight-recorder dump, "
+                            "schedule, and ddmin-shrunk counterexample here")
+    chaos.add_argument("--broken-transport", action="store_true",
+                       help="disable duplicate suppression (test hook that "
+                            "forces failures, exercising the artifact dump)")
+    chaos.set_defaults(func=_cmd_chaos)
 
     optimal = commands.add_parser(
         "optimal", help="per-protocol optimal checkpoint intervals"

@@ -1,0 +1,94 @@
+"""Observability: causal tracing and metrics for the whole runtime.
+
+Every runtime layer — the engine's effects/checkpoints/rollbacks, the
+reliable transport's frames and ACKs, the checkpoint store's commits
+and faults, and the protocols' control traffic — publishes structured
+events onto one :class:`~repro.obs.bus.EventBus`. Each event is stamped
+with simulated time, rank, and the publishing process's **vector
+clock**, so happened-before is recoverable from the event log alone:
+the log is a causal trace, not just a message log.
+
+On top of the bus sit:
+
+- a :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  histograms (checkpoint latency, recovery-line lag, retransmit rate,
+  rollback depth), fed by a :class:`~repro.obs.metrics.MetricsCollector`;
+- a bounded :class:`~repro.obs.recorder.FlightRecorder` the chaos
+  harness dumps automatically next to ddmin counterexamples;
+- exporters to JSONL and Chrome ``chrome://tracing`` trace-event format
+  (:mod:`repro.obs.export`).
+
+The subsystem is zero-cost when disabled (``observer=None`` leaves
+every hot path a single ``is None`` test away from the status quo) and
+fully deterministic: events carry simulated time only, so byte-identical
+replays produce byte-identical JSONL logs.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.events import CATEGORIES, ObsEvent
+from repro.obs.export import (
+    chrome_trace,
+    chrome_trace_json,
+    events_to_jsonl,
+    read_event_log,
+    summarize_events,
+    trace_from_events,
+    write_event_log,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+)
+from repro.obs.recorder import FlightRecorder
+
+
+class Observability:
+    """Convenience bundle: bus + event log + flight recorder + metrics.
+
+    Wires the standard subscribers onto a fresh bus. Pass ``.bus`` as
+    the ``observer`` argument of
+    :class:`~repro.runtime.engine.Simulation`; afterwards ``.events``
+    holds the full event log, ``.recorder`` the bounded tail, and
+    ``.metrics`` the aggregated registry.
+    """
+
+    def __init__(
+        self, capacity: int = 4096, keep_events: bool = True
+    ) -> None:
+        self.bus = EventBus()
+        self.events: list[ObsEvent] = []
+        if keep_events:
+            self.bus.subscribe(self.events.append)
+        self.recorder = FlightRecorder(capacity=capacity)
+        self.recorder.attach(self.bus)
+        self.metrics = MetricsRegistry()
+        self.collector = MetricsCollector(self.metrics)
+        self.collector.attach(self.bus)
+
+    def jsonl(self) -> str:
+        """The full event log serialised as JSONL."""
+        return events_to_jsonl(self.events)
+
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "EventBus",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsCollector",
+    "MetricsRegistry",
+    "ObsEvent",
+    "Observability",
+    "chrome_trace",
+    "chrome_trace_json",
+    "events_to_jsonl",
+    "read_event_log",
+    "summarize_events",
+    "trace_from_events",
+    "write_event_log",
+]

@@ -1,0 +1,52 @@
+"""The flight recorder: a bounded tail of the event stream.
+
+Long chaos sweeps emit far more events than anyone wants to archive;
+what diagnosis needs is the *recent causal history* leading up to a
+failure. The recorder keeps the last ``capacity`` events in a ring
+buffer and dumps them as JSONL on demand — the chaos harness writes
+this dump next to every ddmin-shrunk counterexample, so a failing
+schedule always ships with the event log that explains it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from pathlib import Path
+
+from repro.obs.events import ObsEvent
+
+
+class FlightRecorder:
+    """Ring buffer of the most recent events on a bus."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[ObsEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    def attach(self, bus) -> None:
+        """Subscribe this recorder to *bus*."""
+        bus.subscribe(self.record)
+
+    def record(self, event: ObsEvent) -> None:
+        """Append *event*, evicting the oldest at capacity."""
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> list[ObsEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def dump(self, path: str | Path) -> Path:
+        """Write the retained events to *path* as JSONL; returns it."""
+        from repro.obs.export import events_to_jsonl
+
+        path = Path(path)
+        path.write_text(events_to_jsonl(self.events()))
+        return path

@@ -64,6 +64,10 @@ class ApplicationDrivenProtocol(CheckpointingProtocol):
         if self.validate:
             number, members, _ = self.deepest_intact_cut(sim)
             self._validate_cut(sim, number, list(members.values()))
+            sim.emit(
+                "cut-validated", None, time,
+                protocol=self.name, number=number,
+            )
         common = self.restore_common_number(sim, time)
         self.recovered_to.append(common)
 

@@ -77,6 +77,15 @@ class CheckpointingProtocol(ProtocolHooks):
         sim.stats.fallback_depths.append(depth)
         if depth:
             sim.stats.recovery_fallbacks += 1
+            sim.emit(
+                "degraded-fallback", None, at_time,
+                protocol=self.name, nominal=number + depth, restored=number,
+                depth=depth,
+            )
+        sim.emit(
+            "recovery", None, at_time,
+            protocol=self.name, number=number, depth=depth,
+        )
         sim.restore_cut(cut, at_time)
         return number
 

@@ -70,5 +70,13 @@ class MessageLoggingProtocol(CheckpointingProtocol):
         sim.stats.fallback_depths.append(depth)
         if depth:
             sim.stats.recovery_fallbacks += 1
+        sim.emit(
+            "replay-restart", rank, time,
+            protocol=self.name, number=checkpoint.number, depth=depth,
+        )
+        sim.emit(
+            "recovery", rank, time,
+            protocol=self.name, number=checkpoint.number, depth=depth,
+        )
         sim.restore_single(checkpoint, time)
         self.single_restarts.append(rank)

@@ -75,4 +75,14 @@ class UncoordinatedProtocol(CheckpointingProtocol):
             depths[r] = len(history) - 1 - pos
         self.domino_steps.append(domino)
         self.rollback_depths.append(depths)
+        sim.emit(
+            "domino-search", None, time,
+            protocol=self.name, domino_steps=domino,
+            max_depth=max(depths.values(), default=0),
+        )
+        sim.emit(
+            "recovery", None, time,
+            protocol=self.name, depth=skipped,
+            numbers={str(r): c.number for r, c in sorted(cut.items())},
+        )
         sim.restore_cut(cut, time)

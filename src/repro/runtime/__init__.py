@@ -13,6 +13,7 @@ from repro.runtime.chaos import (
     ChaosOutcome,
     chaos_sweep,
     draw_schedule,
+    dump_failure_artifacts,
     run_schedule,
     shrink_schedule,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "TransportStats",
     "chaos_sweep",
     "draw_schedule",
+    "dump_failure_artifacts",
     "exponential_failures",
     "exponential_fault_plan",
     "exponential_network_plan",

@@ -226,12 +226,15 @@ def run_schedule(
     protocol: str = "appl-driven",
     config: ChaosConfig = ChaosConfig(),
     transport_config: TransportConfig | None = None,
+    observer=None,
 ) -> ChaosOutcome:
     """Replay one schedule against one protocol and judge the outcome.
 
     ``transport_config`` is the test hook: passing a config with
     ``dedup=False`` runs the deliberately-broken transport the harness
-    must be able to catch and shrink.
+    must be able to catch and shrink. ``observer`` is an optional
+    :class:`~repro.obs.bus.EventBus` threaded into the replay so a
+    failing schedule can be re-run under full causal tracing.
     """
     faults = len(plan.network_faults)
     crashes = len(plan.effective())
@@ -244,6 +247,7 @@ def run_schedule(
         failure_plan=plan,
         seed=config.sim_seed,
         transport_config=transport_config,
+        observer=observer,
     )
     try:
         result = sim.run()
@@ -285,17 +289,106 @@ def chaos_sweep(
     protocols: tuple[str, ...] = CHAOS_PROTOCOLS,
     config: ChaosConfig = ChaosConfig(),
     transport_config: TransportConfig | None = None,
+    artifacts_dir=None,
 ) -> dict[tuple[str, int], ChaosOutcome]:
-    """Run every (protocol, seed) cell and collect the verdicts."""
+    """Run every (protocol, seed) cell and collect the verdicts.
+
+    With *artifacts_dir* set, every failing cell automatically gets a
+    diagnostic bundle written there via
+    :func:`dump_failure_artifacts` — the vector-clock-stamped flight
+    recorder, the verbatim schedule, and the ddmin-shrunk minimal
+    counterexample.
+    """
     outcomes: dict[tuple[str, int], ChaosOutcome] = {}
     for protocol in protocols:
         for seed in seeds:
             plan = draw_schedule(seed, config)
-            outcomes[(protocol, seed)] = run_schedule(
+            outcome = run_schedule(
                 plan, protocol=protocol, config=config,
                 transport_config=transport_config,
             )
+            outcomes[(protocol, seed)] = outcome
+            if not outcome.ok and artifacts_dir is not None:
+                dump_failure_artifacts(
+                    plan,
+                    protocol=protocol,
+                    config=config,
+                    out_dir=artifacts_dir,
+                    transport_config=transport_config,
+                    prefix=f"{protocol}-seed{seed}",
+                )
     return outcomes
+
+
+def dump_failure_artifacts(
+    plan: FaultPlan,
+    protocol: str,
+    config: ChaosConfig,
+    out_dir,
+    transport_config: TransportConfig | None = None,
+    prefix: str = "failure",
+    shrink: bool = True,
+    recorder_capacity: int = 4096,
+    max_shrink_runs: int = 200,
+) -> dict[str, object]:
+    """Archive everything needed to diagnose a failing schedule.
+
+    Re-runs the schedule with the observability subsystem attached and
+    writes, into *out_dir* (created if needed):
+
+    - ``<prefix>.flight.jsonl`` — the flight recorder's bounded,
+      vector-clock-stamped event log of the failing replay (convertible
+      with ``repro trace chrome``);
+    - ``<prefix>.schedule.json`` — the schedule verbatim, replayable
+      via ``repro simulate --fault-plan``;
+    - ``<prefix>.shrunk.json`` — the ddmin-minimal counterexample (when
+      *shrink* is set and the failure reproduces deterministically);
+    - ``<prefix>.outcome.txt`` — the one-line verdict.
+
+    Returns a dict mapping artifact names to their paths.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import Observability
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, object] = {}
+
+    obs = Observability(capacity=recorder_capacity, keep_events=False)
+    outcome = run_schedule(
+        plan, protocol=protocol, config=config,
+        transport_config=transport_config, observer=obs.bus,
+    )
+    flight = out / f"{prefix}.flight.jsonl"
+    obs.recorder.dump(flight)
+    paths["flight_recorder"] = flight
+
+    schedule = out / f"{prefix}.schedule.json"
+    schedule.write_text(json.dumps(plan.to_json_dict(), indent=2) + "\n")
+    paths["schedule"] = schedule
+
+    verdict = out / f"{prefix}.outcome.txt"
+    verdict.write_text(outcome.describe() + "\n")
+    paths["outcome"] = verdict
+
+    if shrink and not outcome.ok:
+        def still_fails(candidate: FaultPlan) -> bool:
+            return not run_schedule(
+                candidate, protocol=protocol, config=config,
+                transport_config=transport_config,
+            ).ok
+
+        minimal = shrink_schedule(
+            plan, still_fails, max_runs=max_shrink_runs
+        )
+        shrunk = out / f"{prefix}.shrunk.json"
+        shrunk.write_text(
+            json.dumps(minimal.to_json_dict(), indent=2) + "\n"
+        )
+        paths["shrunk"] = shrunk
+    return paths
 
 
 # ----------------------------------------------------------------------

@@ -109,6 +109,19 @@ class SimulationStats:
         """Deepest degraded-recovery fallback seen (0 = never degraded)."""
         return max(self.fallback_depths, default=0)
 
+    def as_dict(self) -> dict:
+        """JSON-ready form of every counter, derived properties included.
+
+        The machine-readable shape behind the CLI's ``--stats-json``:
+        all dataclass fields plus ``max_fallback_depth``, so benchmarks
+        and CI never have to parse the human-oriented table output.
+        """
+        from dataclasses import asdict
+
+        payload = asdict(self)
+        payload["max_fallback_depth"] = self.max_fallback_depth
+        return payload
+
 
 @dataclass
 class SimulationResult:
@@ -157,6 +170,7 @@ class Simulation:
         storage_replicas: int = 1,
         max_storage_retries: int = 3,
         transport_config: TransportConfig | None = None,
+        observer=None,
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
@@ -179,12 +193,14 @@ class Simulation:
                     f"{net_fault.dst} but the simulation has only "
                     f"{n_processes} processes"
                 )
+        self.obs = observer
         self.network = Network(
             n_processes,
             base_latency=base_latency,
             seed=seed,
             fault_injector=NetworkFaultInjector(network_faults),
             transport_config=transport_config,
+            observer=observer,
         )
         if storage_replicas == 1:
             self.storage = CheckpointStore(max_retries=max_storage_retries)
@@ -192,12 +208,17 @@ class Simulation:
             self.storage = ReplicatedCheckpointStore(
                 replicas=storage_replicas, max_retries=max_storage_retries
             )
-        self.trace = ExecutionTrace(n_processes=n_processes)
+        self.storage.obs = observer
+        self.trace = ExecutionTrace(
+            n_processes=n_processes, observer=observer
+        )
         self.stats = SimulationStats()
         self.record_compute_events = record_compute_events
         self._max_steps = max_steps
         self._inputs = InputProvider(seed=seed)
         self._clocks = [VectorClock.zero(n_processes) for _ in range(n_processes)]
+        if observer is not None:
+            observer.bind_clocks(self._clocks)
         self._message_clocks: dict[int, VectorClock] = {}
         self._control_queue: list[ControlMessage] = []
         self._timers: list[tuple[float, int, int, str]] = []
@@ -250,6 +271,17 @@ class Simulation:
     # Services used by protocols
     # ------------------------------------------------------------------
 
+    def emit(
+        self, name: str, rank: int | None, time: float, **fields
+    ) -> None:
+        """Publish a ``protocol``-category observability event.
+
+        No-op without an observer, so protocol call sites stay
+        zero-cost when tracing is disabled.
+        """
+        if self.obs is not None:
+            self.obs.emit("protocol", name, rank, time, **fields)
+
     def send_control(
         self, src: int, dst: int, tag: str, data: dict[str, int], now: float
     ) -> None:
@@ -264,6 +296,7 @@ class Simulation:
         )
         self._control_queue.append(message)
         self.stats.control_messages += 1
+        self.emit("control-send", src, now, dst=dst, tag=tag)
 
     def schedule_timer(self, rank: int, time: float, tag: str) -> None:
         """Fire ``on_timer(rank, tag)`` at the given simulation time."""
@@ -360,6 +393,13 @@ class Simulation:
                 checkpoint_number=checkpoint.number,
             )
         self.stats.rollbacks += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "engine", "rollback", None, restart,
+                restored={
+                    str(rank): cut[rank].number for rank in sorted(cut)
+                },
+            )
 
     def restore_single(
         self, checkpoint: StoredCheckpoint, at_time: float
@@ -406,6 +446,11 @@ class Simulation:
             checkpoint_number=checkpoint.number,
         )
         self.stats.rollbacks += 1
+        if self.obs is not None:
+            self.obs.emit(
+                "engine", "single-restart", rank, restart,
+                checkpoint_number=checkpoint.number,
+            )
 
     def _refuse_corrupt(self, checkpoints) -> None:
         """A corrupt checkpoint must never be restored — fail loudly.
@@ -462,9 +507,14 @@ class Simulation:
                 self._apply_crash(payload, time)
             elif priority == 1:
                 self._control_queue.remove(payload)
+                self.emit(
+                    "control-recv", payload.dst, payload.arrival_time,
+                    src=payload.src, tag=payload.tag,
+                )
                 self.protocol.on_control(self, payload)
             elif priority == 2:
                 self._timers.remove(payload)
+                self.emit("timer", payload[2], payload[0], tag=payload[3])
                 self.protocol.on_timer(self, payload[2], payload[3], payload[0])
             else:
                 self._execute_process(payload)
@@ -737,6 +787,11 @@ class Simulation:
             fault.rank, number=fault.number, replica=fault.replica
         ):
             self.stats.bit_rot_injected += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "storage", "bit-rot", fault.rank, time,
+                    number=fault.number, replica=fault.replica,
+                )
 
     # -- crashes ---------------------------------------------------------------------
 

@@ -276,6 +276,42 @@ class FaultPlan(FailurePlan):
         """The bit-rot faults (scheduled through the event loop)."""
         return [f for f in self.storage_faults if f.kind is FaultKind.BIT_ROT]
 
+    def to_json_dict(self) -> dict:
+        """The plan in the CLI's ``--fault-plan`` JSON schema.
+
+        The chaos harness archives shrunk counterexamples in this form
+        so any dumped schedule replays verbatim with
+        ``repro simulate --fault-plan``.
+        """
+        payload: dict = {}
+        if self.max_failures is not None:
+            payload["max_failures"] = self.max_failures
+        payload["crashes"] = [
+            {"time": c.time, "rank": c.rank} for c in self.crashes
+        ]
+        payload["storage_faults"] = [
+            {
+                "time": f.time,
+                "rank": f.rank,
+                "kind": f.kind.value,
+                "number": f.number,
+                "replica": f.replica,
+                "attempts": f.attempts,
+            }
+            for f in self.storage_faults
+        ]
+        payload["network_faults"] = [
+            {
+                "time": f.time,
+                "kind": f.kind.value,
+                "src": f.src,
+                "dst": f.dst,
+                "delay": f.delay,
+            }
+            for f in self.network_faults
+        ]
+        return payload
+
 
 def _validate_network_faults(
     faults: list[NetworkFaultEvent],

@@ -103,6 +103,7 @@ class Network:
         seed: int = 0,
         fault_injector: NetworkFaultInjector | None = None,
         transport_config: TransportConfig | None = None,
+        observer=None,
     ) -> None:
         if n_processes < 1:
             raise ChannelError(f"need at least one process, got {n_processes}")
@@ -113,7 +114,8 @@ class Network:
         self.jitter = jitter
         self.seed = seed
         self.transport = ReliableTransport(
-            injector=fault_injector, config=transport_config
+            injector=fault_injector, config=transport_config,
+            observer=observer,
         )
         self._channels: dict[tuple[int, int, str], _Channel] = {}
         self._ids = itertools.count(1)

@@ -291,6 +291,9 @@ class CheckpointStore(StableStorage):
         if max_retries < 0:
             raise StorageError(f"max_retries must be >= 0, got {max_retries}")
         self.max_retries = max_retries
+        # Optional observability bus (set by the engine); all storage
+        # events are published on it when present.
+        self.obs = None
         # Published checksums, keyed by checkpoint object identity. An
         # entry is (re)written on every publish, so identity reuse after
         # truncation cannot produce a stale verdict for a live entry.
@@ -323,12 +326,16 @@ class CheckpointStore(StableStorage):
         kind = fault.kind if fault is not None else None
         if kind is FaultKind.WRITE_FAIL:
             # Every attempt errors; exhaust the retry budget and give up.
+            self._emit("write-fail", checkpoint, retries=self.max_retries)
             return StoreReceipt(
                 published=False, retries=self.max_retries, fault=fault
             )
         retries = 0
         if kind is FaultKind.TRANSIENT:
             if fault.attempts > self.max_retries:
+                self._emit(
+                    "write-fail", checkpoint, retries=self.max_retries
+                )
                 return StoreReceipt(
                     published=False, retries=self.max_retries, fault=fault
                 )
@@ -338,12 +345,30 @@ class CheckpointStore(StableStorage):
             else payload
         # Validate: the staged checksum must match the intended content.
         if zlib.crc32(staged) != expected:
+            self._emit("torn-write", checkpoint, retries=retries)
             return StoreReceipt(
                 published=False, retries=retries, torn=True, fault=fault
             )
         # Publish: append atomically and record the content checksum.
         self._publish(checkpoint, expected)
+        self._emit(
+            "commit", checkpoint, retries=retries,
+            bytes=checkpoint.full_bytes, tag=checkpoint.tag,
+        )
         return StoreReceipt(published=True, retries=retries, fault=fault)
+
+    def _emit(self, name: str, checkpoint: StoredCheckpoint, **fields) -> None:
+        """Publish a ``storage``-category event for *checkpoint*.
+
+        Events are stamped at the checkpoint's own simulated time (the
+        write's completion instant) and carry its rank and number; the
+        bus adds the publisher's vector clock.
+        """
+        if self.obs is not None:
+            self.obs.emit(
+                "storage", name, checkpoint.rank, checkpoint.time,
+                number=checkpoint.number, **fields,
+            )
 
     def _publish(self, checkpoint: StoredCheckpoint, checksum: int) -> None:
         super().store(checkpoint)
@@ -393,6 +418,11 @@ class CheckpointStore(StableStorage):
         return stored == checkpoint_checksum(checkpoint)
 
     def _note_corrupt(self, checkpoint: StoredCheckpoint) -> None:
+        if id(checkpoint) not in self._detected:
+            # First detection of this rotten checkpoint; stamped at the
+            # checkpoint's write time (rot itself is silent — detection
+            # happens at whatever later read reached it).
+            self._emit("corrupt-detected", checkpoint)
         self._detected.add(id(checkpoint))
 
     # -- fault-aware reads -----------------------------------------------------

@@ -23,11 +23,18 @@ from repro.causality.vector_clock import VectorClock
 
 @dataclass
 class ExecutionTrace:
-    """All events of one simulation, in global append order."""
+    """All events of one simulation, in global append order.
+
+    ``observer`` is the optional observability bus: when set, every
+    appended event is also published as a structured ``engine``
+    category event (see :mod:`repro.obs`), making this single append
+    point the engine's entire tap.
+    """
 
     n_processes: int
     events: list[TraceEvent] = field(default_factory=list)
     _seq: dict[int, int] = field(default_factory=dict)
+    observer: object | None = field(default=None, repr=False, compare=False)
 
     def append(
         self,
@@ -55,6 +62,8 @@ class ExecutionTrace:
             stmt_id=stmt_id,
         )
         self.events.append(event)
+        if self.observer is not None:
+            self.observer.emit_trace_event(event)
         return event
 
     # -- queries ---------------------------------------------------------------

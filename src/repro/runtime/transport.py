@@ -202,11 +202,13 @@ class ReliableTransport:
         self,
         injector: NetworkFaultInjector | None = None,
         config: TransportConfig | None = None,
+        observer=None,
     ) -> None:
         self.injector = injector if injector is not None \
             else NetworkFaultInjector()
         self.config = config if config is not None else TransportConfig()
         self.stats = TransportStats()
+        self.obs = observer
         self._channels: dict[tuple[int, int, str], _ChannelTransport] = {}
 
     def transmit(
@@ -249,6 +251,11 @@ class ReliableTransport:
             self.stats.frames_sent += 1
             if attempts > 1:
                 self.stats.retransmits += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "transport", "frame", src, attempt_time,
+                    dst=dst, lane=lane, seq=seq, attempt=attempts,
+                )
             for arrival in self._attempt(
                 src, dst, seq, value, crc, attempt_time, latency
             ):
@@ -259,8 +266,18 @@ class ReliableTransport:
                 self.stats.ack_frames += 1
                 if self.injector.partitioned(dst, src, arrival):
                     self.stats.acks_lost += 1
+                    if self.obs is not None:
+                        self.obs.emit(
+                            "transport", "ack-lost", dst, arrival,
+                            peer=src, lane=lane, seq=seq,
+                        )
                 else:
                     first_ack = min(first_ack, arrival + latency)
+                    if self.obs is not None:
+                        self.obs.emit(
+                            "transport", "ack", dst, arrival,
+                            peer=src, lane=lane, seq=seq,
+                        )
             attempt_time += rto
             rto *= 2.0
         arrivals.sort()
@@ -294,11 +311,13 @@ class ReliableTransport:
         """Arrival times of intact copies from one wire transmission."""
         if self.injector.partitioned(src, dst, when):
             self.stats.dropped_frames += 1
+            self._emit_fault("drop", src, dst, seq, when, partition=1)
             return []
         fault = self.injector.take(src, dst, when)
         kind = fault.kind if fault is not None else None
         if kind is NetworkFaultKind.DROP:
             self.stats.dropped_frames += 1
+            self._emit_fault("drop", src, dst, seq, when)
             return []
         if kind is NetworkFaultKind.CORRUPT:
             # Genuine corruption detection: flip one payload bit and
@@ -306,16 +325,29 @@ class ReliableTransport:
             corrupted = value ^ (1 << (seq % 31))
             if frame_checksum(seq, corrupted) != crc:
                 self.stats.corrupt_frames += 1
+                self._emit_fault("corrupt", src, dst, seq, when)
                 return []
         arrival = when + latency
         if kind is NetworkFaultKind.DELAY:
             self.stats.delayed_frames += 1
             arrival += fault.delay
+            self._emit_fault("delay", src, dst, seq, when, delay=fault.delay)
         copies = [arrival]
         if kind is NetworkFaultKind.DUPLICATE:
             self.stats.duplicate_frames += 1
+            self._emit_fault("duplicate", src, dst, seq, when)
             copies.append(arrival + self.config.duplicate_gap)
         return copies
+
+    def _emit_fault(
+        self, name: str, src: int, dst: int, seq: int, when: float,
+        **fields,
+    ) -> None:
+        """Publish one medium-fault event (no-op when untraced)."""
+        if self.obs is not None:
+            self.obs.emit(
+                "transport", name, src, when, dst=dst, seq=seq, **fields
+            )
 
     def rebase(self, key: tuple[int, int, str], restart_time: float) -> None:
         """Reset a channel's delivery floor after a rollback.

@@ -50,9 +50,15 @@ def render_spacetime(
     trace,
     width: int = 72,
     cut: CheckpointCut | None = None,
+    cuts: list[CheckpointCut] | None = None,
 ) -> str:
     """Render *trace* (an :class:`~repro.runtime.trace.ExecutionTrace`
-    or any object with ``events`` and ``n_processes``) as ASCII rows."""
+    or any object with ``events`` and ``n_processes``) as ASCII rows.
+
+    *cut* highlights one cut's members with ``#``; *cuts* highlights
+    the members of several cuts at once (e.g. every recovery line
+    ``R_i`` of a recorded run).
+    """
     events: list[TraceEvent] = list(trace.events)
     n = trace.n_processes
     if not events:
@@ -61,8 +67,11 @@ def render_spacetime(
     span = max(t_max, 1e-12)
     columns = max(8, width - 6)
     cut_keys = set()
+    highlighted = list(cuts or [])
     if cut is not None:
-        cut_keys = {(m.process, m.seq) for m in cut.members}
+        highlighted.append(cut)
+    for each in highlighted:
+        cut_keys |= {(m.process, m.seq) for m in each.members}
 
     rows = [["-"] * columns for _ in range(n)]
     for event in events:
@@ -82,11 +91,30 @@ def render_spacetime(
         for rank, row in enumerate(rows)
     ]
     legend = "legend: C checkpoint, s send, r recv, X failure, ^ restart"
-    if cut is not None:
+    if cut_keys:
         legend += ", # cut member"
     lines.append(legend)
     lines.append(f"time: 0 .. {t_max:.2f}")
     return "\n".join(lines) + "\n"
+
+
+def render_spacetime_from_log(source, width: int = 72) -> str:
+    """Render a recorded observability event log as a space-time diagram.
+
+    *source* is anything :func:`repro.obs.read_event_log` accepts — a
+    path to a JSONL event log (e.g. a ``--trace-out`` capture or a
+    flight-recorder dump) or the JSONL text itself. The engine events
+    are reconstructed into an :class:`~repro.runtime.trace.ExecutionTrace`
+    and every straight-cut recovery line ``R_i``'s members are marked
+    ``#`` — the diagram is recoverable from the log alone, no live
+    simulation needed.
+    """
+    from repro.obs import read_event_log, trace_from_events
+
+    trace = trace_from_events(read_event_log(source))
+    return render_spacetime(
+        trace, width=width, cuts=trace.all_straight_cuts()
+    )
 
 
 def render_messages(trace, limit: int = 20) -> str:

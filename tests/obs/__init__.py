@@ -1,0 +1,1 @@
+"""Tests of the observability subsystem (:mod:`repro.obs`)."""

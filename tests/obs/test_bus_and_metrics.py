@@ -1,0 +1,160 @@
+"""Unit tests of the event bus, metrics registry, and flight recorder."""
+
+import pytest
+
+from repro.causality.vector_clock import VectorClock
+from repro.obs import (
+    CATEGORIES,
+    Counter,
+    EventBus,
+    FlightRecorder,
+    Gauge,
+    Histogram,
+    MetricsCollector,
+    MetricsRegistry,
+    ObsEvent,
+)
+
+
+class TestEventBus:
+    """Publishing, sequencing, and vector-clock auto-stamping."""
+
+    def test_emit_delivers_to_all_subscribers(self):
+        bus = EventBus()
+        seen_a, seen_b = [], []
+        bus.subscribe(seen_a.append)
+        bus.subscribe(seen_b.append)
+        event = bus.emit("engine", "send", 0, 1.5, dst=1)
+        assert seen_a == [event]
+        assert seen_b == [event]
+        assert event.fields == {"dst": 1}
+
+    def test_seq_is_global_and_monotonic(self):
+        bus = EventBus()
+        events = [bus.emit("engine", "send", r, 0.0) for r in range(5)]
+        assert [e.seq for e in events] == [0, 1, 2, 3, 4]
+        assert bus.events_emitted == 5
+
+    def test_bound_clocks_stamp_ranked_events(self):
+        bus = EventBus()
+        clocks = [VectorClock.zero(2), VectorClock.zero(2)]
+        bus.bind_clocks(clocks)
+        clocks[1] = clocks[1].tick(1)
+        event = bus.emit("transport", "frame", 1, 0.5)
+        assert event.clock == clocks[1].components
+
+    def test_bound_clocks_track_in_place_mutation(self):
+        # The engine replaces clock entries by index assignment on
+        # rollback; the bus must see the *live* list, not a copy.
+        bus = EventBus()
+        clocks = [VectorClock.zero(1)]
+        bus.bind_clocks(clocks)
+        first = bus.emit("engine", "send", 0, 0.0)
+        clocks[0] = clocks[0].tick(0).tick(0)
+        second = bus.emit("engine", "send", 0, 1.0)
+        assert first.clock == (0,)
+        assert second.clock == (2,)
+
+    def test_unranked_event_has_no_clock(self):
+        bus = EventBus()
+        bus.bind_clocks([VectorClock.zero(1)])
+        event = bus.emit("protocol", "recovery", None, 3.0)
+        assert event.clock is None
+
+    def test_explicit_clock_wins_over_binding(self):
+        bus = EventBus()
+        bus.bind_clocks([VectorClock.zero(2)])
+        event = bus.emit("engine", "send", 0, 0.0, clock=(7, 7))
+        assert event.clock == (7, 7)
+
+
+class TestObsEvent:
+    """Serialisation round-trip."""
+
+    def test_round_trip(self):
+        event = ObsEvent(
+            seq=3, category="storage", name="commit", rank=1,
+            time=2.5, clock=(1, 2), fields={"number": 4},
+        )
+        assert ObsEvent.from_dict(event.to_dict()) == event
+
+    def test_category_taxonomy_is_fixed(self):
+        assert CATEGORIES == ("engine", "transport", "storage", "protocol")
+
+
+class TestMetrics:
+    """Counters, gauges, histograms, and the registry."""
+
+    def test_counter(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge(self):
+        gauge = Gauge("g")
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+    def test_histogram_streams_moments(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == 3.0
+        assert histogram.min == 1.0
+        assert histogram.max == 5.0
+
+    def test_registry_is_lazy_and_kind_safe(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+        data = registry.as_dict()
+        assert data["a"]["type"] == "counter"
+
+    def test_collector_derives_metrics_from_events(self):
+        registry = MetricsRegistry()
+        collector = MetricsCollector(registry)
+        bus = EventBus()
+        collector.attach(bus)
+        bus.emit("engine", "checkpoint", 0, 1.0, checkpoint_number=1)
+        bus.emit("engine", "checkpoint", 0, 4.0, checkpoint_number=2)
+        bus.emit("engine", "checkpoint", 1, 4.0, checkpoint_number=1)
+        bus.emit("transport", "frame", 0, 1.0, seq=0, attempt=1)
+        bus.emit("transport", "frame", 0, 2.0, seq=0, attempt=2)
+        bus.emit("protocol", "recovery", None, 9.0, depth=2)
+        data = registry.as_dict()
+        assert data["events_total"]["value"] == 6
+        assert data["checkpoint_latency"]["count"] == 1
+        assert data["checkpoint_latency"]["mean"] == 3.0
+        assert data["recovery_line_lag"]["value"] == 1
+        assert data["retransmits_total"]["value"] == 1
+        assert data["retransmit_rate"]["value"] == 0.5
+        assert data["rollback_depth"]["max"] == 2.0
+
+
+class TestFlightRecorder:
+    """Bounded retention and dumping."""
+
+    def test_keeps_only_the_newest_events(self):
+        recorder = FlightRecorder(capacity=3)
+        bus = EventBus()
+        recorder.attach(bus)
+        for index in range(10):
+            bus.emit("engine", "send", 0, float(index))
+        assert len(recorder) == 3
+        assert [e.time for e in recorder.events()] == [7.0, 8.0, 9.0]
+        assert recorder.dropped == 7
+
+    def test_dump_writes_jsonl(self, tmp_path):
+        recorder = FlightRecorder(capacity=8)
+        bus = EventBus()
+        recorder.attach(bus)
+        bus.emit("engine", "send", 0, 0.0)
+        path = recorder.dump(tmp_path / "flight.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert '"cat":"engine"' in lines[0]

@@ -30,7 +30,15 @@ class TestRegenerateResults:
             "checkpointing_payoff.txt",
             "fault_tolerance.txt",
             "network_faults.txt",
+            "obs_overhead.txt",
         }
+
+    def test_obs_overhead_claims_hold(self, tmp_path, capsys):
+        tool = load_tool()
+        tool.main([str(tmp_path)])
+        body = (tmp_path / "obs_overhead.txt").read_text()
+        assert "disabled path is free: YES" in body
+        assert "VIOLATED" not in body
 
     def test_figures_record_shape_verdicts(self, tmp_path, capsys):
         tool = load_tool()

@@ -150,6 +150,16 @@ def network_faults(out: Path) -> None:
     write(out / "network_faults.txt", body)
 
 
+def obs_overhead(out: Path) -> None:
+    from repro.bench.obs_overhead import (
+        format_obs_overhead,
+        obs_overhead_report,
+    )
+
+    report = obs_overhead_report()
+    write(out / "obs_overhead.txt", format_obs_overhead(report) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     """Regenerate all result files; returns the process exit code."""
     args = argv if argv is not None else sys.argv[1:]
@@ -163,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
     payoff(out)
     fault_tolerance(out)
     network_faults(out)
+    obs_overhead(out)
     print("done")
     return 0
 
