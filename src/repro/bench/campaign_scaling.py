@@ -1,0 +1,131 @@
+"""Campaign-layer scaling benchmark: parallel sweeps + cached transforms.
+
+Two measurements back the campaign layer's claims:
+
+1. **Executor scaling** — the same chaos sweep at ``jobs ∈ {1, 2, 4}``,
+   timing wall-clock per level and asserting the merged verdicts are
+   identical at every worker count (the executor's hard invariant).
+2. **Transform cache** — a cold pass over a set of shipped programs
+   (all misses) followed by a warm pass (all hits), timing both and
+   reporting the cache's hit rate from its metrics counters.
+
+Wall-clock numbers are machine-dependent by nature; the *verdict
+equality* and *hit-rate* columns are the deterministic claims.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CampaignScalingReport:
+    """Everything :func:`campaign_scaling_report` measured."""
+
+    cells: int = 0
+    cores: int = 1
+    sweep_wall: dict[int, float] = field(default_factory=dict)
+    verdicts_identical: bool = True
+    cache_programs: int = 0
+    cold_wall: float = 0.0
+    warm_wall: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_hit_rate: float = 0.0
+
+
+def campaign_scaling_report(
+    seeds: int = 12,
+    jobs_levels: tuple[int, ...] = (1, 2, 4),
+    programs: tuple[str, ...] = ("jacobi_plain", "ring_pipeline",
+                                 "stencil_1d", "tree_reduce"),
+) -> CampaignScalingReport:
+    """Measure executor scaling and transform-cache payoff."""
+    from repro.campaign.cache import TransformCache
+    from repro.lang.programs import load_program
+    from repro.obs import MetricsRegistry
+    from repro.phases.pipeline import transform
+    from repro.runtime.chaos import chaos_sweep
+
+    import os
+
+    from repro.runtime.chaos import ChaosConfig
+
+    report = CampaignScalingReport()
+    report.cores = os.cpu_count() or 1
+
+    # Heavier-than-default cells (longer workload, bigger fault window)
+    # so per-cell work, not pool startup, dominates the measurement.
+    config = ChaosConfig(n_processes=4, steps=24, horizon=60.0)
+    protocols = ("appl-driven", "uncoordinated")
+    baseline = None
+    for jobs in jobs_levels:
+        start = time.perf_counter()
+        outcomes = chaos_sweep(
+            range(seeds), protocols=protocols, config=config, jobs=jobs
+        )
+        report.sweep_wall[jobs] = time.perf_counter() - start
+        if baseline is None:
+            baseline = outcomes
+            report.cells = len(outcomes)
+        elif outcomes != baseline or list(outcomes) != list(baseline):
+            report.verdicts_identical = False
+
+    report.cache_programs = len(programs)
+    registry = MetricsRegistry()
+    with tempfile.TemporaryDirectory() as root:
+        cache = TransformCache(root, registry=registry)
+        start = time.perf_counter()
+        cold = [transform(load_program(name), cache=cache)
+                for name in programs]
+        report.cold_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = [transform(load_program(name), cache=cache)
+                for name in programs]
+        report.warm_wall = time.perf_counter() - start
+        from repro.lang.printer import to_source
+
+        for first, second in zip(cold, warm):
+            if to_source(first.program) != to_source(second.program):
+                report.verdicts_identical = False
+        report.cache_hits = registry.counter("transform_cache.hits").value
+        report.cache_misses = registry.counter(
+            "transform_cache.misses"
+        ).value
+        report.cache_hit_rate = cache.hit_rate
+    return report
+
+
+def format_campaign_scaling(report: CampaignScalingReport) -> str:
+    """Render the report as the ``results/campaign_scaling.txt`` table."""
+    lines = [
+        f"chaos sweep: {report.cells} cell(s) per worker-count level "
+        f"({report.cores} core(s) available; speedup is bounded by "
+        "cores, determinism is not)",
+        f"{'jobs':>6s} {'wall (s)':>10s} {'speedup':>9s}",
+    ]
+    base = report.sweep_wall.get(1)
+    for jobs, wall in sorted(report.sweep_wall.items()):
+        speedup = base / wall if base and wall else 0.0
+        lines.append(f"{jobs:>6d} {wall:>10.3f} {speedup:>8.2f}x")
+    lines.append("")
+    lines.append(
+        "verdicts byte-identical across worker counts: "
+        + ("YES" if report.verdicts_identical else "VIOLATED")
+    )
+    lines.append("")
+    lines.append(
+        f"transform cache: {report.cache_programs} program(s), "
+        f"cold {report.cold_wall:.3f} s -> warm {report.warm_wall:.3f} s"
+    )
+    speedup = (
+        report.cold_wall / report.warm_wall if report.warm_wall else 0.0
+    )
+    lines.append(
+        f"warm-pass speedup: {speedup:.1f}x; "
+        f"hits {report.cache_hits}, misses {report.cache_misses}, "
+        f"hit rate {report.cache_hit_rate:.2f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""The campaign layer: declarative runs, cached transforms, parallel sweeps.
+
+Three cooperating pieces turn the simulator into an execution substrate
+for large experiment campaigns:
+
+- :class:`~repro.campaign.spec.ScenarioSpec` — a picklable,
+  JSON-round-trippable description of one run (program source,
+  protocol, fault plan, transport, seeds, observability flags) with a
+  stable content hash; ``Simulation.from_spec`` turns one into a live
+  engine in any process.
+- :class:`~repro.campaign.cache.TransformCache` — a content-addressed
+  on-disk cache for :func:`~repro.phases.pipeline.transform`, keyed by
+  program hash × cost model × universe × flags, valued by
+  printer/parser round-tripped results, with hit/miss counters
+  surfaced through :class:`~repro.obs.metrics.MetricsRegistry`.
+- :func:`~repro.campaign.executor.run_campaign` /
+  :func:`~repro.campaign.executor.run_cells` — a
+  ``ProcessPoolExecutor``-backed fan-out whose merged results are
+  **byte-identical for any worker count** (timings excepted, and kept
+  out of the deterministic artifact by construction).
+
+The chaos harness (``repro chaos --jobs``), the benchmark regeneration
+tool (``tools/regenerate_results.py --jobs``), and the ``repro
+campaign`` CLI subcommand all run on this substrate.
+"""
+
+from repro.campaign.cache import (
+    CACHE_VERSION,
+    TransformCache,
+    transform_cache_key,
+)
+from repro.campaign.executor import (
+    CampaignResult,
+    CellOutcome,
+    resolve_jobs,
+    run_campaign,
+    run_cells,
+)
+from repro.campaign.spec import (
+    SPEC_VERSION,
+    ScenarioSpec,
+    dump_campaign,
+    load_campaign,
+    quick_campaign,
+)
+
+__all__ = [
+    "CACHE_VERSION",
+    "CampaignResult",
+    "CellOutcome",
+    "SPEC_VERSION",
+    "ScenarioSpec",
+    "TransformCache",
+    "dump_campaign",
+    "load_campaign",
+    "quick_campaign",
+    "resolve_jobs",
+    "run_campaign",
+    "run_cells",
+    "transform_cache_key",
+]

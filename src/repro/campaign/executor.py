@@ -1,0 +1,258 @@
+"""Deterministic parallel campaign execution.
+
+:func:`run_cells` is the generic substrate: a list of ``(key,
+payload)`` cells, a picklable worker, and a ``jobs`` knob. Cells fan
+out over a :class:`~concurrent.futures.ProcessPoolExecutor`; results
+are merged **by cell key in submission order**, so the assembled output
+is byte-identical for any worker count — including ``jobs=1``, which
+runs the very same worker serially in-process. Wall-clock timings are
+collected alongside but kept strictly out of the deterministic payload
+(time is the one thing a parallel run is allowed to change).
+
+:func:`run_campaign` instantiates the substrate for
+:class:`~repro.campaign.spec.ScenarioSpec` cells: each worker builds a
+simulation from its spec (``Simulation.from_spec``), runs it, and
+returns a plain-data :class:`CellOutcome` — stats dict, final
+environment, completion time, and (when the spec says ``observe``) the
+cell's full JSONL observability event log, captured per-worker and
+merged deterministically by cell key.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.errors import ReproError, SimulationError
+from repro.campaign.spec import ScenarioSpec
+
+
+def _timed_call(worker, payload):
+    """Run *worker* on *payload*, returning ``(result, elapsed_s)``."""
+    start = time.perf_counter()
+    result = worker(payload)
+    return result, time.perf_counter() - start
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalise a ``--jobs`` value (``None``/0 → all cores, min 1)."""
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def run_cells(
+    items: list[tuple], worker, jobs: int | None = 1
+) -> tuple[dict, dict]:
+    """Run every ``(key, payload)`` cell through *worker*.
+
+    Returns ``(results, timings)``: two dicts keyed by cell key, both
+    in the submission order of *items*. ``results`` holds exactly what
+    the worker returned — the deterministic artifact; ``timings`` holds
+    per-cell wall-clock seconds — diagnostic only, never part of any
+    byte-identity contract.
+
+    *worker* must be a picklable (module-level) callable; worker
+    exceptions propagate to the caller. Keys must be unique; any
+    hashable, picklable key works.
+    """
+    keys = [key for key, _ in items]
+    if len(set(keys)) != len(keys):
+        dupes = sorted({repr(k) for k in keys if keys.count(k) > 1})
+        raise SimulationError(
+            f"campaign cells must have unique keys; duplicated: {dupes}"
+        )
+    jobs = resolve_jobs(jobs)
+    collected: dict = {}
+    timings: dict = {}
+    if jobs == 1 or len(items) <= 1:
+        for key, payload in items:
+            collected[key], timings[key] = _timed_call(worker, payload)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(items))
+        ) as pool:
+            pending = {
+                pool.submit(partial(_timed_call, worker), payload): key
+                for key, payload in items
+            }
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    key = pending.pop(future)
+                    collected[key], timings[key] = future.result()
+    results = {key: collected[key] for key in keys}
+    return results, {key: timings[key] for key in keys}
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Plain-data result of one campaign cell.
+
+    Everything here is deterministic given the spec: the engine is
+    seed-driven and the observability log carries simulated time only,
+    so two runs of the same spec — in different processes, under
+    different worker counts — produce equal outcomes.
+    """
+
+    label: str
+    spec_hash: str
+    error: str | None = None
+    stats: dict | None = None
+    final_env: dict[int, dict[str, int]] | None = None
+    completion_time: float | None = None
+    events_jsonl: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the cell ran to completion without an engine error."""
+        return self.error is None and bool(
+            self.stats and self.stats.get("completed")
+        )
+
+    def to_json_dict(self) -> dict:
+        """JSON-ready form (the byte-identity artifact of one cell)."""
+        return {
+            "label": self.label,
+            "spec_hash": self.spec_hash,
+            "error": self.error,
+            "stats": self.stats,
+            "final_env": (
+                None if self.final_env is None else {
+                    str(rank): dict(env)
+                    for rank, env in sorted(self.final_env.items())
+                }
+            ),
+            "completion_time": self.completion_time,
+            "events_jsonl": self.events_jsonl,
+        }
+
+
+@dataclass
+class CampaignResult:
+    """Merged outcome of one campaign run.
+
+    ``cells`` preserves the submitted spec order; ``timings`` (seconds
+    per cell) and ``jobs`` are diagnostics, deliberately excluded from
+    :meth:`to_json` so the serialised campaign result is byte-identical
+    for any worker count.
+    """
+
+    cells: dict[str, CellOutcome] = field(default_factory=dict)
+    timings: dict[str, float] = field(default_factory=dict)
+    jobs: int = 1
+
+    @property
+    def failures(self) -> list[CellOutcome]:
+        """Cells that errored or did not complete."""
+        return [cell for cell in self.cells.values() if not cell.ok]
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """The deterministic campaign artifact as JSON."""
+        return json.dumps(
+            {
+                "cells": [
+                    cell.to_json_dict() for cell in self.cells.values()
+                ]
+            },
+            indent=indent,
+            sort_keys=True,
+        )
+
+
+def _normalized_jsonl(obs, program) -> str:
+    """The cell's event log with ``stmt_id`` fields made process-free.
+
+    AST node ids come from a process-wide counter, so the raw ids in an
+    event log depend on how many nodes the emitting process had ever
+    allocated — different under ``jobs=1`` (one process parses every
+    cell) and ``jobs=N`` (each worker parses from scratch). Remapping
+    each ``stmt_id`` to its statement's pre-order position in the
+    cell's own program makes the log a pure function of the spec, which
+    is what the executor's byte-identity invariant demands.
+    """
+    from dataclasses import replace
+
+    from repro.lang.ast_nodes import walk
+    from repro.obs import events_to_jsonl
+
+    stmt_ids = {
+        node.node_id: index
+        for index, node in enumerate(walk(program), start=1)
+    }
+    events = [
+        replace(
+            event,
+            fields={
+                **event.fields,
+                "stmt_id": stmt_ids.get(
+                    event.fields["stmt_id"], event.fields["stmt_id"]
+                ),
+            },
+        )
+        if "stmt_id" in event.fields
+        else event
+        for event in obs.events
+    ]
+    return events_to_jsonl(events)
+
+
+def _campaign_cell(spec: ScenarioSpec) -> CellOutcome:
+    """Worker: run one scenario spec to a plain-data outcome."""
+    obs = None
+    observer = None
+    if spec.observe:
+        from repro.obs import Observability
+
+        obs = Observability()
+        observer = obs.bus
+    sim = None
+    try:
+        sim = spec.build(observer=observer)
+        result = sim.run()
+    except ReproError as error:
+        events = None
+        if obs is not None:
+            events = (
+                _normalized_jsonl(obs, sim.program)
+                if sim is not None
+                else obs.jsonl()
+            )
+        return CellOutcome(
+            label=spec.label,
+            spec_hash=spec.content_hash(),
+            error=f"{type(error).__name__}: {error}",
+            events_jsonl=events,
+        )
+    return CellOutcome(
+        label=spec.label,
+        spec_hash=spec.content_hash(),
+        stats=result.stats.as_dict(),
+        final_env={
+            rank: dict(env) for rank, env in sorted(result.final_env.items())
+        },
+        completion_time=result.completion_time,
+        events_jsonl=(
+            _normalized_jsonl(obs, sim.program) if obs is not None else None
+        ),
+    )
+
+
+def run_campaign(
+    specs: list[ScenarioSpec], jobs: int | None = 1
+) -> CampaignResult:
+    """Run every spec (labels are the cell keys) and merge the results.
+
+    The hard invariant: the returned :class:`CampaignResult`'s
+    deterministic artifact (:meth:`CampaignResult.to_json`) is
+    byte-identical for any *jobs* value.
+    """
+    items = [(spec.label, spec) for spec in specs]
+    results, timings = run_cells(items, _campaign_cell, jobs=jobs)
+    return CampaignResult(
+        cells=results, timings=timings, jobs=resolve_jobs(jobs)
+    )

@@ -1,0 +1,258 @@
+"""Declarative scenario descriptions: one cell of a campaign.
+
+A :class:`ScenarioSpec` captures *everything* that determines one
+simulation run — program source, system size, parameters, protocol,
+fault plan, transport tunables, seeds, and observability flags — as
+plain data. Specs are picklable (so the campaign executor can ship
+them to worker processes), JSON-round-trippable (so campaigns can live
+in files and be replayed byte-identically), and content-hashed (so
+results can be cached and cross-checked by identity, in the spirit of
+treating a configured run as a compiler artifact keyed by its inputs).
+
+``Simulation.from_spec`` is the engine-side factory; this module owns
+only the data model and its serialisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import SimulationError
+from repro.lang import ast_nodes as ast
+from repro.lang.printer import to_source
+from repro.runtime.engine import RuntimeCosts, Simulation
+from repro.runtime.failures import FaultPlan
+from repro.runtime.transport import TransportConfig
+
+#: Bumped whenever the spec schema changes incompatibly, so stale
+#: content hashes (and anything keyed by them) can never collide with
+#: new ones.
+SPEC_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable, JSON-round-trippable description of one run.
+
+    Attributes:
+        label: The cell key — unique within a campaign; used to order
+            and merge results deterministically.
+        program: MiniMP **source text** (not an AST — source is the
+            stable, hashable, processable-anywhere representation).
+        n_processes: System size.
+        params: Run-time parameter bindings (e.g. ``{"steps": 8}``).
+        protocol: Registered protocol name (see
+            :func:`repro.protocols.make_protocol`); ``"none"`` runs
+            without a protocol.
+        period: Checkpoint period for timer-driven protocols.
+        seed: Simulator seed (inputs, latencies).
+        base_latency: Mean one-way message latency.
+        storage_replicas: Stable-storage replication factor.
+        max_storage_retries: Per-write retry budget of the store.
+        record_compute_events: Whether compute effects enter the trace.
+        max_steps: Engine step budget.
+        fault_plan: Crashes plus storage/network faults, or ``None``.
+        transport: Reliable-transport tunables, or ``None`` for stock.
+        costs: Per-effect time charges, or ``None`` for the defaults.
+        observe: Whether the executor attaches an observability bus to
+            this cell and returns its JSONL event log.
+    """
+
+    label: str
+    program: str
+    n_processes: int = 4
+    params: dict[str, int] = field(default_factory=dict)
+    protocol: str = "appl-driven"
+    period: float = 10.0
+    seed: int = 0
+    base_latency: float = 0.5
+    storage_replicas: int = 1
+    max_storage_retries: int = 3
+    record_compute_events: bool = False
+    max_steps: int = 2_000_000
+    fault_plan: FaultPlan | None = None
+    transport: TransportConfig | None = None
+    costs: RuntimeCosts | None = None
+    observe: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            raise SimulationError("a scenario spec needs a non-empty label")
+        if self.fault_plan is not None and not isinstance(
+            self.fault_plan, FaultPlan
+        ):
+            # A FailurePlan would silently drop storage/network faults
+            # on JSON round-trip; normalise up front.
+            object.__setattr__(
+                self,
+                "fault_plan",
+                FaultPlan(
+                    crashes=list(self.fault_plan.crashes),
+                    max_failures=self.fault_plan.max_failures,
+                ),
+            )
+
+    @classmethod
+    def from_program(
+        cls, label: str, program: ast.Program, **kwargs
+    ) -> "ScenarioSpec":
+        """Build a spec from an AST (printed to canonical source)."""
+        return cls(label=label, program=to_source(program), **kwargs)
+
+    # -- serialisation -----------------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        """The spec as plain JSON data (inverse of :meth:`from_json_dict`)."""
+        payload: dict = {
+            "version": SPEC_VERSION,
+            "label": self.label,
+            "program": self.program,
+            "n_processes": self.n_processes,
+            "params": dict(self.params),
+            "protocol": self.protocol,
+            "period": self.period,
+            "seed": self.seed,
+            "base_latency": self.base_latency,
+            "storage_replicas": self.storage_replicas,
+            "max_storage_retries": self.max_storage_retries,
+            "record_compute_events": self.record_compute_events,
+            "max_steps": self.max_steps,
+            "observe": self.observe,
+            "fault_plan": (
+                None if self.fault_plan is None
+                else self.fault_plan.to_json_dict()
+            ),
+            "transport": (
+                None if self.transport is None else asdict(self.transport)
+            ),
+            "costs": None if self.costs is None else asdict(self.costs),
+        }
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ScenarioSpec":
+        """Rebuild a spec from :meth:`to_json_dict`'s schema."""
+        known = {
+            "version", "label", "program", "n_processes", "params",
+            "protocol", "period", "seed", "base_latency",
+            "storage_replicas", "max_storage_retries",
+            "record_compute_events", "max_steps", "observe", "fault_plan",
+            "transport", "costs",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise SimulationError(
+                f"bad scenario spec: unknown key(s) {unknown}"
+            )
+        version = data.get("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise SimulationError(
+                f"scenario spec version {version} not supported "
+                f"(this build reads version {SPEC_VERSION})"
+            )
+        try:
+            fault_plan = data.get("fault_plan")
+            transport = data.get("transport")
+            costs = data.get("costs")
+            return cls(
+                label=data["label"],
+                program=data["program"],
+                n_processes=int(data.get("n_processes", 4)),
+                params={
+                    str(k): int(v)
+                    for k, v in (data.get("params") or {}).items()
+                },
+                protocol=data.get("protocol", "appl-driven"),
+                period=float(data.get("period", 10.0)),
+                seed=int(data.get("seed", 0)),
+                base_latency=float(data.get("base_latency", 0.5)),
+                storage_replicas=int(data.get("storage_replicas", 1)),
+                max_storage_retries=int(data.get("max_storage_retries", 3)),
+                record_compute_events=bool(
+                    data.get("record_compute_events", False)
+                ),
+                max_steps=int(data.get("max_steps", 2_000_000)),
+                observe=bool(data.get("observe", False)),
+                fault_plan=(
+                    None if fault_plan is None
+                    else FaultPlan.from_json_dict(fault_plan)
+                ),
+                transport=(
+                    None if transport is None
+                    else TransportConfig(**transport)
+                ),
+                costs=None if costs is None else RuntimeCosts(**costs),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SimulationError(
+                f"bad scenario spec: {exc!r}"
+            ) from exc
+
+    def content_hash(self) -> str:
+        """SHA-256 over the canonical JSON form, minus the label.
+
+        Two specs with the same hash describe the same run (identical
+        program, configuration, faults, and seeds) even if their cell
+        labels differ — the identity a result cache or a cross-check
+        wants.
+        """
+        payload = self.to_json_dict()
+        payload.pop("label")
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- execution ---------------------------------------------------------------
+
+    def build(self, observer=None) -> Simulation:
+        """Construct the engine for this spec (see ``Simulation.from_spec``)."""
+        return Simulation.from_spec(self, observer=observer)
+
+
+def load_campaign(text: str) -> list[ScenarioSpec]:
+    """Parse a campaign file: a JSON list of specs or ``{"cells": [...]}``."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"bad campaign file: {exc}") from exc
+    if isinstance(data, dict):
+        data = data.get("cells")
+    if not isinstance(data, list):
+        raise SimulationError(
+            'bad campaign file: expected a JSON list of scenario specs '
+            'or {"cells": [...]}'
+        )
+    return [ScenarioSpec.from_json_dict(entry) for entry in data]
+
+
+def dump_campaign(specs: list[ScenarioSpec]) -> str:
+    """Serialise *specs* as a campaign file (inverse of :func:`load_campaign`)."""
+    return json.dumps(
+        {"cells": [spec.to_json_dict() for spec in specs]}, indent=2
+    ) + "\n"
+
+
+def quick_campaign(steps: int = 6, seed: int = 0) -> list[ScenarioSpec]:
+    """The built-in demo campaign behind ``repro campaign @quick``.
+
+    A small workload × protocol matrix (all Phase-III-safe placements)
+    that exercises the executor end to end in a few seconds.
+    """
+    from repro.lang.programs import program_source
+
+    workloads = (("ring_pipeline", 3), ("pingpong", 4), ("token_ring", 3))
+    protocols = ("appl-driven", "uncoordinated")
+    specs = []
+    for name, n_processes in workloads:
+        for protocol in protocols:
+            specs.append(ScenarioSpec(
+                label=f"{name}/{protocol}",
+                program=program_source(name),
+                n_processes=n_processes,
+                params={"steps": steps},
+                protocol=protocol,
+                period=6.0,
+                seed=seed,
+            ))
+    return specs

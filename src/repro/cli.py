@@ -12,6 +12,7 @@ figures    print the Figure 8 / Figure 9 data tables
 programs   list the shipped example programs
 trace      inspect/convert a recorded JSONL observability event log
 chaos      run the chaos sweep, dumping diagnostics on failure
+campaign   run a declarative scenario campaign on N worker processes
 ========== ==========================================================
 
 Program arguments accept either a file path or ``@name`` for a shipped
@@ -95,12 +96,22 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         failure_rate=args.failure_rate,
         params={"steps": args.steps} if args.steps else {},
     )
+    cache = None
+    if args.cache:
+        from repro.campaign.cache import TransformCache
+
+        cache = TransformCache(args.cache)
     result = transform(
         program,
         cost_model=model,
         loop_optimization=args.loop_optimization,
         force_insertion=args.force_insertion,
+        cache=cache,
     )
+    if cache is not None:
+        verdict = "hit" if cache.hits else "miss"
+        print(f"# transform cache: {verdict} ({args.cache})",
+              file=sys.stderr)
     from repro.phases.report import transform_report
 
     for line in transform_report(result).splitlines():
@@ -190,10 +201,6 @@ def _parse_fault(text: str):
         ) from None
 
 
-_FAULT_PLAN_KEYS = frozenset(
-    {"max_failures", "crashes", "storage_faults", "network_faults"}
-)
-
 _FAULT_PLAN_SCHEMA = (
     '{"max_failures": N, "crashes": [{"time", "rank"}], '
     '"storage_faults": [{"time", "rank", "kind", ...}], '
@@ -221,7 +228,6 @@ def _load_fault_plan(path: str, crashes, faults):
     import json
 
     from repro.runtime.failures import (
-        CrashEvent,
         FaultPlan,
         NetworkFaultEvent,
         StorageFaultEvent,
@@ -236,45 +242,21 @@ def _load_fault_plan(path: str, crashes, faults):
     if path:
         try:
             data = json.loads(Path(path).read_text())
-            unknown = sorted(set(data) - _FAULT_PLAN_KEYS)
-            if unknown:
-                raise SimulationError(
-                    f"bad fault plan {path!r}: unknown top-level "
-                    f"key(s) {unknown} — expected {_FAULT_PLAN_SCHEMA}"
-                )
-            max_failures = data.get("max_failures")
-            for entry in data.get("crashes", []):
-                crashes.append(
-                    CrashEvent(
-                        time=float(entry["time"]), rank=int(entry["rank"])
-                    )
-                )
-            for entry in data.get("storage_faults", []):
-                storage_faults.append(
-                    StorageFaultEvent(
-                        time=float(entry["time"]),
-                        rank=int(entry["rank"]),
-                        kind=entry["kind"],
-                        number=entry.get("number"),
-                        replica=int(entry.get("replica", 0)),
-                        attempts=int(entry.get("attempts", 1)),
-                    )
-                )
-            for entry in data.get("network_faults", []):
-                network_faults.append(
-                    NetworkFaultEvent(
-                        time=float(entry["time"]),
-                        kind=entry["kind"],
-                        src=int(entry["src"]),
-                        dst=int(entry["dst"]),
-                        delay=float(entry.get("delay", 0.0)),
-                    )
-                )
+            loaded = FaultPlan.from_json_dict(data)
+        except SimulationError as exc:
+            raise SimulationError(
+                f"bad fault plan {path!r}: {exc} — expected "
+                f"{_FAULT_PLAN_SCHEMA}"
+            ) from exc
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise SimulationError(
                 f"bad fault plan {path!r}: {exc!r} — expected "
                 f"{_FAULT_PLAN_SCHEMA}"
             ) from exc
+        crashes.extend(loaded.crashes)
+        storage_faults.extend(loaded.storage_faults)
+        network_faults.extend(loaded.network_faults)
+        max_failures = loaded.max_failures
     return FaultPlan(
         crashes=crashes,
         max_failures=max_failures,
@@ -314,27 +296,19 @@ def _check_plan_ranks(plan, n_processes: int) -> None:
             )
 
 
-_PROTOCOLS = {
-    "none": None,
-    "appl-driven": "ApplicationDrivenProtocol",
-    "sas": "SyncAndStopProtocol",
-    "cl": "ChandyLamportProtocol",
-    "uncoordinated": "UncoordinatedProtocol",
-    "cic": "InducedProtocol",
-    "msg-logging": "MessageLoggingProtocol",
-}
+#: CLI protocol choices (the canonical registry lives in
+#: :mod:`repro.protocols`; the name list is duplicated here only so
+#: ``build_parser`` stays import-light).
+_PROTOCOL_NAMES = (
+    "none", "appl-driven", "sas", "cl", "uncoordinated", "cic",
+    "msg-logging",
+)
 
 
 def _make_protocol(name: str, period: float):
-    import repro.protocols as protocols
+    from repro.protocols import make_protocol
 
-    class_name = _PROTOCOLS[name]
-    if class_name is None:
-        return None
-    cls = getattr(protocols, class_name)
-    if name == "appl-driven":
-        return cls()
-    return cls(period=period)
+    return make_protocol(name, period=period)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -563,6 +537,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         config=config,
         transport_config=transport,
         artifacts_dir=args.artifacts,
+        jobs=args.jobs,
     )
     failures = 0
     for (protocol, seed), outcome in sorted(outcomes.items()):
@@ -571,6 +546,49 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"{len(outcomes)} cell(s), {failures} failure(s)")
     if failures and args.artifacts:
         print(f"# diagnostics under {args.artifacts}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import load_campaign, quick_campaign, run_campaign
+
+    if args.campaign == "@quick":
+        specs = quick_campaign()
+    elif args.campaign.startswith("@"):
+        print(
+            f"error: unknown built-in campaign {args.campaign!r}; "
+            "available: @quick",
+            file=sys.stderr,
+        )
+        return 2
+    else:
+        specs = load_campaign(Path(args.campaign).read_text())
+    result = run_campaign(specs, jobs=args.jobs)
+    width = max((len(cell.label) for cell in result.cells.values()),
+                default=5)
+    print(f"{'cell':<{width}s} {'ok':>4s} {'ckpts':>6s} {'msgs':>6s} "
+          f"{'sim-time':>9s} {'wall-ms':>8s}")
+    for label, cell in result.cells.items():
+        wall = result.timings[label] * 1e3
+        if cell.error is not None:
+            print(f"{label:<{width}s} {'ERR':>4s} {cell.error}")
+            continue
+        stats = cell.stats or {}
+        print(f"{label:<{width}s} {'yes' if cell.ok else 'NO':>4s} "
+              f"{stats.get('checkpoints', 0):>6d} "
+              f"{stats.get('app_messages', 0):>6d} "
+              f"{cell.completion_time:>9.3f} {wall:>8.1f}")
+    failures = len(result.failures)
+    print(f"{len(result.cells)} cell(s), {failures} failure(s), "
+          f"jobs={result.jobs}")
+    if args.results_json:
+        payload = result.to_json()
+        if args.results_json == "-":
+            print(payload)
+        else:
+            Path(args.results_json).write_text(payload + "\n")
+            print(f"# wrote results to {args.results_json}",
+                  file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -616,6 +634,10 @@ def build_parser() -> argparse.ArgumentParser:
     transform.add_argument("--failure-rate", type=float, default=0.002)
     transform.add_argument("--steps", type=int, default=0,
                            help="value of the 'steps' parameter for costing")
+    transform.add_argument("--cache", metavar="DIR",
+                           help="content-addressed transform cache "
+                                "directory; repeated transforms of the "
+                                "same program are served from it")
     transform.set_defaults(func=_cmd_transform)
 
     cfg = commands.add_parser("cfg", help="dump the CFG as DOT")
@@ -646,7 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="replicate stable storage N-way with "
                                "majority-quorum reads")
-    simulate.add_argument("--protocol", choices=sorted(_PROTOCOLS),
+    simulate.add_argument("--protocol", choices=sorted(_PROTOCOL_NAMES),
                           default="appl-driven")
     simulate.add_argument("--period", type=float, default=10.0,
                           help="checkpoint period for timer protocols")
@@ -721,7 +743,27 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--broken-transport", action="store_true",
                        help="disable duplicate suppression (test hook that "
                             "forces failures, exercising the artifact dump)")
+    chaos.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                       help="worker processes for the sweep (0 = all "
+                            "cores); verdicts are byte-identical for "
+                            "any N")
     chaos.set_defaults(func=_cmd_chaos)
+
+    campaign = commands.add_parser(
+        "campaign", help="run a declarative scenario campaign in parallel"
+    )
+    campaign.add_argument("campaign",
+                          help="path to a campaign JSON file "
+                               '({"cells": [...]} of scenario specs), '
+                               "or @quick for the built-in demo matrix")
+    campaign.add_argument("-j", "--jobs", type=int, default=0, metavar="N",
+                          help="worker processes (0 = all cores, the "
+                               "default); results are byte-identical "
+                               "for any N")
+    campaign.add_argument("--results-json", metavar="PATH",
+                          help="write the deterministic campaign result "
+                               "as JSON ('-' for stdout)")
+    campaign.set_defaults(func=_cmd_campaign)
 
     optimal = commands.add_parser(
         "optimal", help="per-protocol optimal checkpoint intervals"

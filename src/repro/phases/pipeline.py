@@ -42,12 +42,28 @@ def transform(
     loop_optimization: bool = False,
     universe: Universe = Universe(),
     force_insertion: bool = False,
+    cache=None,
 ) -> TransformResult:
     """Apply Phases I–III to *program* (never mutated) and verify.
 
     Phase I runs only when the program has no checkpoint statements
     (it is optional per the paper) unless *force_insertion* is set.
+
+    *cache* is an optional
+    :class:`~repro.campaign.cache.TransformCache`: when the same
+    program has already been transformed under the same cost model,
+    universe, and flags, the stored result is returned without
+    re-running any phase (and the cache's hit counter ticks —
+    observable through an attached metrics registry).
     """
+    key: str | None = None
+    if cache is not None:
+        key = cache.key_for(
+            program, cost_model, loop_optimization, universe, force_insertion
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     insertion: InsertionPlan | None = None
     current = program
     if force_insertion or ast.count_statements(program, ast.Checkpoint) == 0:
@@ -61,9 +77,12 @@ def transform(
         include_back_edge_paths=not loop_optimization,
     )
     verification.raise_if_failed()
-    return TransformResult(
+    result = TransformResult(
         program=placement.program,
         insertion=insertion,
         placement=placement,
         verification=verification,
     )
+    if cache is not None and key is not None:
+        cache.put(key, result)
+    return result

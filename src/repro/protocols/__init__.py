@@ -21,6 +21,7 @@ checkpoint triggering, control traffic, and recovery differ, so the
 stats are directly comparable.
 """
 
+from repro.errors import SimulationError
 from repro.protocols.application_driven import ApplicationDrivenProtocol
 from repro.protocols.base import CheckpointingProtocol
 from repro.protocols.chandy_lamport import ChandyLamportProtocol
@@ -30,6 +31,50 @@ from repro.protocols.logging_based import MessageLoggingProtocol
 from repro.protocols.sync_and_stop import SyncAndStopProtocol
 from repro.protocols.uncoordinated import UncoordinatedProtocol
 
+#: The canonical protocol registry: CLI/spec name -> class (or None for
+#: "run without any protocol"). ``appl-driven`` takes no period; every
+#: timer-driven protocol does.
+PROTOCOL_CLASSES: dict[str, type[CheckpointingProtocol] | None] = {
+    "none": None,
+    "appl-driven": ApplicationDrivenProtocol,
+    "sas": SyncAndStopProtocol,
+    "cl": ChandyLamportProtocol,
+    "uncoordinated": UncoordinatedProtocol,
+    "cic": InducedProtocol,
+    "msg-logging": MessageLoggingProtocol,
+}
+
+
+def protocol_names() -> tuple[str, ...]:
+    """Every registered protocol name, sorted."""
+    return tuple(sorted(PROTOCOL_CLASSES))
+
+
+def make_protocol(
+    name: str, period: float = 10.0
+) -> CheckpointingProtocol | None:
+    """Instantiate the protocol registered under *name*.
+
+    ``"none"`` returns ``None`` (the engine substitutes its null
+    protocol); the application-driven protocol ignores *period*. The
+    single factory behind the CLI, the chaos harness, and
+    :class:`~repro.campaign.spec.ScenarioSpec`, so all three agree on
+    names.
+    """
+    try:
+        cls = PROTOCOL_CLASSES[name]
+    except KeyError:
+        known = ", ".join(protocol_names())
+        raise SimulationError(
+            f"unknown protocol {name!r}; known: {known}"
+        ) from None
+    if cls is None:
+        return None
+    if cls is ApplicationDrivenProtocol:
+        return cls()
+    return cls(period=period)
+
+
 __all__ = [
     "ApplicationDrivenProtocol",
     "ChandyLamportProtocol",
@@ -37,6 +82,9 @@ __all__ = [
     "ClockTrackingProtocol",
     "InducedProtocol",
     "MessageLoggingProtocol",
+    "PROTOCOL_CLASSES",
     "SyncAndStopProtocol",
     "UncoordinatedProtocol",
+    "make_protocol",
+    "protocol_names",
 ]

@@ -43,21 +43,9 @@ CHAOS_PROTOCOLS = ("appl-driven", "uncoordinated", "msg-logging")
 
 
 def _make_protocol(name: str):
-    from repro.protocols import (
-        ApplicationDrivenProtocol,
-        MessageLoggingProtocol,
-        UncoordinatedProtocol,
-    )
+    from repro.protocols import make_protocol
 
-    factories = {
-        "appl-driven": lambda: ApplicationDrivenProtocol(),
-        "uncoordinated": lambda: UncoordinatedProtocol(period=6.0),
-        "msg-logging": lambda: MessageLoggingProtocol(period=6.0),
-    }
-    if name not in factories:
-        known = ", ".join(sorted(factories))
-        raise SimulationError(f"unknown chaos protocol {name!r}; known: {known}")
-    return factories[name]()
+    return make_protocol(name, period=6.0)
 
 
 @dataclass(frozen=True)
@@ -284,33 +272,56 @@ def run_schedule(
     )
 
 
+def _chaos_cell(payload) -> ChaosOutcome:
+    """Campaign-executor worker: replay one (plan, protocol) cell."""
+    plan, protocol, config, transport_config = payload
+    return run_schedule(
+        plan, protocol=protocol, config=config,
+        transport_config=transport_config,
+    )
+
+
 def chaos_sweep(
     seeds: range,
     protocols: tuple[str, ...] = CHAOS_PROTOCOLS,
     config: ChaosConfig = ChaosConfig(),
     transport_config: TransportConfig | None = None,
     artifacts_dir=None,
+    jobs: int | None = 1,
 ) -> dict[tuple[str, int], ChaosOutcome]:
     """Run every (protocol, seed) cell and collect the verdicts.
+
+    Cells run on the campaign executor: *jobs* worker processes
+    (``None``/0 = all cores), with verdicts merged deterministically by
+    ``(protocol, seed)`` key — the returned mapping (order included) is
+    **byte-identical for any worker count**, because every cell is an
+    independent seed-deterministic replay.
 
     With *artifacts_dir* set, every failing cell automatically gets a
     diagnostic bundle written there via
     :func:`dump_failure_artifacts` — the vector-clock-stamped flight
     recorder, the verbatim schedule, and the ddmin-shrunk minimal
-    counterexample.
+    counterexample. Artifacts are dumped from the coordinating process
+    after the sweep, in cell order, so parallel runs produce the same
+    files as serial ones.
     """
-    outcomes: dict[tuple[str, int], ChaosOutcome] = {}
-    for protocol in protocols:
-        for seed in seeds:
-            plan = draw_schedule(seed, config)
-            outcome = run_schedule(
-                plan, protocol=protocol, config=config,
-                transport_config=transport_config,
-            )
-            outcomes[(protocol, seed)] = outcome
-            if not outcome.ok and artifacts_dir is not None:
+    from repro.campaign.executor import run_cells
+
+    plans = {
+        (protocol, seed): draw_schedule(seed, config)
+        for protocol in protocols
+        for seed in seeds
+    }
+    items = [
+        (key, (plan, key[0], config, transport_config))
+        for key, plan in plans.items()
+    ]
+    outcomes, _timings = run_cells(items, _chaos_cell, jobs=jobs)
+    if artifacts_dir is not None:
+        for (protocol, seed), outcome in outcomes.items():
+            if not outcome.ok:
                 dump_failure_artifacts(
-                    plan,
+                    plans[(protocol, seed)],
                     protocol=protocol,
                     config=config,
                     out_dir=artifacts_dir,

@@ -267,6 +267,37 @@ class Simulation:
         for proc in self.procs:
             self._store_checkpoint(proc, stmt_id=None, tag="initial", time=0.0)
 
+    @classmethod
+    def from_spec(cls, spec, observer=None) -> "Simulation":
+        """Build a simulation from a declarative scenario description.
+
+        *spec* is a :class:`~repro.campaign.spec.ScenarioSpec` (or any
+        object with the same attributes): program **source text**,
+        protocol name, and plain-data knobs. Because everything in the
+        spec is picklable and JSON-round-trippable, a spec — unlike a
+        constructed ``Simulation`` — can be shipped to another process,
+        which is how the campaign executor fans cells out to workers.
+        """
+        from repro.lang.parser import parse
+        from repro.protocols import make_protocol
+
+        return cls(
+            parse(spec.program),
+            spec.n_processes,
+            params=dict(spec.params) if spec.params else None,
+            costs=spec.costs if spec.costs is not None else RuntimeCosts(),
+            protocol=make_protocol(spec.protocol, spec.period),
+            failure_plan=spec.fault_plan,
+            seed=spec.seed,
+            base_latency=spec.base_latency,
+            record_compute_events=spec.record_compute_events,
+            max_steps=spec.max_steps,
+            storage_replicas=spec.storage_replicas,
+            max_storage_retries=spec.max_storage_retries,
+            transport_config=spec.transport,
+            observer=observer,
+        )
+
     # ------------------------------------------------------------------
     # Services used by protocols
     # ------------------------------------------------------------------

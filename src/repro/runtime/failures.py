@@ -276,6 +276,56 @@ class FaultPlan(FailurePlan):
         """The bit-rot faults (scheduled through the event loop)."""
         return [f for f in self.storage_faults if f.kind is FaultKind.BIT_ROT]
 
+    #: Top-level keys :meth:`from_json_dict` accepts.
+    JSON_KEYS = frozenset(
+        {"max_failures", "crashes", "storage_faults", "network_faults"}
+    )
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "FaultPlan":
+        """Rebuild a plan from :meth:`to_json_dict`'s JSON schema.
+
+        The inverse of :meth:`to_json_dict`, shared by the CLI's
+        ``--fault-plan`` loader and the campaign layer's
+        :class:`~repro.campaign.spec.ScenarioSpec`. Unknown top-level
+        keys are rejected (a typo like ``"netwrok_faults"`` must not
+        silently disable the faults it was meant to inject).
+        """
+        unknown = sorted(set(data) - cls.JSON_KEYS)
+        if unknown:
+            raise SimulationError(
+                f"unknown top-level key(s) {unknown} — "
+                f"expected keys from {sorted(cls.JSON_KEYS)}"
+            )
+        return cls(
+            crashes=[
+                CrashEvent(time=float(e["time"]), rank=int(e["rank"]))
+                for e in data.get("crashes", [])
+            ],
+            max_failures=data.get("max_failures"),
+            storage_faults=[
+                StorageFaultEvent(
+                    time=float(e["time"]),
+                    rank=int(e["rank"]),
+                    kind=e["kind"],
+                    number=e.get("number"),
+                    replica=int(e.get("replica", 0)),
+                    attempts=int(e.get("attempts", 1)),
+                )
+                for e in data.get("storage_faults", [])
+            ],
+            network_faults=[
+                NetworkFaultEvent(
+                    time=float(e["time"]),
+                    kind=e["kind"],
+                    src=int(e["src"]),
+                    dst=int(e["dst"]),
+                    delay=float(e.get("delay", 0.0)),
+                )
+                for e in data.get("network_faults", [])
+            ],
+        )
+
     def to_json_dict(self) -> dict:
         """The plan in the CLI's ``--fault-plan`` JSON schema.
 

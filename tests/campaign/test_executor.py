@@ -1,0 +1,141 @@
+"""Campaign executor: merge determinism, parallel byte-identity, errors."""
+
+import pytest
+
+from repro.campaign.executor import (
+    CampaignResult,
+    CellOutcome,
+    resolve_jobs,
+    run_campaign,
+    run_cells,
+)
+from repro.campaign.spec import ScenarioSpec, quick_campaign
+from repro.errors import SimulationError
+from repro.lang.programs import program_source
+from repro.runtime.chaos import ChaosConfig, chaos_sweep
+
+
+def _square(payload):
+    """Module-level so the process pool can pickle it."""
+    return payload * payload
+
+
+class TestRunCells:
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(SimulationError, match="unique"):
+            run_cells([("a", 1), ("a", 2)], _square)
+
+    def test_results_in_submission_order(self):
+        items = [("c", 3), ("a", 1), ("b", 2)]
+        results, timings = run_cells(items, _square)
+        assert list(results) == ["c", "a", "b"]
+        assert list(timings) == ["c", "a", "b"]
+        assert results == {"c": 9, "a": 1, "b": 4}
+
+    def test_parallel_matches_serial(self):
+        items = [(n, n) for n in range(8)]
+        serial, _ = run_cells(items, _square, jobs=1)
+        parallel, _ = run_cells(items, _square, jobs=2)
+        assert parallel == serial
+        assert list(parallel) == list(serial)
+
+    def test_timings_cover_every_cell(self):
+        results, timings = run_cells([("x", 2), ("y", 3)], _square)
+        assert set(timings) == {"x", "y"}
+        assert all(t >= 0.0 for t in timings.values())
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(-2) >= 1
+
+
+def small_campaign() -> list[ScenarioSpec]:
+    specs = quick_campaign(steps=4)[:3]
+    # One observed cell: the JSONL event log must survive the worker
+    # boundary and still be byte-identical across worker counts.
+    observed = ScenarioSpec.from_json_dict(
+        {**specs[0].to_json_dict(), "label": "observed", "observe": True}
+    )
+    return [*specs, observed]
+
+
+class TestRunCampaign:
+    def test_serial_campaign_runs_clean(self):
+        specs = small_campaign()
+        result = run_campaign(specs, jobs=1)
+        assert list(result.cells) == [spec.label for spec in specs]
+        assert result.failures == []
+        assert all(cell.ok for cell in result.cells.values())
+        observed = result.cells["observed"]
+        assert observed.events_jsonl
+        assert result.cells[specs[0].label].events_jsonl is None
+
+    def test_parallel_json_byte_identical_to_serial(self):
+        specs = small_campaign()
+        serial = run_campaign(specs, jobs=1)
+        parallel = run_campaign(specs, jobs=2)
+        assert parallel.to_json() == serial.to_json()
+        assert list(parallel.cells) == list(serial.cells)
+
+    def test_spec_hash_recorded(self):
+        spec = quick_campaign(steps=4)[0]
+        result = run_campaign([spec])
+        assert result.cells[spec.label].spec_hash == spec.content_hash()
+
+    def test_failing_cell_is_reported_not_raised(self):
+        bad = ScenarioSpec(
+            label="boom",
+            program=program_source("ring_pipeline"),
+            n_processes=3,
+            params={"steps": 6},
+            max_steps=5,
+        )
+        good = quick_campaign(steps=4)[0]
+        result = run_campaign([good, bad])
+        assert result.cells["boom"].error is not None
+        assert "SimulationError" in result.cells["boom"].error
+        assert not result.cells["boom"].ok
+        assert result.failures == [result.cells["boom"]]
+        assert result.cells[good.label].ok
+        # The artifact still serialises with the failure embedded.
+        assert '"error": "SimulationError' in result.to_json()
+
+    def test_timings_excluded_from_artifact(self):
+        spec = quick_campaign(steps=4)[0]
+        result = run_campaign([spec])
+        artifact = result.to_json()
+        assert result.timings  # collected...
+        assert "timings" not in artifact  # ...but never serialised
+
+    def test_cell_outcome_roundtrips_to_json(self):
+        outcome = CellOutcome(
+            label="x",
+            spec_hash="deadbeef",
+            stats={"completed": True},
+            final_env={1: {"v": 2}, 0: {"v": 1}},
+            completion_time=3.5,
+        )
+        data = outcome.to_json_dict()
+        assert list(data["final_env"]) == ["0", "1"]
+        assert data["completion_time"] == 3.5
+
+    def test_empty_campaign(self):
+        result = run_campaign([])
+        assert result.cells == {}
+        assert result.to_json() == CampaignResult().to_json()
+
+
+class TestChaosSweepJobs:
+    def test_parallel_sweep_identical_to_serial(self):
+        config = ChaosConfig(n_processes=3, steps=6, horizon=30.0)
+        serial = chaos_sweep(
+            range(4), protocols=("appl-driven",), config=config, jobs=1
+        )
+        parallel = chaos_sweep(
+            range(4), protocols=("appl-driven",), config=config, jobs=2
+        )
+        assert parallel == serial
+        assert list(parallel) == list(serial)

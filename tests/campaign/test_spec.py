@@ -1,0 +1,168 @@
+"""ScenarioSpec: serialisation, hashing, and the spec-driven factory."""
+
+import json
+
+import pytest
+
+from repro.campaign.spec import (
+    ScenarioSpec,
+    dump_campaign,
+    load_campaign,
+    quick_campaign,
+)
+from repro.errors import SimulationError
+from repro.lang.programs import load_program, program_source
+from repro.protocols import make_protocol, protocol_names
+from repro.runtime.engine import Simulation
+from repro.runtime.failures import (
+    CrashEvent,
+    FaultPlan,
+    NetworkFaultEvent,
+    NetworkFaultKind,
+)
+from repro.runtime.transport import TransportConfig
+
+
+def spec_with_everything() -> ScenarioSpec:
+    return ScenarioSpec(
+        label="full",
+        program=program_source("ring_pipeline"),
+        n_processes=3,
+        params={"steps": 6},
+        protocol="uncoordinated",
+        period=6.0,
+        seed=7,
+        base_latency=0.4,
+        storage_replicas=3,
+        max_storage_retries=2,
+        fault_plan=FaultPlan(
+            crashes=[CrashEvent(time=9.0, rank=1)],
+            max_failures=1,
+            network_faults=[
+                NetworkFaultEvent(
+                    time=3.0, kind=NetworkFaultKind.DROP, src=0, dst=1
+                ),
+            ],
+        ),
+        transport=TransportConfig(rto_factor=4.0),
+        observe=True,
+    )
+
+
+class TestSerialisation:
+    def test_json_round_trip_is_identity(self):
+        spec = spec_with_everything()
+        again = ScenarioSpec.from_json_dict(spec.to_json_dict())
+        assert again == spec
+
+    def test_json_dict_is_json_serialisable(self):
+        spec = spec_with_everything()
+        assert json.loads(json.dumps(spec.to_json_dict())) \
+            == spec.to_json_dict()
+
+    def test_unknown_key_rejected(self):
+        data = spec_with_everything().to_json_dict()
+        data["protocl"] = "appl-driven"
+        with pytest.raises(SimulationError, match="protocl"):
+            ScenarioSpec.from_json_dict(data)
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(SimulationError, match="label"):
+            ScenarioSpec(label="", program="program p:\n  pass")
+
+    def test_campaign_file_round_trip(self):
+        specs = quick_campaign()
+        again = load_campaign(dump_campaign(specs))
+        assert again == specs
+
+    def test_campaign_file_accepts_bare_list(self):
+        specs = quick_campaign()[:2]
+        text = json.dumps([s.to_json_dict() for s in specs])
+        assert load_campaign(text) == specs
+
+    def test_bad_campaign_file_rejected(self):
+        with pytest.raises(SimulationError, match="campaign"):
+            load_campaign('{"not_cells": 1}')
+        with pytest.raises(SimulationError, match="campaign"):
+            load_campaign("not json at all")
+
+
+class TestContentHash:
+    def test_label_does_not_affect_hash(self):
+        a = ScenarioSpec(label="a", program=program_source("pingpong"))
+        b = ScenarioSpec(label="b", program=program_source("pingpong"))
+        assert a.content_hash() == b.content_hash()
+
+    def test_every_knob_affects_hash(self):
+        base = spec_with_everything()
+        variants = [
+            ScenarioSpec.from_json_dict(
+                {**base.to_json_dict(), "seed": 8}
+            ),
+            ScenarioSpec.from_json_dict(
+                {**base.to_json_dict(), "protocol": "appl-driven"}
+            ),
+            ScenarioSpec.from_json_dict(
+                {**base.to_json_dict(), "fault_plan": None}
+            ),
+        ]
+        hashes = {base.content_hash()} | {
+            v.content_hash() for v in variants
+        }
+        assert len(hashes) == 4
+
+    def test_hash_survives_round_trip(self):
+        spec = spec_with_everything()
+        again = ScenarioSpec.from_json_dict(spec.to_json_dict())
+        assert again.content_hash() == spec.content_hash()
+
+
+class TestSpecFactory:
+    def test_from_spec_matches_direct_construction(self):
+        spec = ScenarioSpec(
+            label="cell",
+            program=program_source("ring_pipeline"),
+            n_processes=3,
+            params={"steps": 5},
+            protocol="uncoordinated",
+            period=6.0,
+            seed=3,
+        )
+        via_spec = Simulation.from_spec(spec).run()
+        direct = Simulation(
+            load_program("ring_pipeline"),
+            3,
+            params={"steps": 5},
+            protocol=make_protocol("uncoordinated", period=6.0),
+            seed=3,
+        ).run()
+        assert via_spec.stats.as_dict() == direct.stats.as_dict()
+        assert via_spec.final_env == direct.final_env
+        assert via_spec.completion_time == direct.completion_time
+
+    def test_build_is_fresh_each_time(self):
+        spec = quick_campaign()[0]
+        first = spec.build().run()
+        second = spec.build().run()
+        assert first.stats.as_dict() == second.stats.as_dict()
+
+    def test_unknown_protocol_fails_at_build(self):
+        spec = ScenarioSpec(
+            label="x", program=program_source("pingpong"), protocol="nope"
+        )
+        with pytest.raises(SimulationError, match="unknown protocol"):
+            spec.build()
+
+
+class TestProtocolRegistry:
+    def test_cli_names_match_registry(self):
+        from repro.cli import _PROTOCOL_NAMES
+
+        assert set(_PROTOCOL_NAMES) == set(protocol_names())
+
+    def test_none_returns_no_protocol(self):
+        assert make_protocol("none") is None
+
+    def test_quick_campaign_labels_unique(self):
+        specs = quick_campaign()
+        assert len({s.label for s in specs}) == len(specs)

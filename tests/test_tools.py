@@ -1,7 +1,6 @@
 """Tests for the results-regeneration tool."""
 
 import importlib.util
-import sys
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -31,18 +30,41 @@ class TestRegenerateResults:
             "fault_tolerance.txt",
             "network_faults.txt",
             "obs_overhead.txt",
+            "campaign_scaling.txt",
         }
+
+    def test_reports_per_result_timings(self, tmp_path, capsys):
+        tool = load_tool()
+        assert tool.main([str(tmp_path), "--only", "figure8"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8:" in out
+        assert "done: 1 result(s)" in out
+
+    def test_unknown_generator_rejected(self, tmp_path, capsys):
+        tool = load_tool()
+        assert tool.main([str(tmp_path), "--only", "nope"]) == 2
+        assert "unknown generator" in capsys.readouterr().err
 
     def test_obs_overhead_claims_hold(self, tmp_path, capsys):
         tool = load_tool()
-        tool.main([str(tmp_path)])
+        tool.main([str(tmp_path), "--only", "obs_overhead"])
         body = (tmp_path / "obs_overhead.txt").read_text()
         assert "disabled path is free: YES" in body
         assert "VIOLATED" not in body
 
+    def test_campaign_scaling_claims_hold(self, tmp_path, capsys):
+        tool = load_tool()
+        tool.main([str(tmp_path), "--only", "campaign_scaling"])
+        body = (tmp_path / "campaign_scaling.txt").read_text()
+        assert "verdicts byte-identical across worker counts: YES" in body
+        assert "VIOLATED" not in body
+        assert "hit rate 0.50" in body
+
     def test_figures_record_shape_verdicts(self, tmp_path, capsys):
         tool = load_tool()
-        tool.main([str(tmp_path)])
+        tool.main(
+            [str(tmp_path), "--only", "figure8", "--only", "figure9"]
+        )
         assert "ALL HOLD" in (tmp_path / "figure8.txt").read_text()
         assert "ALL HOLD" in (tmp_path / "figure9.txt").read_text()
 
@@ -50,8 +72,21 @@ class TestRegenerateResults:
         tool = load_tool()
         first = tmp_path / "a"
         second = tmp_path / "b"
-        tool.main([str(first)])
-        tool.main([str(second)])
+        only = ["--only", "figure8", "--only", "markov_validation",
+                "--only", "protocol_comparison"]
+        tool.main([str(first), *only])
+        tool.main([str(second), *only])
         for name in ("figure8.txt", "figure7_markov.txt",
                      "protocol_comparison.txt"):
             assert (first / name).read_text() == (second / name).read_text()
+
+    def test_parallel_output_matches_serial(self, tmp_path, capsys):
+        tool = load_tool()
+        serial = tmp_path / "serial"
+        parallel = tmp_path / "parallel"
+        only = ["--only", "figure8", "--only", "protocol_comparison"]
+        tool.main([str(serial), "--jobs", "1", *only])
+        tool.main([str(parallel), "--jobs", "2", *only])
+        for name in ("figure8.txt", "protocol_comparison.txt"):
+            assert (serial / name).read_text() \
+                == (parallel / name).read_text()

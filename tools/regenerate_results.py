@@ -4,15 +4,20 @@
 Writes one plain-text file per experiment into ``results/`` (created if
 needed). Run from the repository root::
 
-    python tools/regenerate_results.py [output_dir]
+    python tools/regenerate_results.py [output_dir] [--jobs N]
 
-Everything is deterministic (fixed seeds), so re-running should produce
-byte-identical outputs on the same platform.
+Generators fan out over the campaign executor (``--jobs`` worker
+processes, default all cores); per-result wall-clock is printed so the
+parallel speedup is visible in CI logs. Everything except the timing
+columns of ``campaign_scaling.txt`` is deterministic (fixed seeds), so
+re-running should produce byte-identical outputs on the same platform.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+import time
 from pathlib import Path
 
 
@@ -22,159 +27,44 @@ def write(path: Path, text: str) -> None:
     print(f"wrote {path}")
 
 
-def figure8(out: Path) -> None:
-    from repro.analysis.comparison import figure8_series
-    from repro.bench.figures import figure8_table, shape_check_figure8
-
-    problems = shape_check_figure8(figure8_series())
-    body = figure8_table() + "\n\nshape claims: " + (
-        "ALL HOLD" if not problems else "; ".join(problems)
-    ) + "\n"
-    write(out / "figure8.txt", body)
-
-
-def figure9(out: Path) -> None:
-    from repro.analysis.comparison import figure9_series
-    from repro.bench.figures import figure9_table, shape_check_figure9
-
-    problems = shape_check_figure9(figure9_series())
-    body = figure9_table() + "\n\nshape claims: " + (
-        "ALL HOLD" if not problems else "; ".join(problems)
-    ) + "\n"
-    write(out / "figure9.txt", body)
-
-
-def markov_validation(out: Path) -> None:
-    from repro.analysis import (
-        IntervalMarkovChain,
-        STARFISH_DEFAULTS,
-        gamma_closed_form,
-        simulate_interval_time,
-        system_failure_rate,
-    )
-
-    p = STARFISH_DEFAULTS
-    lam = system_failure_rate(p, 256)
-    args = (p.interval, p.checkpoint_overhead, p.recovery_overhead,
-            p.checkpoint_latency)
-    chain = IntervalMarkovChain(lam, *args)
-    monte = simulate_interval_time(lam, *args, trials=20_000)
-    lines = [
-        f"lambda (n=256)     : {lam:.6e}",
-        f"Gamma closed form  : {gamma_closed_form(lam, *args):.6f}",
-        f"Gamma two-path     : {chain.expected_time_two_path():.6f}",
-        f"Gamma linear system: {chain.expected_time_linear_system():.6f}",
-        f"Gamma Monte Carlo  : {monte.mean:.4f} +/- {monte.std_error:.4f}",
-    ]
-    write(out / "figure7_markov.txt", "\n".join(lines) + "\n")
-
-
-def protocol_comparison(out: Path) -> None:
-    from repro.bench.workloads import (
-        ProtocolRunSummary,
-        run_protocol_comparison,
-        standard_workloads,
-    )
-    from repro.runtime import FailurePlan
-
-    workload = standard_workloads(steps=12)[0]
-    rows = run_protocol_comparison(
-        workload, period=6.0, failure_plan=FailurePlan.single(14.3, 2)
-    )
-    body = ProtocolRunSummary.header() + "\n" + "\n".join(
-        row.row() for row in rows
-    ) + "\n"
-    write(out / "protocol_comparison.txt", body)
-
-
-def optimal_intervals(out: Path) -> None:
-    from repro.analysis.sensitivity import optimal_table
-
-    write(out / "optimal_intervals.txt", optimal_table() + "\n")
-
-
-def payoff(out: Path) -> None:
-    from repro.analysis import STARFISH_DEFAULTS, system_failure_rate
-    from repro.analysis.availability import (
-        break_even_work,
-        expected_completion_with_checkpointing,
-        expected_completion_without_checkpointing,
-    )
-
-    p = STARFISH_DEFAULTS
-    lam = system_failure_rate(p, 256)
-    args = dict(
-        interval=p.interval,
-        total_overhead=p.checkpoint_overhead,
-        recovery=p.recovery_overhead,
-        total_latency=p.checkpoint_latency,
-    )
-    lines = [f"{'work':>8s} {'protected':>14s} {'unprotected':>16s}"]
-    for hours in (1, 6, 24):
-        work = hours * 3600.0
-        protected = expected_completion_with_checkpointing(work, lam, **args)
-        unprotected = expected_completion_without_checkpointing(work, lam)
-        lines.append(f"{hours:>6d}h {protected:>14.0f} {unprotected:>16.0f}")
-    point = break_even_work(lam, **args)
-    lines.append(f"break-even work: {point.work:.0f} s")
-    write(out / "checkpointing_payoff.txt", "\n".join(lines) + "\n")
-
-
-def fault_tolerance(out: Path) -> None:
-    from repro.bench.fault_tolerance import (
-        fault_tolerance_sweep,
-        format_fault_table,
-    )
-
-    rows = fault_tolerance_sweep()
-    lost = sum(r.runs - r.completed for r in rows)
-    body = format_fault_table(rows) + "\n\nruns lost: " + (
-        "NONE (degraded recovery absorbed every fault)"
-        if lost == 0 else str(lost)
-    ) + "\n"
-    write(out / "fault_tolerance.txt", body)
-
-
-def network_faults(out: Path) -> None:
-    from repro.bench.network_faults import (
-        format_network_table,
-        network_fault_sweep,
-    )
-
-    rows = network_fault_sweep()
-    lost = sum(r.runs - r.completed for r in rows)
-    body = format_network_table(rows) + "\n\nruns lost: " + (
-        "NONE (reliable transport absorbed every network fault)"
-        if lost == 0 else str(lost)
-    ) + "\n"
-    write(out / "network_faults.txt", body)
-
-
-def obs_overhead(out: Path) -> None:
-    from repro.bench.obs_overhead import (
-        format_obs_overhead,
-        obs_overhead_report,
-    )
-
-    report = obs_overhead_report()
-    write(out / "obs_overhead.txt", format_obs_overhead(report) + "\n")
-
-
 def main(argv: list[str] | None = None) -> int:
     """Regenerate all result files; returns the process exit code."""
-    args = argv if argv is not None else sys.argv[1:]
-    out = Path(args[0]) if args else Path("results")
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("output_dir", nargs="?", default="results",
+                        help="directory for the result files")
+    parser.add_argument("-j", "--jobs", type=int, default=0, metavar="N",
+                        help="worker processes (0 = all cores, the "
+                             "default); outputs are identical for any N")
+    parser.add_argument("--only", action="append", metavar="NAME",
+                        help="regenerate only the named generator(s)")
+    args = parser.parse_args(argv)
+
+    from repro.bench.results import RESULT_GENERATORS, render_result
+    from repro.campaign.executor import run_cells
+
+    names = list(RESULT_GENERATORS)
+    if args.only:
+        unknown = sorted(set(args.only) - set(names))
+        if unknown:
+            print(f"error: unknown generator(s) {unknown}; "
+                  f"known: {', '.join(names)}", file=sys.stderr)
+            return 2
+        names = [name for name in names if name in set(args.only)]
+
+    out = Path(args.output_dir)
     out.mkdir(parents=True, exist_ok=True)
-    figure8(out)
-    figure9(out)
-    markov_validation(out)
-    protocol_comparison(out)
-    optimal_intervals(out)
-    payoff(out)
-    fault_tolerance(out)
-    network_faults(out)
-    obs_overhead(out)
-    print("done")
+    start = time.perf_counter()
+    results, timings = run_cells(
+        [(name, name) for name in names], render_result, jobs=args.jobs
+    )
+    for name in names:
+        filename, body = results[name]
+        write(out / filename, body)
+        print(f"  {name}: {timings[name]:.2f}s")
+    total = time.perf_counter() - start
+    busy = sum(timings.values())
+    print(f"done: {len(names)} result(s) in {total:.2f}s wall "
+          f"({busy:.2f}s of generator time)")
     return 0
 
 
