@@ -1,0 +1,122 @@
+"""Engine hot-path microbenchmark: indexed vs reference scheduler.
+
+Runs the same large-``n`` workloads under both simulation schedulers
+(:class:`~repro.runtime.engine.Simulation` with ``scheduler="indexed"``
+and ``scheduler="reference"``), asserts the runs are identical down to
+the trace, and records best-of-N wall times. The reference scheduler
+scans every process, control message, and timer each step — O(n) per
+step — so its disadvantage grows with the process count; the cases here
+use the largest configurations the workload programs support so the
+scan cost dominates and the ratio is stable.
+
+Result artifact: ``results/BENCH_engine.json`` (see
+:mod:`repro.bench.record` for the schema and how CI consumes it).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.bench.record import BenchCase, BenchReport
+from repro.lang import ast_nodes as ast
+from repro.lang.programs import stencil_1d, token_ring
+from repro.protocols import ApplicationDrivenProtocol
+from repro.runtime import FailurePlan, RuntimeCosts, Simulation
+
+
+@dataclass(frozen=True)
+class _EngineCase:
+    """One workload configuration timed under both schedulers."""
+
+    name: str
+    make_program: Callable[[], ast.Program]
+    n_processes: int
+    steps: int
+
+
+#: Largest configurations of the shipped workloads: big enough that the
+#: reference scheduler's per-step scan dominates its run time.
+ENGINE_CASES: tuple[_EngineCase, ...] = (
+    _EngineCase("stencil_1d_n192", stencil_1d, 192, 12),
+    _EngineCase("stencil_1d_n256", stencil_1d, 256, 8),
+    _EngineCase("token_ring_n192", token_ring, 192, 6),
+)
+
+
+def _run(base: ast.Program, case: _EngineCase, scheduler: str):
+    sim = Simulation(
+        ast.clone(base),
+        case.n_processes,
+        params={"steps": case.steps},
+        costs=RuntimeCosts(),
+        protocol=ApplicationDrivenProtocol(),
+        failure_plan=FailurePlan.none(),
+        seed=3,
+        scheduler=scheduler,
+    )
+    start = time.perf_counter()
+    result = sim.run()
+    return time.perf_counter() - start, result
+
+
+def _fingerprint(result) -> tuple:
+    events = tuple(
+        (e.seq, e.time, e.process, e.kind.value, e.stmt_id, e.message_id)
+        for e in result.trace.events
+    )
+    return (
+        events,
+        result.stats.as_dict(),
+        result.final_env,
+        result.completion_time,
+    )
+
+
+def engine_hotpath_report(repeats: int = 2) -> BenchReport:
+    """Time every engine case under both schedulers (best of *repeats*).
+
+    The program AST is built once per case and cloned per run so both
+    schedulers execute byte-identical inputs (node ids come from a
+    process-global counter; parsing twice would differ).
+    """
+    cases: list[BenchCase] = []
+    for case in ENGINE_CASES:
+        base = case.make_program()
+        _run(base, case, "indexed")  # warm caches before timing
+        best_indexed = best_reference = float("inf")
+        identical = True
+        ops = 0
+        for _ in range(repeats):
+            wall_i, result_i = _run(base, case, "indexed")
+            wall_r, result_r = _run(base, case, "reference")
+            best_indexed = min(best_indexed, wall_i)
+            best_reference = min(best_reference, wall_r)
+            identical &= _fingerprint(result_i) == _fingerprint(result_r)
+            ops = len(result_i.trace.events)
+        cases.append(
+            BenchCase(
+                name=case.name,
+                reference_wall_s=best_reference,
+                optimized_wall_s=best_indexed,
+                ops=ops,
+                identical=identical,
+            )
+        )
+    return BenchReport(benchmark="engine", cases=tuple(cases))
+
+
+def format_engine_hotpath(report: BenchReport) -> str:
+    """Aligned text table (the JSON is the canonical artifact)."""
+    lines = [
+        f"{'case':>18s} {'reference':>10s} {'indexed':>10s} "
+        f"{'speedup':>8s} {'events':>8s} {'identical':>9s}"
+    ]
+    for case in report.cases:
+        lines.append(
+            f"{case.name:>18s} {case.reference_wall_s:>9.3f}s "
+            f"{case.optimized_wall_s:>9.3f}s {case.speedup:>7.2f}x "
+            f"{case.ops:>8d} {str(case.identical):>9s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Machine-readable performance records (``results/BENCH_*.json``).
+
+The text artifacts in ``results/`` are for humans; perf work needs
+numbers a script can diff. Each microbenchmark produces a
+:class:`BenchReport` — a named set of :class:`BenchCase` rows, each
+timing the optimized implementation against the retained reference
+implementation of the same computation on identical inputs — and
+serialises it as JSON via :func:`write_report`.
+
+Wall-clock seconds are machine-dependent; the *speedup* ratio
+(reference time / optimized time, both measured on the same machine in
+the same process) is what regression tooling compares. The CI perf
+smoke (``tools/perf_smoke.py``) fails only when a current ratio drops
+below half of the committed one, so the check is portable across
+hardware while still catching real regressions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One timed comparison on one workload configuration.
+
+    ``reference_wall_s``/``optimized_wall_s`` are best-of-N wall times
+    for the old and new implementations; ``ops`` counts the work units
+    processed (events simulated, paths decided, nodes cloned) so
+    throughput can be derived; ``identical`` records that both
+    implementations produced equal results on this input — a bench row
+    is meaningless if they diverge.
+    """
+
+    name: str
+    reference_wall_s: float
+    optimized_wall_s: float
+    ops: int
+    identical: bool
+
+    @property
+    def speedup(self) -> float:
+        """Reference time over optimized time (>1 means faster)."""
+        if self.optimized_wall_s <= 0.0:
+            return float("inf")
+        return self.reference_wall_s / self.optimized_wall_s
+
+    def as_dict(self) -> dict:
+        """JSON-ready form of this case (derived fields included)."""
+        return {
+            "name": self.name,
+            "reference_wall_s": round(self.reference_wall_s, 6),
+            "optimized_wall_s": round(self.optimized_wall_s, 6),
+            "speedup": round(self.speedup, 3),
+            "ops": self.ops,
+            "ops_per_sec": (
+                round(self.ops / self.optimized_wall_s, 1)
+                if self.optimized_wall_s > 0.0
+                else None
+            ),
+            "identical": self.identical,
+        }
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A benchmark's full case list plus its headline number."""
+
+    benchmark: str
+    cases: tuple[BenchCase, ...]
+
+    @property
+    def min_speedup(self) -> float:
+        """The weakest case's ratio — what the CI smoke guards."""
+        return min(case.speedup for case in self.cases)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form of the whole report."""
+        return {
+            "benchmark": self.benchmark,
+            "min_speedup": round(self.min_speedup, 3),
+            "cases": [case.as_dict() for case in self.cases],
+        }
+
+    def to_json(self) -> str:
+        """Serialised report, newline-terminated (the file body)."""
+        return json.dumps(self.as_dict(), indent=2) + "\n"
+
+
+def write_report(report: BenchReport, directory: str | Path) -> Path:
+    """Write *report* as ``BENCH_<name>.json`` under *directory*."""
+    path = Path(directory) / f"BENCH_{report.benchmark}.json"
+    path.write_text(report.to_json())
+    return path
+
+
+def load_report(path: str | Path) -> BenchReport:
+    """Read a report written by :func:`write_report`."""
+    data = json.loads(Path(path).read_text())
+    cases = tuple(
+        BenchCase(
+            name=case["name"],
+            reference_wall_s=case["reference_wall_s"],
+            optimized_wall_s=case["optimized_wall_s"],
+            ops=case["ops"],
+            identical=case["identical"],
+        )
+        for case in data["cases"]
+    )
+    return BenchReport(benchmark=data["benchmark"], cases=cases)

@@ -169,6 +169,20 @@ def campaign_scaling() -> tuple[str, str]:
     return "campaign_scaling.txt", format_campaign_scaling(report) + "\n"
 
 
+def bench_engine() -> tuple[str, str]:
+    """Machine-readable perf record: indexed vs reference scheduler."""
+    from repro.bench.engine_hotpath import engine_hotpath_report
+
+    return "BENCH_engine.json", engine_hotpath_report().to_json()
+
+
+def bench_transform() -> tuple[str, str]:
+    """Machine-readable perf record: bitset Condition 1 and clone."""
+    from repro.bench.transform_hotpath import transform_hotpath_report
+
+    return "BENCH_transform.json", transform_hotpath_report().to_json()
+
+
 #: Registry of all generators, in regeneration order.
 RESULT_GENERATORS = {
     "figure8": figure8,
@@ -181,6 +195,8 @@ RESULT_GENERATORS = {
     "network_faults": network_faults,
     "obs_overhead": obs_overhead,
     "campaign_scaling": campaign_scaling,
+    "bench_engine": bench_engine,
+    "bench_transform": bench_transform,
 }
 
 

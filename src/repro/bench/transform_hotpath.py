@@ -1,0 +1,131 @@
+"""Transform hot-path microbenchmark: verification and AST copying.
+
+Two comparisons behind ``results/BENCH_transform.json``:
+
+- **Condition 1 decision**: the bitset checker
+  (:func:`~repro.phases.verification.check_condition1`) against the
+  retained path-enumerating one
+  (:func:`~repro.phases.verification.check_condition1_enumerated`) on
+  *branchy* programs — ``k`` sequential two-way branches give ``2^k``
+  once-through paths, so enumeration cost doubles per branch while the
+  bitset DP grows linearly. The shipped workload programs are too small
+  to separate the two; these inputs are where the asymptotic gap shows.
+- **AST copying**: :func:`repro.lang.ast_nodes.clone` against
+  ``copy.deepcopy`` on the same program, the swap that removed
+  ``deepcopy`` from the Phase II/III transform loop.
+
+Every case asserts the two implementations agree (same verdict and
+violations, or structurally equal ASTs) before its timing is recorded.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+
+from repro.bench.record import BenchCase, BenchReport
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.printer import ast_equal
+from repro.phases.matching import build_extended_cfg
+from repro.phases.verification import (
+    check_condition1,
+    check_condition1_enumerated,
+)
+
+
+def branchy_program(branches: int) -> ast.Program:
+    """``branches`` sequential if/else diamonds, one checkpoint per arm.
+
+    Every once-through path crosses exactly ``branches`` checkpoints
+    (balanced), and there are ``2^branches`` such paths.
+    """
+    lines = ["program branchy():", "    x = init(myrank)"]
+    for index in range(branches):
+        lines += [
+            f"    if x % 2 == {index % 2}:",
+            "        checkpoint",
+            "        x = x + 1",
+            "    else:",
+            "        checkpoint",
+            "        x = x + 2",
+        ]
+    return parse("\n".join(lines) + "\n")
+
+
+def _verdict(result) -> tuple:
+    return (
+        result.ok,
+        result.balanced,
+        result.reason,
+        tuple((v.index, v.src, v.dst, v.path) for v in result.violations),
+    )
+
+
+def _condition1_case(branches: int, repeats: int) -> BenchCase:
+    ext = build_extended_cfg(branchy_program(branches))
+    best_bitset = best_enum = float("inf")
+    identical = True
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fast = check_condition1(ext)
+        best_bitset = min(best_bitset, time.perf_counter() - start)
+        start = time.perf_counter()
+        slow = check_condition1_enumerated(ext)
+        best_enum = min(best_enum, time.perf_counter() - start)
+        identical &= _verdict(fast) == _verdict(slow)
+    return BenchCase(
+        name=f"condition1_2^{branches}_paths",
+        reference_wall_s=best_enum,
+        optimized_wall_s=best_bitset,
+        ops=2**branches,
+        identical=identical,
+    )
+
+
+def _clone_case(repeats: int, copies: int = 50) -> BenchCase:
+    program = branchy_program(12)
+    n_nodes = sum(1 for _ in ast.walk(program))
+    best_clone = best_deepcopy = float("inf")
+    identical = True
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(copies):
+            cloned = ast.clone(program)
+        best_clone = min(best_clone, time.perf_counter() - start)
+        start = time.perf_counter()
+        for _ in range(copies):
+            deep = copy.deepcopy(program)
+        best_deepcopy = min(best_deepcopy, time.perf_counter() - start)
+        identical &= ast_equal(cloned, deep) and ast_equal(cloned, program)
+    return BenchCase(
+        name="ast_clone_vs_deepcopy",
+        reference_wall_s=best_deepcopy,
+        optimized_wall_s=best_clone,
+        ops=n_nodes * copies,
+        identical=identical,
+    )
+
+
+def transform_hotpath_report(repeats: int = 2) -> BenchReport:
+    """Time the verification and copying comparisons (best of N)."""
+    cases = [
+        _condition1_case(branches, repeats) for branches in (10, 12, 14)
+    ]
+    cases.append(_clone_case(repeats))
+    return BenchReport(benchmark="transform", cases=tuple(cases))
+
+
+def format_transform_hotpath(report: BenchReport) -> str:
+    """Aligned text table (the JSON is the canonical artifact)."""
+    lines = [
+        f"{'case':>24s} {'reference':>10s} {'optimized':>10s} "
+        f"{'speedup':>8s} {'ops':>8s} {'identical':>9s}"
+    ]
+    for case in report.cases:
+        lines.append(
+            f"{case.name:>24s} {case.reference_wall_s:>9.3f}s "
+            f"{case.optimized_wall_s:>9.3f}s {case.speedup:>7.2f}x "
+            f"{case.ops:>8d} {str(case.identical):>9s}"
+        )
+    return "\n".join(lines)

@@ -171,9 +171,7 @@ def run_protocol_comparison(
 
 def strip_checkpoints(program: ast.Program) -> ast.Program:
     """A copy of *program* with every ``checkpoint`` statement removed."""
-    import copy
-
-    working = copy.deepcopy(program)
+    working = ast.clone(program)
     for node in ast.walk(working):
         if isinstance(node, ast.Block):
             node.statements[:] = [

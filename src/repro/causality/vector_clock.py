@@ -38,13 +38,21 @@ class VectorClock:
 
     def merge(self, other: "VectorClock") -> "VectorClock":
         """Component-wise maximum (applied on message receipt)."""
-        if len(other) != len(self):
+        mine, theirs = self.components, other.components
+        if len(theirs) != len(mine):
             raise ValueError(
-                f"clock size mismatch: {len(self)} vs {len(other)}"
+                f"clock size mismatch: {len(mine)} vs {len(theirs)}"
             )
-        return VectorClock(
-            tuple(max(a, b) for a, b in zip(self.components, other.components))
-        )
+        # Receipt merges run once per delivered message on the engine's
+        # hot path; most components agree, so branch on the cheap tuple
+        # comparisons before paying for an elementwise max.
+        if mine == theirs:
+            return self
+        if all(a >= b for a, b in zip(mine, theirs)):
+            return self
+        if all(b >= a for a, b in zip(mine, theirs)):
+            return other
+        return VectorClock(tuple(map(max, mine, theirs)))
 
     def happened_before(self, other: "VectorClock") -> bool:
         """True iff ``self -> other`` in the happened-before order:

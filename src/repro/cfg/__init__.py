@@ -14,16 +14,21 @@ from repro.cfg.dot import to_dot
 from repro.cfg.graph import CFG, Edge, ExtendedCFG
 from repro.cfg.nodes import CFGNode, NodeKind
 from repro.cfg.paths import (
+    CheckpointEnumeration,
+    CheckpointIndexing,
     acyclic_paths,
     checkpoint_columns,
     enumerate_checkpoints,
     find_path,
+    index_checkpoints,
     reachable_from,
 )
 
 __all__ = [
     "CFG",
     "CFGNode",
+    "CheckpointEnumeration",
+    "CheckpointIndexing",
     "Edge",
     "ExtendedCFG",
     "NodeKind",
@@ -34,6 +39,7 @@ __all__ = [
     "enumerate_checkpoints",
     "find_back_edges",
     "find_path",
+    "index_checkpoints",
     "natural_loops",
     "reachable_from",
     "to_dot",

@@ -11,13 +11,19 @@ same index on every iteration.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.cfg.graph import CFG
 from repro.cfg.nodes import NodeKind
 from repro.errors import CFGError
 
-DEFAULT_PATH_LIMIT = 10_000
+#: Safety cap on explicit path enumeration. The Condition 1 decision
+#: procedure no longer enumerates paths (see :func:`index_checkpoints`),
+#: so the cap only guards witness/reporting paths and Phase II context
+#: enumeration; it was raised accordingly and passing ``limit=`` to the
+#: checkpoint decision entry points is deprecated.
+DEFAULT_PATH_LIMIT = 100_000
 
 
 def reachable_from(cfg: CFG, start: int) -> frozenset[int]:
@@ -146,10 +152,24 @@ class CheckpointEnumeration:
 
 
 def enumerate_checkpoints(
-    cfg: CFG, limit: int = DEFAULT_PATH_LIMIT
+    cfg: CFG, limit: int | None = None
 ) -> CheckpointEnumeration:
-    """Enumerate ``C_i^γ`` along every acyclic path (paper §2)."""
-    paths = acyclic_paths(cfg, limit=limit)
+    """Enumerate ``C_i^γ`` along every acyclic path (paper §2).
+
+    This is the explicit (exponential) enumeration; the decision
+    procedure uses :func:`index_checkpoints` instead and only falls back
+    here for human-readable reports. Passing ``limit=`` is deprecated:
+    the decision procedure needs no path cap any more.
+    """
+    if limit is not None:
+        warnings.warn(
+            "passing limit= to enumerate_checkpoints is deprecated; the "
+            "Condition 1 decision procedure uses index_checkpoints and "
+            "needs no path cap",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    paths = acyclic_paths(cfg, limit=DEFAULT_PATH_LIMIT if limit is None else limit)
     per_path: list[tuple[int, ...]] = []
     for path in paths:
         checkpoints = tuple(
@@ -172,6 +192,159 @@ def enumerate_checkpoints(
     )
 
 
-def checkpoint_columns(cfg: CFG) -> tuple[frozenset[int], ...]:
+def checkpoint_columns(
+    cfg: CFG, limit: int | None = None
+) -> tuple[frozenset[int], ...]:
     """Shorthand: the ``S_i`` collections of *cfg* (1-indexed as i-1)."""
-    return enumerate_checkpoints(cfg).columns
+    if limit is not None:
+        warnings.warn(
+            "passing limit= to checkpoint_columns is deprecated; the "
+            "Condition 1 decision procedure uses index_checkpoints and "
+            "needs no path cap",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    return index_checkpoints(cfg).columns
+
+
+@dataclass(frozen=True)
+class CheckpointIndexing:
+    """The ``S_i`` collections computed *without* path enumeration.
+
+    Produced by :func:`index_checkpoints` via a bitset dynamic program
+    over the once-through DAG; agrees exactly with
+    :func:`enumerate_checkpoints` on ``columns``/``balanced``/``depth``
+    but runs in O(V·E/64) instead of exponential time. ``path_counts``
+    is the sorted set of distinct per-path checkpoint counts (a single
+    element iff ``balanced``) — exactly
+    ``sorted({len(seq) for seq in enumeration.per_path})``.
+    """
+
+    columns: tuple[frozenset[int], ...]
+    path_counts: tuple[int, ...]
+    balanced: bool
+
+    @property
+    def depth(self) -> int:
+        """The common number of checkpoints per path (min if unbalanced)."""
+        return len(self.columns)
+
+
+def index_checkpoints(cfg: CFG) -> CheckpointIndexing:
+    """Compute the ``S_i`` collections by bitset DP (no enumeration).
+
+    For every node ``v`` of the once-through DAG (processed in
+    topological order) the DP maintains an integer bitmask whose bit
+    ``k`` is set iff some entry→``v`` path passes exactly ``k``
+    checkpoint nodes strictly before ``v``. A checkpoint node with bit
+    ``k`` set that also reaches the exit is therefore the ``(k+1)``-th
+    checkpoint of some complete path — i.e. a member of ``S_{k+1}`` —
+    and the exit node's mask enumerates the per-path checkpoint counts,
+    so balance is a popcount check. Exact, not an approximation: on a
+    DAG every entry→``v`` prefix extends to a complete path through any
+    ``v``→exit suffix.
+    """
+    if cfg.entry_id is None or cfg.exit_id is None:
+        raise CFGError("CFG must have entry and exit nodes")
+    succ = once_through_successors(cfg)
+
+    # Restrict to nodes reachable from the entry.
+    reachable: set[int] = {cfg.entry_id}
+    stack = [cfg.entry_id]
+    while stack:
+        current = stack.pop()
+        for nxt in succ[current]:
+            if nxt not in reachable:
+                reachable.add(nxt)
+                stack.append(nxt)
+
+    # Nodes that reach the exit (reverse reachability).
+    pred: dict[int, list[int]] = {node_id: [] for node_id in reachable}
+    for node_id in reachable:
+        for nxt in succ[node_id]:
+            if nxt in reachable:
+                pred[nxt].append(node_id)
+    reaches_exit: set[int] = set()
+    if cfg.exit_id in reachable:
+        reaches_exit.add(cfg.exit_id)
+        stack = [cfg.exit_id]
+        while stack:
+            current = stack.pop()
+            for prv in pred[current]:
+                if prv not in reaches_exit:
+                    reaches_exit.add(prv)
+                    stack.append(prv)
+
+    # Kahn topological order over the reachable once-through subgraph.
+    indegree = {node_id: 0 for node_id in reachable}
+    for node_id in reachable:
+        for nxt in succ[node_id]:
+            if nxt in reachable:
+                indegree[nxt] += 1
+    frontier = [n for n, d in indegree.items() if d == 0]
+    order: list[int] = []
+    while frontier:
+        current = frontier.pop()
+        order.append(current)
+        for nxt in succ[current]:
+            if nxt in reachable:
+                indegree[nxt] -= 1
+                if indegree[nxt] == 0:
+                    frontier.append(nxt)
+    if len(order) != len(reachable):
+        # Pathological: the once-through graph has a residual cycle.
+        # Fall back to the explicit enumeration, which skips repeated
+        # nodes defensively, so both procedures agree by construction.
+        enumeration = enumerate_checkpoints(cfg)
+        return CheckpointIndexing(
+            columns=enumeration.columns,
+            path_counts=tuple(
+                sorted({len(seq) for seq in enumeration.per_path})
+            ),
+            balanced=enumeration.balanced,
+        )
+
+    is_checkpoint = {
+        node_id: cfg.node(node_id).kind is NodeKind.CHECKPOINT
+        for node_id in reachable
+    }
+    mask: dict[int, int] = {node_id: 0 for node_id in reachable}
+    mask[cfg.entry_id] = 1
+    for node_id in order:
+        incoming = mask[node_id]
+        if not incoming:
+            continue
+        outgoing = incoming << 1 if is_checkpoint[node_id] else incoming
+        for nxt in succ[node_id]:
+            if nxt in reachable:
+                mask[nxt] |= outgoing
+
+    exit_mask = mask.get(cfg.exit_id, 0)
+    path_counts = tuple(_bit_positions(exit_mask))
+    balanced = len(path_counts) <= 1
+    depth = path_counts[0] if path_counts else 0
+    columns_builder: list[set[int]] = [set() for _ in range(depth)]
+    for node_id in reachable:
+        if not is_checkpoint[node_id] or node_id not in reaches_exit:
+            continue
+        node_mask = mask[node_id]
+        for i in range(depth):
+            if node_mask >> i & 1:
+                columns_builder[i].add(node_id)
+    return CheckpointIndexing(
+        columns=tuple(frozenset(column) for column in columns_builder),
+        path_counts=path_counts,
+        balanced=balanced,
+    )
+
+
+def _bit_positions(value: int) -> list[int]:
+    """The indices of the set bits of *value*, ascending."""
+    positions: list[int] = []
+    index = 0
+    while value:
+        if value & 1:
+            positions.append(index)
+        value >>= 1
+        index += 1
+    return positions

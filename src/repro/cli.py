@@ -332,6 +332,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         seed=args.seed,
         storage_replicas=args.storage_replicas,
         observer=obs.bus if obs is not None else None,
+        scheduler=args.scheduler,
     )
     result = sim.run()
     stats = result.stats
@@ -529,7 +530,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.runtime.transport import TransportConfig
 
     transport = TransportConfig(dedup=False) if args.broken_transport else None
-    config = ChaosConfig(sim_seed=args.sim_seed)
+    config = ChaosConfig(sim_seed=args.sim_seed, scheduler=args.scheduler)
     protocols = tuple(args.protocol) if args.protocol else CHAOS_PROTOCOLS
     outcomes = chaos_sweep(
         range(args.seeds),
@@ -670,6 +671,11 @@ def build_parser() -> argparse.ArgumentParser:
                                "majority-quorum reads")
     simulate.add_argument("--protocol", choices=sorted(_PROTOCOL_NAMES),
                           default="appl-driven")
+    simulate.add_argument("--scheduler", choices=("indexed", "reference"),
+                          default="indexed",
+                          help="engine scheduler: the indexed priority "
+                               "queue or the original linear scan; runs "
+                               "are byte-identical for both")
     simulate.add_argument("--period", type=float, default=10.0,
                           help="checkpoint period for timer protocols")
     simulate.add_argument("--spacetime", action="store_true",
@@ -737,6 +743,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="protocol(s) to sweep (default: the chaos set)")
     chaos.add_argument("--sim-seed", type=int, default=0,
                        help="simulator seed of the workload")
+    chaos.add_argument("--scheduler", choices=("indexed", "reference"),
+                       default="indexed",
+                       help="engine scheduler; verdicts are "
+                            "byte-identical for both")
     chaos.add_argument("--artifacts", metavar="DIR",
                        help="on failure, write flight-recorder dump, "
                             "schedule, and ddmin-shrunk counterexample here")

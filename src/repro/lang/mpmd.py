@@ -25,7 +25,6 @@ code plus rank attributes.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 
 from repro.errors import LanguageError
@@ -148,7 +147,7 @@ def combine_mpmd(roles: list[Role], name: str = "mpmd") -> ast.Program:
 
     def build(remaining: list[Role]) -> list[ast.Stmt]:
         role = remaining[0]
-        body = copy.deepcopy(role.program.body)
+        body = ast.clone(role.program.body)
         if len(remaining) == 1:
             if role.ranks.kind == "rest":
                 return list(body.statements)

@@ -22,7 +22,6 @@ checkpoints; cheaper loops are treated as single units.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.analysis.optimal_interval import young_interval
@@ -78,7 +77,7 @@ def insert_checkpoints(
     program: ast.Program, model: CostModel = CostModel()
 ) -> InsertionPlan:
     """Run Phase I on a copy of *program* and return the plan."""
-    working = copy.deepcopy(program)
+    working = ast.clone(program)
     interval = model.interval()
     if interval <= 0:
         raise InsertionError(f"non-positive optimal interval {interval!r}")
@@ -99,7 +98,7 @@ def estimate_cost(program: ast.Program, model: CostModel = CostModel()) -> float
     """Estimate the execution time of one run of *program*."""
     walker = _InsertionWalker(model, interval=float("inf"))
     # Walk a copy so estimation never mutates the caller's AST.
-    walker.walk_block(copy.deepcopy(program.body))
+    walker.walk_block(ast.clone(program.body))
     return walker.total_cost
 
 

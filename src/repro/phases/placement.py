@@ -29,7 +29,6 @@ Modes mirror :mod:`repro.phases.verification`:
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.attributes.contradiction import Universe
@@ -113,7 +112,7 @@ def ensure_recovery_lines(
     is found within the move budget (default ``50 + 20 *`` number of
     checkpoint statements).
     """
-    working = copy.deepcopy(program)
+    working = ast.clone(program)
     n_checkpoints = ast.count_statements(working, ast.Checkpoint)
     budget = max_moves if max_moves is not None else 50 + 20 * n_checkpoints
     include_back = not loop_optimization

@@ -23,7 +23,12 @@ from dataclasses import dataclass
 
 from repro.cfg.dominators import find_back_edges
 from repro.cfg.graph import ExtendedCFG
-from repro.cfg.paths import CheckpointEnumeration, enumerate_checkpoints
+from repro.cfg.paths import (
+    CheckpointEnumeration,
+    CheckpointIndexing,
+    enumerate_checkpoints,
+    index_checkpoints,
+)
 from repro.errors import VerificationError
 from repro.lang import ast_nodes as ast
 
@@ -55,7 +60,7 @@ class VerificationResult:
 
     ok: bool
     violations: tuple[Violation, ...] = ()
-    enumeration: CheckpointEnumeration | None = None
+    enumeration: CheckpointEnumeration | CheckpointIndexing | None = None
     balanced: bool = True
     reason: str = ""
 
@@ -74,6 +79,189 @@ def check_condition1(
 
     Returns every violation found (or only the first when *first_only*),
     so Phase III can pick one to repair and callers can report all.
+
+    The decision is made without enumerating paths: the ``S_i``
+    collections come from :func:`~repro.cfg.paths.index_checkpoints`
+    and pairwise reachability between same-index checkpoints is a
+    bitset transitive closure over the extended CFG's SCC condensation
+    — exact and polynomial where the old checker was exponential. Path
+    *search* survives only to produce the human-readable witness path
+    of each violation, so a verdict of ``ok`` never walks a single
+    path. Violations are discovered in the same order as the
+    enumerating checker (ascending index, then sorted members, source
+    before destination), so downstream phases see identical results;
+    :func:`check_condition1_enumerated` keeps the old procedure for
+    differential testing.
+    """
+    indexing = index_checkpoints(ext.cfg)
+    if not indexing.balanced:
+        return VerificationResult(
+            ok=False,
+            enumeration=indexing,
+            balanced=False,
+            reason=(
+                "paths carry different checkpoint counts "
+                f"{list(indexing.path_counts)}; straight cuts are undefined"
+            ),
+        )
+    back_edges = {(e.src, e.dst) for e in find_back_edges(ext.cfg)}
+    exclude = () if include_back_edge_paths else tuple(back_edges)
+    reach = _checkpoint_reachability(ext, frozenset(exclude))
+    violations: list[Violation] = []
+    for index, column in enumerate(indexing.columns, start=1):
+        members = sorted(column)
+        for src in members:
+            src_reach = reach.get(src, 0)
+            for dst in members:
+                if src == dst:
+                    continue
+                if not src_reach >> reach.bit(dst) & 1:
+                    continue
+                path = ext.find_path(src, dst, exclude_back_edges=exclude)
+                assert path is not None, "closure and witness search disagree"
+                uses_back = any(
+                    (path[k], path[k + 1]) in back_edges
+                    for k in range(len(path) - 1)
+                )
+                violations.append(
+                    Violation(
+                        index=index,
+                        src=src,
+                        dst=dst,
+                        path=tuple(path),
+                        uses_back_edge=uses_back,
+                    )
+                )
+                if first_only:
+                    return _result(violations, indexing, ext)
+    return _result(violations, indexing, ext)
+
+
+class _ReachMasks(dict):
+    """node id -> bitmask of checkpoint nodes reachable from it.
+
+    ``bit(node_id)`` maps a checkpoint node to its bit position. A set
+    bit means reachable via *one or more* edges — except for the node's
+    own bit, which is also set when it merely contains itself; callers
+    comparing distinct nodes (Condition 1 always does) never read it.
+    """
+
+    def __init__(self, bits: dict[int, int]) -> None:
+        super().__init__()
+        self._bits = bits
+
+    def bit(self, node_id: int) -> int:
+        return self._bits[node_id]
+
+
+def _checkpoint_reachability(
+    ext: ExtendedCFG, excluded: frozenset[tuple[int, int]]
+) -> _ReachMasks:
+    """Per-node bitmasks of reachable checkpoint nodes.
+
+    Runs an iterative Tarjan SCC pass over the extended CFG (control
+    edges minus *excluded*, plus message edges — possibly cyclic) and
+    accumulates, per component in reverse topological order, the union
+    of its own checkpoint bits and those of every reachable component.
+    One arbitrary-precision int per node: O(V·E/64) bit work total.
+    """
+    cfg = ext.cfg
+    succ: dict[int, list[int]] = {
+        node.node_id: ext.successors(node.node_id, excluded)
+        for node in cfg.nodes()
+    }
+    bits = {
+        node.node_id: position
+        for position, node in enumerate(cfg.checkpoint_nodes())
+    }
+
+    # Iterative Tarjan: components are emitted descendants-first, so a
+    # single pass over the emission order closes the reachability sets.
+    index_of: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    scc_stack: list[int] = []
+    comp_of: dict[int, int] = {}
+    components: list[list[int]] = []
+    counter = 0
+    for root in succ:
+        if root in index_of:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, child_pos = work[-1]
+            if child_pos == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                scc_stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            children = succ[node]
+            while child_pos < len(children):
+                child = children[child_pos]
+                child_pos += 1
+                if child not in index_of:
+                    work[-1] = (node, child_pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component: list[int] = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack.discard(member)
+                    comp_of[member] = len(components)
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+
+    comp_mask = [0] * len(components)
+    for comp_id, component in enumerate(components):
+        mask = 0
+        for member in component:
+            if member in bits:
+                mask |= 1 << bits[member]
+            for child in succ[member]:
+                child_comp = comp_of[child]
+                if child_comp != comp_id:
+                    mask |= comp_mask[child_comp]
+        comp_mask[comp_id] = mask
+
+    reach = _ReachMasks(bits)
+    for node_id in succ:
+        comp_id = comp_of[node_id]
+        if len(components[comp_id]) > 1:
+            # Non-trivial SCC: every member reaches every member.
+            reach[node_id] = comp_mask[comp_id]
+        else:
+            mask = 0
+            for child in succ[node_id]:
+                child_comp = comp_of[child]
+                mask |= comp_mask[child_comp]
+                if child in bits:
+                    mask |= 1 << bits[child]
+            reach[node_id] = mask
+    return reach
+
+
+def check_condition1_enumerated(
+    ext: ExtendedCFG,
+    include_back_edge_paths: bool = True,
+    first_only: bool = False,
+) -> VerificationResult:
+    """The original path-enumerating Condition 1 checker.
+
+    Kept as the differential-testing and benchmarking reference for
+    :func:`check_condition1`; the two must agree on every program.
     """
     enumeration = enumerate_checkpoints(ext.cfg)
     if not enumeration.balanced:
@@ -119,7 +307,7 @@ def check_condition1(
 
 def _result(
     violations: list[Violation],
-    enumeration: CheckpointEnumeration,
+    enumeration: CheckpointEnumeration | CheckpointIndexing,
     ext: ExtendedCFG,
 ) -> VerificationResult:
     if not violations:

@@ -64,6 +64,8 @@ class ChaosConfig:
         crash_probability: Chance a schedule contains one crash.
         sim_seed: Simulator seed (inputs, latencies) — *not* the
             schedule seed, so one workload meets many schedules.
+        scheduler: Engine scheduler (``"indexed"`` or ``"reference"``);
+            verdicts and artifacts are byte-identical for both.
     """
 
     n_processes: int = 3
@@ -75,6 +77,7 @@ class ChaosConfig:
     partition_duration: float = 3.0
     crash_probability: float = 0.5
     sim_seed: int = 0
+    scheduler: str = "indexed"
 
 
 def draw_schedule(seed: int, config: ChaosConfig = ChaosConfig()) -> FaultPlan:
@@ -196,7 +199,8 @@ def _workload():
 
 def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
     """Final environment of the fault-free run (cached per workload)."""
-    key = (protocol, config.n_processes, config.steps, config.sim_seed)
+    key = (protocol, config.n_processes, config.steps, config.sim_seed,
+           config.scheduler)
     if key not in _BASELINES:
         result = Simulation(
             _workload(),
@@ -204,6 +208,7 @@ def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
             params={"steps": config.steps},
             protocol=_make_protocol(protocol),
             seed=config.sim_seed,
+            scheduler=config.scheduler,
         ).run()
         _BASELINES[key] = result.final_env
     return _BASELINES[key]
@@ -236,6 +241,7 @@ def run_schedule(
         seed=config.sim_seed,
         transport_config=transport_config,
         observer=observer,
+        scheduler=config.scheduler,
     )
     try:
         result = sim.run()

@@ -16,6 +16,7 @@ yields a causally consistent interleaving: an item executed at time
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
 from repro.causality.records import EventKind
@@ -171,9 +172,16 @@ class Simulation:
         max_storage_retries: int = 3,
         transport_config: TransportConfig | None = None,
         observer=None,
+        scheduler: str = "indexed",
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
+        if scheduler not in ("indexed", "reference"):
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r} "
+                "(expected 'indexed' or 'reference')"
+            )
+        self._scheduler = scheduler
         if storage_replicas < 1:
             raise SimulationError(
                 f"need at least one storage replica, got {storage_replicas}"
@@ -262,10 +270,25 @@ class Simulation:
             )
             for rank in range(n_processes)
         ]
+        # Indexed-scheduler state: a single priority queue of actionable
+        # items with lazy invalidation (per-rank version counters), plus
+        # channel waiters so blocked receivers are woken by arrival
+        # notifications instead of being polled every step.
+        self._heap: list[tuple] = []
+        self._push_seq = 0
+        self._proc_version = [0] * n_processes
+        self._waiters: dict[tuple[int, int, str], int] = {}
+        self._ctl_seqs: dict[int, int] = {}
+        self._ctl_seq = 0
+        self._pending_entry: tuple | None = None
+        self._n_done = 0
+        if self._scheduler == "indexed":
+            self.network.on_enqueue = self._on_message_enqueued
         # Checkpoint 0: the initial state of every process, so recovery
         # can always fall back to a (trivially consistent) cut.
         for proc in self.procs:
             self._store_checkpoint(proc, stmt_id=None, tag="initial", time=0.0)
+        self._resync()
 
     @classmethod
     def from_spec(cls, spec, observer=None) -> "Simulation":
@@ -296,6 +319,7 @@ class Simulation:
             max_storage_retries=spec.max_storage_retries,
             transport_config=spec.transport,
             observer=observer,
+            scheduler=getattr(spec, "scheduler", "indexed"),
         )
 
     # ------------------------------------------------------------------
@@ -326,23 +350,33 @@ class Simulation:
             arrival_time=now + self.costs.control_latency,
         )
         self._control_queue.append(message)
+        if self._scheduler == "indexed":
+            seq = self._ctl_seq
+            self._ctl_seq += 1
+            self._ctl_seqs[id(message)] = seq
+            self._push(message.arrival_time, 1, seq, "ctl", message)
         self.stats.control_messages += 1
         self.emit("control-send", src, now, dst=dst, tag=tag)
 
     def schedule_timer(self, rank: int, time: float, tag: str) -> None:
         """Fire ``on_timer(rank, tag)`` at the given simulation time."""
-        self._timers.append((time, self._timer_seq, rank, tag))
+        timer = (time, self._timer_seq, rank, tag)
+        self._timers.append(timer)
         self._timer_seq += 1
+        if self._scheduler == "indexed":
+            self._push(time, 2, timer[1], "timer", timer)
 
     def pause(self, rank: int) -> None:
         """Hold *rank* (it will not execute effects until resumed)."""
         self.procs[rank].paused = True
+        self._reschedule(rank)
 
     def resume(self, rank: int, at_time: float) -> None:
         """Release *rank*; its clock advances to at least *at_time*."""
         proc = self.procs[rank]
         proc.paused = False
         proc.clock = max(proc.clock, at_time)
+        self._reschedule(rank)
 
     def take_checkpoint(
         self, rank: int, at_time: float, tag: str, forced: bool = False
@@ -366,6 +400,7 @@ class Simulation:
         self.stats.checkpoints += 1
         if forced:
             self.stats.forced_checkpoints += 1
+        self._reschedule(rank)
         if stored is not None:
             self.protocol.on_checkpoint(self, rank, stored.number)
         return stored
@@ -424,6 +459,12 @@ class Simulation:
                 checkpoint_number=checkpoint.number,
             )
         self.stats.rollbacks += 1
+        self._n_done = sum(
+            1 for p in self.procs if p.status is _Status.DONE
+        )
+        # Rollback rebased channel arrivals and reset every process:
+        # all outstanding scheduling keys are stale — rebuild the index.
+        self._resync()
         if self.obs is not None:
             self.obs.emit(
                 "engine", "rollback", None, restart,
@@ -477,6 +518,10 @@ class Simulation:
             checkpoint_number=checkpoint.number,
         )
         self.stats.rollbacks += 1
+        self._n_done = sum(
+            1 for p in self.procs if p.status is _Status.DONE
+        )
+        self._reschedule(rank)
         if self.obs is not None:
             self.obs.emit(
                 "engine", "single-restart", rank, restart,
@@ -509,7 +554,7 @@ class Simulation:
         """Execute until every process finishes (or a guard trips)."""
         self.protocol.on_start(self)
         while True:
-            if all(p.status is _Status.DONE for p in self.procs):
+            if self._n_done == self.n:
                 break
             self.stats.steps += 1
             if self.stats.steps > self._max_steps:
@@ -519,7 +564,7 @@ class Simulation:
                 )
             item = self._next_item()
             if item is None:
-                if all(p.status is _Status.DONE for p in self.procs):
+                if self._n_done == self.n:
                     break
                 blocked = tuple(
                     p.rank for p in self.procs if p.status is _Status.BLOCKED
@@ -531,6 +576,7 @@ class Simulation:
                 )
             time, priority, payload = item
             if max_time is not None and time > max_time:
+                self._unpop_last()
                 break
             if priority == -1:
                 self._apply_storage_fault(payload, time)
@@ -538,6 +584,7 @@ class Simulation:
                 self._apply_crash(payload, time)
             elif priority == 1:
                 self._control_queue.remove(payload)
+                self._ctl_seqs.pop(id(payload), None)
                 self.emit(
                     "control-recv", payload.dst, payload.arrival_time,
                     src=payload.src, tag=payload.tag,
@@ -549,7 +596,8 @@ class Simulation:
                 self.protocol.on_timer(self, payload[2], payload[3], payload[0])
             else:
                 self._execute_process(payload)
-        self.stats.completed = all(p.status is _Status.DONE for p in self.procs)
+                self._reschedule(payload.rank)
+        self.stats.completed = self._n_done == self.n
         self.stats.corrupt_checkpoints = getattr(
             self.storage, "corruption_detected", 0
         )
@@ -572,8 +620,31 @@ class Simulation:
         )
 
     # -- scheduling --------------------------------------------------------------
+    #
+    # Two interchangeable schedulers produce byte-identical runs:
+    #
+    # - "indexed" (default): a single heap of actionable items keyed
+    #   ``(time, priority, tiebreak, push_seq)`` with lazy invalidation.
+    #   Process entries carry a per-rank version; any state change bumps
+    #   the version and pushes a fresh entry, so stale entries are
+    #   discarded on pop. Blocked processes whose channel is empty hold
+    #   no entry at all — the network's arrival notification re-indexes
+    #   them — so a step costs O(log n) instead of a scan of every
+    #   process, control message, and timer.
+    # - "reference": the original linear scan, kept verbatim for
+    #   differential tests and the engine_hotpath benchmark.
+    #
+    # The tiebreaks replicate the scan's first-considered-wins order
+    # exactly: control messages by send order, timers by creation order,
+    # processes by rank; classes at equal times resolve by priority.
 
     def _next_item(self) -> tuple[float, int, object] | None:
+        self._pending_entry = None
+        if self._scheduler == "reference":
+            return self._next_item_reference()
+        return self._next_item_indexed()
+
+    def _next_item_reference(self) -> tuple[float, int, object] | None:
         best: tuple[float, int, object] | None = None
 
         def consider(time: float, priority: int, payload: object) -> None:
@@ -605,6 +676,127 @@ class Simulation:
                     consider(max(proc.clock, head.arrival_time), 3, proc)
         return best
 
+    def _next_item_indexed(self) -> tuple[float, int, object] | None:
+        resynced = False
+        while True:
+            entry = self._pop_valid()
+            best: tuple[float, int, object] | None = None
+            if self._rot_events:
+                rot = self._rot_events[0]
+                best = (rot.time, -1, rot)
+            if self._crashes:
+                crash = self._crashes[0]
+                if best is None or (crash.time, 0) < (best[0], best[1]):
+                    best = (crash.time, 0, crash)
+            if entry is not None:
+                if best is None or (entry[0], entry[1]) < (best[0], best[1]):
+                    # The heap wins: remember the popped entry so a
+                    # max_time cutoff can push it back un-dispatched.
+                    self._pending_entry = entry
+                    return (entry[0], entry[1], entry[5])
+                heapq.heappush(self._heap, entry)
+            if best is not None:
+                return best
+            if resynced:
+                return None
+            # Nothing indexed as actionable. Rebuild once from scratch
+            # before declaring deadlock — a defensive resync, so a missed
+            # wakeup can never alter simulation outcomes.
+            self._resync()
+            resynced = True
+
+    def _pop_valid(self) -> tuple | None:
+        """Pop heap entries until a live one surfaces (lazy invalidation)."""
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            if entry[4] == "proc":
+                rank = entry[2]
+                if entry[6] != self._proc_version[rank]:
+                    continue
+            return entry
+        return None
+
+    def _unpop_last(self) -> None:
+        """Undo the pop behind the last `_next_item` (max_time cutoff)."""
+        if self._pending_entry is not None:
+            heapq.heappush(self._heap, self._pending_entry)
+            self._pending_entry = None
+
+    def _push(
+        self, time: float, priority: int, tiebreak: int, kind: str,
+        payload: object, version: int | None = None,
+    ) -> None:
+        self._push_seq += 1
+        heapq.heappush(
+            self._heap,
+            (time, priority, tiebreak, self._push_seq, kind, payload, version),
+        )
+
+    def _reschedule(self, rank: int) -> None:
+        """Re-key one process after any scheduling-relevant state change.
+
+        Bumps the rank's version (invalidating every outstanding entry)
+        and pushes a fresh entry if the process is actionable: READY at
+        its local clock, or BLOCKED behind a non-empty channel at the
+        head's arrival. A BLOCKED process on an empty channel registers
+        a channel waiter instead and is re-indexed on arrival.
+        """
+        if self._scheduler != "indexed":
+            return
+        self._proc_version[rank] += 1
+        proc = self.procs[rank]
+        if proc.paused:
+            return
+        if proc.status is _Status.READY:
+            self._push(
+                proc.clock, 3, rank, "proc", proc,
+                version=self._proc_version[rank],
+            )
+        elif proc.status is _Status.BLOCKED:
+            head = self._awaited_message(proc)
+            if head is None:
+                effect = proc.blocked_effect
+                if isinstance(effect, RecvEffect):
+                    key = (effect.source, rank, "p2p")
+                else:
+                    key = (effect.root, rank, "coll")
+                self._waiters[key] = rank
+            else:
+                self._push(
+                    max(proc.clock, head.arrival_time), 3, rank, "proc",
+                    proc, version=self._proc_version[rank],
+                )
+
+    def _on_message_enqueued(self, message: Message) -> None:
+        """Network arrival notification: wake the channel's waiter."""
+        rank = self._waiters.pop(message.channel, None)
+        if rank is not None:
+            self._reschedule(rank)
+
+    def _resync(self) -> None:
+        """Rebuild the scheduling index from the engine's plain state.
+
+        Used after global rollback (every key is stale at once) and as
+        the deadlock-check fallback. The queues and process records stay
+        authoritative; the index is always disposable.
+        """
+        if self._scheduler != "indexed":
+            return
+        self._heap.clear()
+        self._waiters.clear()
+        for message in self._control_queue:
+            seq = self._ctl_seqs.get(id(message))
+            if seq is None:
+                seq = self._ctl_seq
+                self._ctl_seq += 1
+                self._ctl_seqs[id(message)] = seq
+            self._push(message.arrival_time, 1, seq, "ctl", message)
+        for timer in self._timers:
+            self._push(timer[0], 2, timer[1], "timer", timer)
+        for proc in self.procs:
+            self._reschedule(proc.rank)
+
     def _awaited_message(self, proc: _Proc) -> Message | None:
         effect = proc.blocked_effect
         if isinstance(effect, RecvEffect):
@@ -622,6 +814,7 @@ class Simulation:
         effect = proc.interp.step()
         if effect is None:
             proc.status = _Status.DONE
+            self._n_done += 1
             return
         self._perform(proc, effect)
         self.protocol.on_effect(self, proc.rank, effect)
@@ -834,6 +1027,7 @@ class Simulation:
         self.stats.failures += 1
         proc.status = _Status.CRASHED
         proc.blocked_effect = None
+        self._reschedule(proc.rank)
         self._tick(proc.rank)
         self.trace.append(
             EventKind.FAILURE, proc.rank, time, self._clocks[proc.rank]

@@ -118,12 +118,27 @@ class Network:
             observer=observer,
         )
         self._channels: dict[tuple[int, int, str], _Channel] = {}
+        # Per-rank channel keys (creation order), so checkpoint cursor
+        # snapshots touch only a rank's own channels instead of scanning
+        # every channel in the system.
+        self._rank_channels: dict[int, list[tuple[int, int, str]]] = {}
         self._ids = itertools.count(1)
+        # Arrival notification hook: called with each Message the moment
+        # it is appended to a channel log. The engine's indexed scheduler
+        # uses it to wake blocked receivers instead of polling channels.
+        self.on_enqueue = None
 
     # -- helpers ---------------------------------------------------------------
 
     def _channel(self, key: tuple[int, int, str]) -> _Channel:
-        return self._channels.setdefault(key, _Channel())
+        channel = self._channels.get(key)
+        if channel is None:
+            channel = self._channels[key] = _Channel()
+            src, dst, _ = key
+            self._rank_channels.setdefault(src, []).append(key)
+            if dst != src:
+                self._rank_channels.setdefault(dst, []).append(key)
+        return channel
 
     def latency(self, src: int, dst: int) -> float:
         """Deterministic one-way latency for the (src, dst) pair."""
@@ -183,13 +198,15 @@ class Network:
             piggyback=dict(piggyback or {}),
         )
         channel.log.append(message)
+        if self.on_enqueue is not None:
+            self.on_enqueue(message)
         for extra_arrival in delivery.extra_copies:
             # Only reachable with receiver-side dedup disabled (a test
             # hook): the duplicate escapes the transport and becomes a
             # second, app-visible copy on the channel.
             arrival = max(extra_arrival, channel.last_arrival)
             channel.last_arrival = arrival
-            channel.log.append(Message(
+            copy = Message(
                 message_id=next(self._ids),
                 src=src,
                 dst=dst,
@@ -198,12 +215,20 @@ class Network:
                 send_time=send_time,
                 arrival_time=arrival,
                 piggyback=dict(piggyback or {}),
-            ))
+            )
+            channel.log.append(copy)
+            if self.on_enqueue is not None:
+                self.on_enqueue(copy)
         return message
 
     def peek(self, src: int, dst: int, lane: str = "p2p") -> Message | None:
-        """The next undelivered message on the channel, if any."""
-        return self._channel((src, dst, lane)).queue_head()
+        """The next undelivered message on the channel, if any.
+
+        Read-only: unlike the writer paths it never materialises a
+        channel, so polling an untouched channel allocates nothing.
+        """
+        channel = self._channels.get((src, dst, lane))
+        return None if channel is None else channel.queue_head()
 
     def consume(self, src: int, dst: int, lane: str = "p2p") -> Message:
         """Deliver (pop) the next message on the channel."""
@@ -227,10 +252,9 @@ class Network:
         channel.
         """
         cursors: dict[tuple[int, int, str], tuple[int, int]] = {}
-        for key, channel in self._channels.items():
-            src, dst, _ = key
-            if src == rank or dst == rank:
-                cursors[key] = (channel.sent, channel.delivered)
+        for key in self._rank_channels.get(rank, ()):
+            channel = self._channels[key]
+            cursors[key] = (channel.sent, channel.delivered)
         return cursors
 
     def rollback(

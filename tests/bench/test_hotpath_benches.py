@@ -1,0 +1,90 @@
+"""Tests for the perf-record schema and the hot-path microbenchmarks.
+
+The timing loops themselves are exercised at tiny sizes (one repeat,
+small inputs) — CI's real perf gate is ``tools/perf_smoke.py``; these
+tests pin the record schema, the JSON round-trip, and the benchmark
+plumbing that the smoke and ``tools/regenerate_results.py`` rely on.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.record import (
+    BenchCase,
+    BenchReport,
+    load_report,
+    write_report,
+)
+from repro.bench.transform_hotpath import (
+    branchy_program,
+    format_transform_hotpath,
+    transform_hotpath_report,
+)
+from repro.cfg import build_cfg, enumerate_checkpoints
+
+
+def sample_report():
+    return BenchReport(
+        benchmark="sample",
+        cases=(
+            BenchCase("fast", 1.0, 0.25, 100, True),
+            BenchCase("faster", 3.0, 0.5, 200, True),
+        ),
+    )
+
+
+class TestRecordSchema:
+    def test_speedup_and_min(self):
+        report = sample_report()
+        assert report.cases[0].speedup == 4.0
+        assert report.cases[1].speedup == 6.0
+        assert report.min_speedup == 4.0
+
+    def test_zero_time_guard(self):
+        case = BenchCase("degenerate", 1.0, 0.0, 1, True)
+        assert case.speedup == float("inf")
+
+    def test_json_round_trip(self, tmp_path):
+        report = sample_report()
+        path = write_report(report, tmp_path)
+        assert path.name == "BENCH_sample.json"
+        loaded = load_report(path)
+        assert loaded.benchmark == "sample"
+        assert [c.name for c in loaded.cases] == ["fast", "faster"]
+        assert loaded.min_speedup == pytest.approx(report.min_speedup)
+
+    def test_json_fields(self, tmp_path):
+        path = write_report(sample_report(), tmp_path)
+        data = json.loads(path.read_text())
+        assert data["min_speedup"] == 4.0
+        case = data["cases"][0]
+        assert set(case) == {
+            "name", "reference_wall_s", "optimized_wall_s", "speedup",
+            "ops", "ops_per_sec", "identical",
+        }
+
+
+class TestTransformBench:
+    def test_branchy_program_shape(self):
+        enumeration = enumerate_checkpoints(build_cfg(branchy_program(5)))
+        assert enumeration.balanced
+        assert enumeration.depth == 5
+        assert len(enumeration.per_path) == 2**5
+
+    def test_report_runs_and_agrees(self):
+        report = transform_hotpath_report(repeats=1)
+        assert report.benchmark == "transform"
+        assert all(case.identical for case in report.cases)
+        names = [case.name for case in report.cases]
+        assert "ast_clone_vs_deepcopy" in names
+        table = format_transform_hotpath(report)
+        assert "identical" in table and "True" in table
+
+
+class TestResultsRegistry:
+    def test_bench_generators_registered(self):
+        from repro.bench.results import RESULT_GENERATORS
+
+        assert "bench_engine" in RESULT_GENERATORS
+        assert "bench_transform" in RESULT_GENERATORS

@@ -1,0 +1,97 @@
+"""Tests for the bitmask checkpoint indexing and the path-limit deprecation.
+
+:func:`~repro.cfg.paths.index_checkpoints` must agree with
+:func:`~repro.cfg.paths.enumerate_checkpoints` on depth, balance, and
+the ``S_i`` columns for every program — it is the decision procedure;
+enumeration survives for witness paths and differential testing.
+"""
+
+import pytest
+
+from repro.bench.transform_hotpath import branchy_program
+from repro.cfg import (
+    CheckpointIndexing,
+    build_cfg,
+    checkpoint_columns,
+    enumerate_checkpoints,
+    index_checkpoints,
+)
+from repro.lang.parser import parse
+from repro.lang.programs import load_program, program_names
+
+
+def assert_matches_enumeration(cfg):
+    indexing = index_checkpoints(cfg)
+    enumeration = enumerate_checkpoints(cfg)
+    assert indexing.balanced == enumeration.balanced
+    assert indexing.path_counts == tuple(
+        sorted({len(seq) for seq in enumeration.per_path})
+    )
+    if enumeration.balanced:
+        assert indexing.depth == enumeration.depth
+        assert indexing.columns == enumeration.columns
+
+
+class TestAgainstEnumeration:
+    @pytest.mark.parametrize("name", program_names())
+    def test_shipped_programs(self, name):
+        assert_matches_enumeration(build_cfg(load_program(name)))
+
+    @pytest.mark.parametrize("branches", (1, 3, 6, 10))
+    def test_branchy_programs(self, branches):
+        assert_matches_enumeration(build_cfg(branchy_program(branches)))
+
+    def test_unbalanced_program(self):
+        source = (
+            "program unbalanced():\n"
+            "    x = init(myrank)\n"
+            "    if x % 2 == 0:\n"
+            "        checkpoint\n"
+            "        x = x + 1\n"
+            "    else:\n"
+            "        x = x + 2\n"
+        )
+        cfg = build_cfg(parse(source))
+        indexing = index_checkpoints(cfg)
+        assert not indexing.balanced
+        assert indexing.path_counts == (0, 1)
+        assert_matches_enumeration(cfg)
+
+    def test_exponential_input_stays_cheap(self):
+        # 2^24 once-through paths: enumeration would blow the limit,
+        # the DP decides it exactly.
+        indexing = index_checkpoints(build_cfg(branchy_program(24)))
+        assert indexing.balanced
+        assert indexing.depth == 24
+        assert indexing.path_counts == (24,)
+
+    def test_indexing_type(self):
+        indexing = index_checkpoints(build_cfg(load_program("jacobi")))
+        assert isinstance(indexing, CheckpointIndexing)
+        assert indexing.depth == len(indexing.columns)
+
+
+class TestPathLimitDeprecation:
+    def test_enumerate_warns_on_limit(self):
+        cfg = build_cfg(load_program("jacobi"))
+        with pytest.deprecated_call():
+            enumerate_checkpoints(cfg, limit=1000)
+
+    def test_checkpoint_columns_warns_on_limit(self):
+        cfg = build_cfg(load_program("jacobi"))
+        with pytest.deprecated_call():
+            checkpoint_columns(cfg, limit=1000)
+
+    def test_no_warning_without_limit(self, recwarn):
+        cfg = build_cfg(load_program("jacobi"))
+        enumerate_checkpoints(cfg)
+        checkpoint_columns(cfg)
+        deprecations = [
+            w for w in recwarn.list
+            if issubclass(w.category, DeprecationWarning)
+        ]
+        assert deprecations == []
+
+    def test_columns_match_indexing(self):
+        cfg = build_cfg(load_program("jacobi"))
+        assert checkpoint_columns(cfg) == index_checkpoints(cfg).columns

@@ -1,0 +1,61 @@
+"""Tests for the structural AST clone that replaced ``copy.deepcopy``.
+
+``ast.clone`` must be indistinguishable from ``deepcopy`` to every
+consumer: same structure, same ``node_id``/``line`` on every node (CFG
+node identity and the campaign byte-identity artifacts depend on it),
+and full independence from the original.
+"""
+
+import copy
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.printer import ast_equal, to_source
+from repro.lang.programs import load_program, program_names
+
+
+@pytest.mark.parametrize("name", program_names())
+class TestCloneEverything:
+    def test_structurally_equal(self, name):
+        program = load_program(name)
+        cloned = ast.clone(program)
+        assert cloned is not program
+        assert ast_equal(cloned, program)
+        assert to_source(cloned) == to_source(program)
+
+    def test_node_ids_and_lines_preserved(self, name):
+        program = load_program(name)
+        cloned = ast.clone(program)
+        originals = list(ast.walk(program))
+        copies = list(ast.walk(cloned))
+        assert len(originals) == len(copies)
+        for original, duplicate in zip(originals, copies):
+            assert original is not duplicate
+            assert type(original) is type(duplicate)
+            assert original.node_id == duplicate.node_id
+            assert original.line == duplicate.line
+
+    def test_matches_deepcopy(self, name):
+        program = load_program(name)
+        assert ast_equal(ast.clone(program), copy.deepcopy(program))
+
+
+class TestIndependence:
+    def test_mutating_clone_leaves_original_alone(self):
+        program = load_program("jacobi")
+        before = to_source(program)
+        cloned = ast.clone(program)
+        for node in ast.walk(cloned):
+            if isinstance(node, ast.Block):
+                node.statements[:] = [
+                    s for s in node.statements
+                    if not isinstance(s, ast.Checkpoint)
+                ]
+        assert to_source(program) == before
+        assert to_source(cloned) != before
+
+    def test_clone_of_clone(self):
+        program = load_program("token_ring")
+        twice = ast.clone(ast.clone(program))
+        assert ast_equal(twice, program)

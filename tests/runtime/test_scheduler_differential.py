@@ -1,0 +1,169 @@
+"""Differential tests: indexed scheduler vs the reference linear scan.
+
+The indexed scheduler must be a pure performance change — every
+observable artifact (trace events, stats, final state, completion
+time, normalised JSONL event logs, chaos verdicts) must be
+byte-identical to the original per-step scan it replaced. These tests
+drive both schedulers through the campaign matrix, a workload ×
+protocol × failure grid, and the full 210-schedule chaos sweep, and
+compare everything.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.workloads import standard_workloads, strip_checkpoints
+from repro.campaign import quick_campaign
+from repro.campaign.executor import _campaign_cell
+from repro.lang import ast_nodes as ast
+from repro.protocols import make_protocol
+from repro.runtime import FailurePlan, RuntimeCosts, Simulation
+from repro.runtime.chaos import CHAOS_PROTOCOLS, ChaosConfig, chaos_sweep
+from repro.runtime.failures import CrashEvent
+
+
+def run_fingerprint(result):
+    """Everything observable about a finished run, as comparable data."""
+    events = tuple(
+        (e.seq, e.time, e.process, e.kind.value, e.stmt_id, e.message_id)
+        for e in result.trace.events
+    )
+    return (
+        events,
+        result.stats.as_dict(),
+        result.final_env,
+        result.completion_time,
+    )
+
+
+def run_once(base, n_processes, params, protocol, plan, scheduler, **kwargs):
+    """One simulation of a *shared* AST (cloned so node ids match)."""
+    sim = Simulation(
+        ast.clone(base),
+        n_processes,
+        params=dict(params),
+        costs=RuntimeCosts(),
+        protocol=make_protocol(protocol, period=6.0),
+        failure_plan=FailurePlan(crashes=list(plan.crashes)),
+        seed=3,
+        scheduler=scheduler,
+        **kwargs,
+    )
+    return sim.run()
+
+
+class TestWorkloadMatrix:
+    """Workload × protocol × failure grid, both schedulers."""
+
+    @pytest.mark.parametrize(
+        "workload", standard_workloads(steps=8), ids=lambda w: w.name
+    )
+    @pytest.mark.parametrize("protocol", ("appl-driven", "cl", "cic"))
+    @pytest.mark.parametrize("crashed", (False, True), ids=("clean", "crash"))
+    def test_byte_identical(self, workload, protocol, crashed):
+        base = workload.make_program()
+        if protocol != "appl-driven":
+            base = strip_checkpoints(base)
+        plan = (
+            FailurePlan(crashes=[CrashEvent(time=12.0, rank=1)])
+            if crashed
+            else FailurePlan.none()
+        )
+        indexed = run_once(
+            base, workload.n_processes, workload.params, protocol, plan,
+            "indexed",
+        )
+        reference = run_once(
+            base, workload.n_processes, workload.params, protocol, plan,
+            "reference",
+        )
+        assert run_fingerprint(indexed) == run_fingerprint(reference)
+
+    def test_max_time_resume_identical(self):
+        """Pausing at max_time and resuming must not reorder anything.
+
+        The ``steps`` counter inherently gains one loop iteration per
+        extra ``run()`` call (both schedulers do), so the split runs
+        are compared against each other in full and against the
+        uninterrupted run on everything but stats.
+        """
+        workload = standard_workloads(steps=8)[0]
+        base = workload.make_program()
+        full = run_once(
+            base, workload.n_processes, workload.params, "appl-driven",
+            FailurePlan.none(), "indexed",
+        )
+
+        def split(scheduler):
+            sim = Simulation(
+                ast.clone(base),
+                workload.n_processes,
+                params=dict(workload.params),
+                costs=RuntimeCosts(),
+                protocol=make_protocol("appl-driven", period=6.0),
+                failure_plan=FailurePlan.none(),
+                seed=3,
+                scheduler=scheduler,
+            )
+            sim.run(max_time=5.0)
+            return sim.run()
+
+        indexed = split("indexed")
+        reference = split("reference")
+        assert run_fingerprint(indexed) == run_fingerprint(reference)
+        for resumed in (indexed, reference):
+            assert run_fingerprint(resumed)[0] == run_fingerprint(full)[0]
+            assert resumed.final_env == full.final_env
+            assert resumed.completion_time == full.completion_time
+
+
+class TestCampaignMatrix:
+    """The @quick campaign matrix, cell artifacts included."""
+
+    @pytest.mark.parametrize(
+        "spec", quick_campaign(), ids=lambda s: s.label
+    )
+    def test_cell_artifacts_identical(self, spec):
+        observed = dataclasses.replace(spec, observe=True)
+        reference = dataclasses.replace(spec, observe=True)
+        # ScenarioSpec deliberately has no scheduler field (its content
+        # hash describes the experiment, not the engine internals);
+        # ``Simulation.from_spec`` honours an out-of-band attribute.
+        object.__setattr__(reference, "scheduler", "reference")
+        cell_indexed = _campaign_cell(observed)
+        cell_reference = _campaign_cell(reference)
+        assert cell_indexed.error is None
+        assert cell_indexed.to_json_dict() == cell_reference.to_json_dict()
+
+
+class TestChaosSweep:
+    """The full 210-schedule chaos sweep under both schedulers."""
+
+    def test_sweep_verdicts_identical(self):
+        seeds = range(70)  # 70 seeds x 3 protocols = 210 schedules
+        indexed = chaos_sweep(
+            seeds,
+            protocols=CHAOS_PROTOCOLS,
+            config=ChaosConfig(scheduler="indexed"),
+        )
+        reference = chaos_sweep(
+            seeds,
+            protocols=CHAOS_PROTOCOLS,
+            config=ChaosConfig(scheduler="reference"),
+        )
+        assert list(indexed) == list(reference)
+        assert indexed == reference
+        assert all(outcome.ok for outcome in indexed.values())
+
+
+class TestSchedulerArgument:
+    def test_unknown_scheduler_rejected(self):
+        workload = standard_workloads(steps=4)[0]
+        with pytest.raises(Exception, match="unknown scheduler"):
+            Simulation(
+                workload.make_program(),
+                workload.n_processes,
+                params=dict(workload.params),
+                scheduler="quantum",
+            )

@@ -31,6 +31,8 @@ class TestRegenerateResults:
             "network_faults.txt",
             "obs_overhead.txt",
             "campaign_scaling.txt",
+            "BENCH_engine.json",
+            "BENCH_transform.json",
         }
 
     def test_reports_per_result_timings(self, tmp_path, capsys):

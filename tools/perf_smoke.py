@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""CI perf smoke: guard the engine/transform hot-path optimizations.
+
+Re-runs the microbenchmarks behind ``results/BENCH_engine.json`` and
+``results/BENCH_transform.json`` and compares the *speedup ratios*
+(reference implementation / optimized implementation, both timed on the
+current machine) against the committed baselines. Absolute wall times
+are machine-dependent and never compared; a ratio is portable because
+both sides pay the same hardware tax. The check fails only when a
+current ratio drops below **half** the committed one — a deliberately
+loose bound so shared-runner noise can't flake the job, while a real
+regression (optimized path degrading toward the reference) still trips
+it. It also fails if any benchmark case reports non-identical results
+between the two implementations, which would invalidate the ratios.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tools/perf_smoke.py [--baseline-dir results]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+
+def check_report(current, baseline_path: Path) -> list[str]:
+    """Compare a fresh report against its committed baseline file."""
+    from repro.bench.record import load_report
+
+    problems: list[str] = []
+    if not baseline_path.exists():
+        return [f"missing committed baseline {baseline_path}"]
+    baseline = load_report(baseline_path)
+    committed = {case.name: case for case in baseline.cases}
+    for case in current.cases:
+        if not case.identical:
+            problems.append(
+                f"{current.benchmark}/{case.name}: implementations "
+                "disagree — benchmark results are invalid"
+            )
+            continue
+        reference = committed.get(case.name)
+        if reference is None:
+            # New case with no baseline yet: nothing to regress against.
+            continue
+        floor = reference.speedup / 2.0
+        if case.speedup < floor:
+            problems.append(
+                f"{current.benchmark}/{case.name}: speedup "
+                f"{case.speedup:.2f}x fell below {floor:.2f}x "
+                f"(half the committed {reference.speedup:.2f}x)"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--baseline-dir", default="results", metavar="DIR",
+        help="directory holding the committed BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+    baseline_dir = Path(args.baseline_dir)
+
+    from repro.bench.engine_hotpath import (
+        engine_hotpath_report,
+        format_engine_hotpath,
+    )
+    from repro.bench.transform_hotpath import (
+        format_transform_hotpath,
+        transform_hotpath_report,
+    )
+
+    problems: list[str] = []
+    engine = engine_hotpath_report()
+    print(format_engine_hotpath(engine))
+    problems += check_report(engine, baseline_dir / "BENCH_engine.json")
+    transform = transform_hotpath_report()
+    print()
+    print(format_transform_hotpath(transform))
+    problems += check_report(transform, baseline_dir / "BENCH_transform.json")
+
+    print()
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print("perf smoke OK: all speedups within 2x of committed baselines")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
