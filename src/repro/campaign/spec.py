@@ -53,11 +53,14 @@ class ScenarioSpec:
         max_storage_retries: Per-write retry budget of the store.
         record_compute_events: Whether compute effects enter the trace.
         max_steps: Engine step budget.
-        fault_plan: Crashes plus storage/network faults, or ``None``.
+        fault_plan: Crashes plus storage/network/recovery faults, or
+            ``None``.
         transport: Reliable-transport tunables, or ``None`` for stock.
         costs: Per-effect time charges, or ``None`` for the defaults.
         observe: Whether the executor attaches an observability bus to
             this cell and returns its JSONL event log.
+        retain_k: Bounded-storage retention (max checkpoints per rank),
+            or ``None`` for unbounded storage.
     """
 
     label: str
@@ -76,6 +79,7 @@ class ScenarioSpec:
     transport: TransportConfig | None = None
     costs: RuntimeCosts | None = None
     observe: bool = False
+    retain_k: int | None = None
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -120,6 +124,7 @@ class ScenarioSpec:
             "record_compute_events": self.record_compute_events,
             "max_steps": self.max_steps,
             "observe": self.observe,
+            "retain_k": self.retain_k,
             "fault_plan": (
                 None if self.fault_plan is None
                 else self.fault_plan.to_json_dict()
@@ -138,8 +143,8 @@ class ScenarioSpec:
             "version", "label", "program", "n_processes", "params",
             "protocol", "period", "seed", "base_latency",
             "storage_replicas", "max_storage_retries",
-            "record_compute_events", "max_steps", "observe", "fault_plan",
-            "transport", "costs",
+            "record_compute_events", "max_steps", "observe", "retain_k",
+            "fault_plan", "transport", "costs",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -175,6 +180,10 @@ class ScenarioSpec:
                 ),
                 max_steps=int(data.get("max_steps", 2_000_000)),
                 observe=bool(data.get("observe", False)),
+                retain_k=(
+                    None if data.get("retain_k") is None
+                    else int(data["retain_k"])
+                ),
                 fault_plan=(
                     None if fault_plan is None
                     else FaultPlan.from_json_dict(fault_plan)

@@ -201,29 +201,57 @@ def _parse_fault(text: str):
         ) from None
 
 
+def _parse_recovery_fault(text: str):
+    from repro.runtime.failures import RecoveryFaultEvent, RecoveryFaultKind
+
+    parts = text.split(":")
+    try:
+        kind = RecoveryFaultKind(parts[0])
+        recovery = int(parts[1])
+        rank = int(parts[2])
+        attempts = int(parts[3]) if len(parts) > 3 else 1
+        if len(parts) > 4:
+            raise ValueError(text)
+        return RecoveryFaultEvent(
+            recovery=recovery, rank=rank, kind=kind, attempts=attempts
+        )
+    except (ValueError, IndexError):
+        kinds = "|".join(k.value for k in RecoveryFaultKind)
+        raise argparse.ArgumentTypeError(
+            f"recovery fault must be KIND:RECOVERY:RANK[:ATTEMPTS] with "
+            f"KIND one of {kinds}, got {text!r}"
+        ) from None
+
+
 _FAULT_PLAN_SCHEMA = (
     '{"max_failures": N, "crashes": [{"time", "rank"}], '
     '"storage_faults": [{"time", "rank", "kind", ...}], '
-    '"network_faults": [{"time", "kind", "src", "dst", "delay"?}]}'
+    '"network_faults": [{"time", "kind", "src", "dst", "delay"?}], '
+    '"recovery_faults": [{"recovery", "rank", "kind", "attempts"?}]}'
 )
 
 
-def _load_fault_plan(path: str, crashes, faults):
+def _load_fault_plan(path: str, crashes, faults, recovery_faults=()):
     """Build a FaultPlan from CLI events plus an optional JSON file.
 
     *faults* may mix storage and network fault events (as produced by
-    ``--fault``); they are routed to the right plan field here. The
-    JSON schema mirrors the dataclasses::
+    ``--fault``); they are routed to the right plan field here.
+    *recovery_faults* come from ``--recovery-fault``. The JSON schema
+    mirrors the dataclasses::
 
         {"max_failures": 4,
          "crashes": [{"time": 10.0, "rank": 1}, ...],
          "storage_faults": [{"time": 5.0, "rank": 0, "kind": "bit-rot",
                              "number": 2, "replica": 0, "attempts": 1}, ...],
          "network_faults": [{"time": 4.0, "kind": "drop",
-                             "src": 0, "dst": 1, "delay": 0.0}, ...]}
+                             "src": 0, "dst": 1, "delay": 0.0}, ...],
+         "recovery_faults": [{"recovery": 0, "rank": 1,
+                              "kind": "crash-in-recovery",
+                              "attempts": 1}, ...]}
 
     Unknown top-level keys are rejected (a typo like ``"netwrok_faults"``
-    must not silently disable the faults it was meant to inject).
+    must not silently disable the faults it was meant to inject), and so
+    are unknown per-event keys.
     """
     import json
 
@@ -238,6 +266,7 @@ def _load_fault_plan(path: str, crashes, faults):
     crashes = list(crashes)
     storage_faults = [f for f in faults if isinstance(f, StorageFaultEvent)]
     network_faults = [f for f in faults if isinstance(f, NetworkFaultEvent)]
+    recovery_faults = list(recovery_faults)
     max_failures = None
     if path:
         try:
@@ -256,12 +285,14 @@ def _load_fault_plan(path: str, crashes, faults):
         crashes.extend(loaded.crashes)
         storage_faults.extend(loaded.storage_faults)
         network_faults.extend(loaded.network_faults)
+        recovery_faults.extend(loaded.recovery_faults)
         max_failures = loaded.max_failures
     return FaultPlan(
         crashes=crashes,
         max_failures=max_failures,
         storage_faults=storage_faults,
         network_faults=network_faults,
+        recovery_faults=recovery_faults,
     )
 
 
@@ -294,6 +325,13 @@ def _check_plan_ranks(plan, n_processes: int) -> None:
                 f"{fault.src}->{fault.dst} but the simulation has only "
                 f"{n_processes} processes (-n)"
             )
+    for fault in plan.recovery_faults:
+        if fault.rank >= n_processes:
+            raise SimulationError(
+                f"recovery fault in recovery {fault.recovery} targets "
+                f"rank {fault.rank} but the simulation has only "
+                f"{n_processes} processes (-n)"
+            )
 
 
 #: CLI protocol choices (the canonical registry lives in
@@ -315,7 +353,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.runtime.engine import Simulation
 
     program = _load(args.program)
-    plan = _load_fault_plan(args.fault_plan, args.crash, args.fault)
+    plan = _load_fault_plan(
+        args.fault_plan, args.crash, args.fault, args.recovery_fault
+    )
     _check_plan_ranks(plan, args.n)
     protocol = _make_protocol(args.protocol, args.period)
     obs = None
@@ -333,10 +373,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         storage_replicas=args.storage_replicas,
         observer=obs.bus if obs is not None else None,
         scheduler=args.scheduler,
+        retain_k=args.retain_k,
     )
     result = sim.run()
     stats = result.stats
     print(f"completed         : {stats.completed}")
+    print(f"verdict           : {result.verdict}")
     print(f"completion time   : {result.completion_time:.3f}")
     print(f"app messages      : {stats.app_messages}")
     print(f"control messages  : {stats.control_messages}")
@@ -351,6 +393,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"corrupt-detected={stats.corrupt_checkpoints}")
         print(f"degraded recovery : {stats.recovery_fallbacks} "
               f"(max fallback depth: {stats.max_fallback_depth})")
+    if plan.recovery_faults or stats.recovery_retries:
+        print(f"recovery superv.  : attempts={stats.recovery_attempts} "
+              f"retries={stats.recovery_retries} "
+              f"backoff={stats.recovery_backoff_time:.3f} "
+              f"nested-crashes={stats.nested_crashes} "
+              f"control-lost={stats.recovery_control_lost} "
+              f"read-faults={stats.recovery_read_faults}")
+    if args.retain_k is not None:
+        print(f"retention (k={args.retain_k})   : "
+              f"stored={stats.stored_checkpoints} "
+              f"({stats.stored_bytes} bytes), "
+              f"gc-collected={stats.gc_collected} "
+              f"({stats.gc_reclaimed_bytes} bytes reclaimed)")
     if plan.network_faults:
         print(f"network faults    : dropped={stats.dropped_frames} "
               f"corrupt={stats.corrupt_frames} "
@@ -530,7 +585,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.runtime.transport import TransportConfig
 
     transport = TransportConfig(dedup=False) if args.broken_transport else None
-    config = ChaosConfig(sim_seed=args.sim_seed, scheduler=args.scheduler)
+    config = ChaosConfig(
+        sim_seed=args.sim_seed,
+        scheduler=args.scheduler,
+        recovery_fault_probability=args.recovery_faults,
+        retain_k=args.retain_k,
+    )
     protocols = tuple(args.protocol) if args.protocol else CHAOS_PROTOCOLS
     outcomes = chaos_sweep(
         range(args.seeds),
@@ -541,10 +601,15 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     failures = 0
+    unrecoverable = 0
     for (protocol, seed), outcome in sorted(outcomes.items()):
         print(f"{protocol:>14s} seed {seed:>3d}: {outcome.describe()}")
         failures += 0 if outcome.ok else 1
-    print(f"{len(outcomes)} cell(s), {failures} failure(s)")
+        unrecoverable += 1 if outcome.unrecoverable else 0
+    summary = f"{len(outcomes)} cell(s), {failures} failure(s)"
+    if unrecoverable:
+        summary += f", {unrecoverable} clean unrecoverable verdict(s)"
+    print(summary)
     if failures and args.artifacts:
         print(f"# diagnostics under {args.artifacts}", file=sys.stderr)
     return 1 if failures else 0
@@ -662,9 +727,20 @@ def build_parser() -> argparse.ArgumentParser:
                                "or a network fault "
                                "(KIND:TIME:SRC:DST[:DELAY], kind: drop, "
                                "duplicate, delay, corrupt, partition, heal)")
+    simulate.add_argument("--recovery-fault", type=_parse_recovery_fault,
+                          action="append", default=[],
+                          metavar="KIND:RECOVERY:RANK[:ATTEMPTS]",
+                          help="inject a fault into the RECOVERY-th "
+                               "recovery operation (kind: "
+                               "crash-in-recovery, restore-read-fail, "
+                               "control-lost)")
+    simulate.add_argument("--retain-k", type=int, default=None, metavar="K",
+                          help="bounded-storage retention: keep at most K "
+                               "checkpoints per rank, GC-protecting the "
+                               "recovery line and its degraded fallbacks")
     simulate.add_argument("--fault-plan", metavar="PATH",
                           help="JSON file with crashes, storage_faults, "
-                               "and network_faults")
+                               "network_faults, and recovery_faults")
     simulate.add_argument("--storage-replicas", type=int, default=1,
                           metavar="N",
                           help="replicate stable storage N-way with "
@@ -747,8 +823,18 @@ def build_parser() -> argparse.ArgumentParser:
                        default="indexed",
                        help="engine scheduler; verdicts are "
                             "byte-identical for both")
+    chaos.add_argument("--recovery-faults", type=float, default=0.0,
+                       metavar="P",
+                       help="per-slot probability of drawing a "
+                            "recovery-time fault (nested crash, "
+                            "restore-read failure, lost control traffic) "
+                            "alongside each crash")
+    chaos.add_argument("--retain-k", type=int, default=None, metavar="K",
+                       help="run every schedule under bounded-storage "
+                            "retention (at most K checkpoints per rank)")
     chaos.add_argument("--artifacts", metavar="DIR",
-                       help="on failure, write flight-recorder dump, "
+                       help="on failure (or a clean unrecoverable "
+                            "verdict), write flight-recorder dump, "
                             "schedule, and ddmin-shrunk counterexample here")
     chaos.add_argument("--broken-transport", action="store_true",
                        help="disable duplicate suppression (test hook that "

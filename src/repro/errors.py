@@ -153,6 +153,30 @@ class RecoveryError(SimulationError):
     """Raised when rollback/restart cannot produce a consistent state."""
 
 
+class NestedFailureError(RecoveryError):
+    """A rank crashed again while a recovery was rolling back/replaying.
+
+    Retryable: the recovery supervisor aborts the interrupted attempt
+    (before any state was mutated) and retries with backoff.
+    """
+
+
+class RecoveryControlError(RecoveryError):
+    """Recovery/control-plane traffic was lost mid-recovery.
+
+    Retryable, like :class:`NestedFailureError`: the restart round is
+    abandoned and re-driven by the supervisor.
+    """
+
+
+class UnrecoverableError(RecoveryError):
+    """Terminal recovery verdict: no intact line remains (or the retry
+    budget is exhausted). Carried as a clean verdict — the engine turns
+    it into ``SimulationResult.verdict == "unrecoverable"`` with full
+    stats and observability artifacts instead of an unhandled crash.
+    """
+
+
 class ProtocolError(ReproError):
     """Raised by checkpointing protocols on invalid usage."""
 

@@ -14,7 +14,13 @@ metrics from the event stream alone:
   deepest number all ranks share (the straight cut usable for
   recovery right now);
 - ``retransmit_rate`` — retransmissions per data frame put on the wire;
-- ``rollback_depth`` — histogram of degraded-recovery fallback depths.
+- ``rollback_depth`` — histogram of degraded-recovery fallback depths;
+- ``storage_checkpoints`` / ``storage_bytes`` — occupancy gauges from
+  the end-of-run storage event;
+- ``storage_retries_total`` / ``gc_collected_total`` /
+  ``gc_reclaimed_bytes_total`` — write-retry and retention-GC counters;
+- ``recovery_retries_total`` / ``recovery_backoff`` /
+  ``unrecoverable_total`` — recovery-supervisor retry accounting.
 """
 
 from __future__ import annotations
@@ -162,8 +168,37 @@ class MetricsCollector:
             self._on_transport(event)
         elif event.category == "protocol":
             self._on_protocol(event)
+        elif event.category == "storage":
+            self._on_storage(event)
+
+    def _on_storage(self, event: ObsEvent) -> None:
+        if event.name == "commit":
+            retries = event.fields.get("retries", 0)
+            if retries:
+                self.registry.counter("storage_retries_total").inc(retries)
+        elif event.name == "gc":
+            self.registry.counter("gc_collected_total").inc()
+            self.registry.counter("gc_reclaimed_bytes_total").inc(
+                int(event.fields.get("bytes", 0))
+            )
+        elif event.name == "occupancy":
+            self.registry.gauge("storage_checkpoints").set(
+                float(event.fields.get("count", 0))
+            )
+            self.registry.gauge("storage_bytes").set(
+                float(event.fields.get("bytes", 0))
+            )
 
     def _on_engine(self, event: ObsEvent) -> None:
+        if event.name == "recovery-retry":
+            self.registry.counter("recovery_retries_total").inc()
+            self.registry.histogram("recovery_backoff").observe(
+                float(event.fields.get("backoff", 0.0))
+            )
+            return
+        if event.name == "unrecoverable":
+            self.registry.counter("unrecoverable_total").inc()
+            return
         if event.name == "checkpoint" and event.rank is not None:
             previous = self._last_checkpoint_time.get(event.rank)
             if previous is not None:

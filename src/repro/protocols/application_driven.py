@@ -37,6 +37,11 @@ class ApplicationDrivenProtocol(CheckpointingProtocol):
     """
 
     name = "appl-driven"
+    #: The paper's central claim: checkpoints placed at the transformed
+    #: program's synchronisation-free points make every straight cut a
+    #: recovery line by construction — even across degraded restores,
+    #: since ``restore_cut`` only ever rolls back to straight cuts.
+    induces_recovery_lines = True
 
     def __init__(self, validate: bool = True, gc_storage: bool = False) -> None:
         self.validate = validate

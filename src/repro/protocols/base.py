@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.errors import RecoveryError, StorageError
+from repro.errors import RecoveryError, StorageError, UnrecoverableError
 from repro.runtime.hooks import ProtocolHooks
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -27,6 +27,14 @@ class CheckpointingProtocol(ProtocolHooks):
     """Base class with shared recovery helpers."""
 
     name = "abstract"
+    #: Whether the protocol guarantees that every straight cut ``R_i``
+    #: surviving on storage is a recovery line (Definition 2.1). Only
+    #: application-driven placement makes that claim by construction;
+    #: uncoordinated checkpointing may restore a dominoed non-straight
+    #: cut (desynchronising per-rank numbers), and log-based recovery
+    #: re-phases the restarted rank's timer — both legitimately leave
+    #: inconsistent straight cuts behind while staying recoverable.
+    induces_recovery_lines = True
 
     def deepest_intact_cut(
         self, sim: "Simulation"
@@ -41,12 +49,19 @@ class CheckpointingProtocol(ProtocolHooks):
         process needs to negotiate which cut to use. Returns
         ``(number, cut, depth)`` where *depth* counts how many cuts had
         to be skipped (0 = the nominal recovery line was intact).
+
+        A retrying recovery supervisor can ask for an even deeper cut
+        (``sim.recovery_escalation`` > 0): the search then starts that
+        many numbers below the nominal line, on top of whatever
+        degradation corruption forces. Exhausting R_0 raises the
+        terminal :class:`UnrecoverableError` verdict.
         """
         ranks = list(range(sim.n))
         common = sim.storage.max_common_number(ranks)
         if common < 0:
             raise RecoveryError("storage has no checkpoints at all")
-        target = common
+        escalation = getattr(sim, "recovery_escalation", 0)
+        target = max(0, common - escalation)
         while target >= 0:
             cut: dict[int, "StoredCheckpoint"] = {}
             for rank in ranks:
@@ -57,7 +72,7 @@ class CheckpointingProtocol(ProtocolHooks):
             else:
                 return target, cut, common - target
             target -= 1
-        raise RecoveryError(
+        raise UnrecoverableError(
             "no fully-intact straight cut survives on stable storage "
             f"(searched R_{common} down to R_0)"
         )

@@ -31,6 +31,10 @@ class MessageLoggingProtocol(CheckpointingProtocol):
     """Independent checkpoints + single-process log-based recovery."""
 
     name = "msg-logging"
+    #: Recovery restarts one rank from its own checkpoint + logs; it
+    #: never assembles straight cuts, and a restarted rank's re-phased
+    #: checkpoint timer means it is free not to preserve them.
+    induces_recovery_lines = False
 
     def __init__(self, period: float = 50.0, stagger: float = 0.5) -> None:
         if period <= 0:
@@ -61,10 +65,12 @@ class MessageLoggingProtocol(CheckpointingProtocol):
         the channel logs reach arbitrarily far back, so replay from an
         older intact checkpoint still converges to the pre-crash state —
         it just replays more. The skip depth is recorded as a degraded
-        recovery.
+        recovery. A retrying supervisor escalates the same way: each
+        retry asks for one intact checkpoint older than the last.
         """
+        skip = getattr(sim, "recovery_escalation", 0)
         if hasattr(sim.storage, "latest_intact"):
-            checkpoint, depth = sim.storage.latest_intact(rank)
+            checkpoint, depth = sim.storage.latest_intact(rank, skip=skip)
         else:
             checkpoint, depth = sim.storage.latest(rank), 0
         sim.stats.fallback_depths.append(depth)

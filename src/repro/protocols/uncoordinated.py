@@ -22,6 +22,11 @@ class UncoordinatedProtocol(CheckpointingProtocol):
     """Independent periodic checkpoints; clock-based rollback search."""
 
     name = "uncoordinated"
+    #: A dominoed rollback restores a consistent but possibly
+    #: non-straight cut, desynchronising per-rank checkpoint numbers —
+    #: straight cuts taken afterwards mix causal epochs and are not
+    #: recovery lines (the domino effect is the point of this baseline).
+    induces_recovery_lines = False
 
     def __init__(self, period: float = 50.0, stagger: float = 0.5) -> None:
         if period <= 0:
@@ -58,6 +63,15 @@ class UncoordinatedProtocol(CheckpointingProtocol):
         """
         intact = getattr(sim.storage, "intact_history", sim.storage.history)
         histories = {r: intact(r) for r in range(sim.n)}
+        escalation = getattr(sim, "recovery_escalation", 0)
+        if escalation:
+            # Supervisor escalation: drop the newest candidates so the
+            # consistent-cut search is forced deeper (never below the
+            # initial checkpoint, which is always a valid cut member).
+            histories = {
+                r: h[: max(1, len(h) - escalation)]
+                for r, h in histories.items()
+            }
         skipped = sum(
             sim.storage.count(r) - len(h) for r, h in histories.items()
         )

@@ -27,7 +27,13 @@ from repro.runtime.effects import (
     RecvEffect,
     SendEffect,
 )
-from repro.runtime.engine import RuntimeCosts, Simulation, SimulationResult
+from repro.runtime.engine import (
+    RecoverySupervisor,
+    RuntimeCosts,
+    Simulation,
+    SimulationResult,
+    SupervisorConfig,
+)
 from repro.runtime.failures import (
     CrashEvent,
     FailurePlan,
@@ -35,6 +41,8 @@ from repro.runtime.failures import (
     FaultPlan,
     NetworkFaultEvent,
     NetworkFaultKind,
+    RecoveryFaultEvent,
+    RecoveryFaultKind,
     StorageFaultEvent,
     exponential_failures,
     exponential_fault_plan,
@@ -51,6 +59,7 @@ from repro.runtime.transport import (
 from repro.runtime.storage import (
     CheckpointStore,
     ReplicatedCheckpointStore,
+    RetentionPolicy,
     StableStorage,
     StoredCheckpoint,
 )
@@ -78,9 +87,13 @@ __all__ = [
     "NetworkFaultKind",
     "ProcessInterpreter",
     "ProcessSnapshot",
+    "RecoveryFaultEvent",
+    "RecoveryFaultKind",
+    "RecoverySupervisor",
     "RecvEffect",
     "ReliableTransport",
     "ReplicatedCheckpointStore",
+    "RetentionPolicy",
     "RuntimeCosts",
     "SendEffect",
     "Simulation",
@@ -88,6 +101,7 @@ __all__ = [
     "StableStorage",
     "StorageFaultEvent",
     "StoredCheckpoint",
+    "SupervisorConfig",
     "TransportConfig",
     "TransportStats",
     "chaos_sweep",

@@ -28,13 +28,15 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ReproError, SimulationError, StorageError
-from repro.runtime.engine import Simulation, SimulationResult
+from repro.runtime.engine import Simulation, SimulationResult, SupervisorConfig
 from repro.runtime.failures import (
     ONE_SHOT_NETWORK_KINDS,
     CrashEvent,
     FaultPlan,
     NetworkFaultEvent,
     NetworkFaultKind,
+    RecoveryFaultEvent,
+    RecoveryFaultKind,
 )
 from repro.runtime.transport import TransportConfig
 
@@ -62,6 +64,15 @@ class ChaosConfig:
             partition window.
         partition_duration: Upper bound of that window's length.
         crash_probability: Chance a schedule contains one crash.
+        recovery_fault_probability: Per-slot chance of a recovery-time
+            fault (nested crash, restore-read failure, lost control
+            traffic) riding along with a drawn crash. ``0.0`` (default)
+            draws none **and skips the extra rng draws entirely**, so
+            legacy schedules stay byte-identical.
+        max_recovery_faults: Recovery-fault slots per schedule.
+        retain_k: Bounded-storage retention pressure: keep at most this
+            many checkpoints per rank (``None`` = unbounded, the
+            legacy behaviour).
         sim_seed: Simulator seed (inputs, latencies) — *not* the
             schedule seed, so one workload meets many schedules.
         scheduler: Engine scheduler (``"indexed"`` or ``"reference"``);
@@ -76,6 +87,9 @@ class ChaosConfig:
     partition_probability: float = 0.5
     partition_duration: float = 3.0
     crash_probability: float = 0.5
+    recovery_fault_probability: float = 0.0
+    max_recovery_faults: int = 2
+    retain_k: int | None = None
     sim_seed: int = 0
     scheduler: str = "indexed"
 
@@ -133,12 +147,46 @@ def draw_schedule(seed: int, config: ChaosConfig = ChaosConfig()) -> FaultPlan:
             time=round(float(rng.uniform(1.0, config.horizon * 0.8)), 6),
             rank=int(rng.integers(n)),
         ))
-    return FaultPlan(crashes=crashes, max_failures=2, network_faults=events)
+    recovery_faults: list[RecoveryFaultEvent] = []
+    if crashes and config.recovery_fault_probability > 0:
+        # Guarded by probability > 0 so legacy configs consume exactly
+        # the rng stream they always did (schedules stay byte-stable).
+        kinds = (
+            RecoveryFaultKind.CRASH,
+            RecoveryFaultKind.READ_FAULT,
+            RecoveryFaultKind.CONTROL_LOST,
+        )
+        taken: set[tuple[int, int, str]] = set()
+        for _ in range(config.max_recovery_faults):
+            if rng.random() >= config.recovery_fault_probability:
+                continue
+            kind = kinds[int(rng.integers(len(kinds)))]
+            recovery = int(rng.integers(2))
+            rank = int(rng.integers(n))
+            attempts = int(rng.integers(1, 3))
+            key = (recovery, rank, kind.value)
+            if key in taken:
+                continue
+            taken.add(key)
+            recovery_faults.append(RecoveryFaultEvent(
+                recovery=recovery, rank=rank, kind=kind, attempts=attempts,
+            ))
+    return FaultPlan(
+        crashes=crashes, max_failures=2, network_faults=events,
+        recovery_faults=recovery_faults,
+    )
 
 
 @dataclass(frozen=True)
 class ChaosOutcome:
-    """Verdict of one schedule replay against one protocol."""
+    """Verdict of one schedule replay against one protocol.
+
+    A clean ``UNRECOVERABLE`` verdict (the supervisor exhausted its
+    retries or no intact line survived) counts as *ok* as long as the
+    invariants that still apply hold: surviving straight cuts are
+    recovery lines and retention GC never broke recoverability. The
+    final-state and completion checks are vacuous for such runs.
+    """
 
     ok: bool
     reason: str
@@ -147,10 +195,14 @@ class ChaosOutcome:
     state_ok: bool
     faults: int
     crashes: int
+    unrecoverable: bool = False
+    retention_ok: bool = True
 
     def describe(self) -> str:
         """One-line human-readable verdict."""
         status = "ok" if self.ok else f"FAIL ({self.reason})"
+        if self.unrecoverable:
+            status += " [unrecoverable]"
         return (
             f"{status}: {self.faults} network fault(s), "
             f"{self.crashes} crash(es)"
@@ -168,6 +220,14 @@ def storage_recovery_lines_consistent(
     run end could use. Checks Definition 2.1 (no member happened
     before another) over the stored vector clocks for every common
     checkpoint number.
+
+    Only protocols claiming ``induces_recovery_lines`` are held to
+    this (the application-driven protocol — it is the paper's central
+    claim). Uncoordinated checkpointing may restore a dominoed
+    non-straight cut and log-based recovery re-phases the restarted
+    rank's timer; both legitimately leave inconsistent straight cuts
+    behind while staying recoverable — their recoverability rests on
+    per-rank intact checkpoints, which the retention invariant guards.
     """
     ranks = list(range(n_processes))
     storage = result.storage
@@ -185,6 +245,36 @@ def storage_recovery_lines_consistent(
             for b in members:
                 if a is not b and a.clock.happened_before(b.clock):
                     return False
+    return True
+
+
+def retention_invariant_holds(
+    result: SimulationResult,
+    n_processes: int,
+    retain_k: int | None,
+) -> bool:
+    """Whether retention GC preserved recoverability and its bound.
+
+    Two checks: (1) every rank still holds at least one *intact*
+    checkpoint — GC must never collect the last restorable state, even
+    while evicting under pressure; (2) with ``retain_k`` set, per-rank
+    occupancy stays within ``retain_k`` plus a slack for entries the
+    safe-GC invariant refuses to evict (the protected degraded-fallback
+    candidates). Integrity is read via ``verify`` directly so the check
+    cannot consume armed restore-read faults.
+    """
+    storage = result.storage
+    verify = getattr(storage, "verify", None)
+    for rank in range(n_processes):
+        history = storage.history(rank)
+        if not any(verify(c) if verify is not None else True
+                   for c in history):
+            return False
+    if retain_k is not None:
+        slack = SupervisorConfig().max_attempts + 2
+        for rank in range(n_processes):
+            if storage.count(rank) > retain_k + slack:
+                return False
     return True
 
 
@@ -242,6 +332,7 @@ def run_schedule(
         transport_config=transport_config,
         observer=observer,
         scheduler=config.scheduler,
+        retain_k=config.retain_k,
     )
     try:
         result = sim.run()
@@ -256,15 +347,31 @@ def run_schedule(
             crashes=crashes,
         )
     completed = bool(result.stats.completed)
-    lines_ok = storage_recovery_lines_consistent(result, config.n_processes)
+    unrecoverable = result.verdict == "unrecoverable"
+    lines_ok = (
+        storage_recovery_lines_consistent(result, config.n_processes)
+        if getattr(sim.protocol, "induces_recovery_lines", True)
+        else True
+    )
+    retention_ok = retention_invariant_holds(
+        result, config.n_processes, config.retain_k
+    )
     state_ok = result.final_env == baseline
-    ok = completed and lines_ok and state_ok
+    if unrecoverable:
+        # The supervisor gave up cleanly: recovery terminated in bounded
+        # retries with a verdict. The run cannot complete or match the
+        # baseline, but the storage invariants must still hold.
+        ok = lines_ok and retention_ok
+    else:
+        ok = completed and lines_ok and state_ok and retention_ok
     if ok:
         reason = ""
-    elif not completed:
-        reason = "run did not complete"
     elif not lines_ok:
         reason = "a surviving straight cut is not a recovery line"
+    elif not retention_ok:
+        reason = "retention GC broke recoverability (or its bound)"
+    elif not completed:
+        reason = "run did not complete"
     else:
         reason = "final state diverged from the fault-free baseline"
     return ChaosOutcome(
@@ -275,6 +382,8 @@ def run_schedule(
         state_ok=state_ok,
         faults=faults,
         crashes=crashes,
+        unrecoverable=unrecoverable,
+        retention_ok=retention_ok,
     )
 
 
@@ -325,7 +434,10 @@ def chaos_sweep(
     outcomes, _timings = run_cells(items, _chaos_cell, jobs=jobs)
     if artifacts_dir is not None:
         for (protocol, seed), outcome in outcomes.items():
-            if not outcome.ok:
+            # Clean UNRECOVERABLE verdicts are ok but still archived:
+            # the acceptance contract wants every such schedule shrunk
+            # and replayable.
+            if not outcome.ok or outcome.unrecoverable:
                 dump_failure_artifacts(
                     plans[(protocol, seed)],
                     protocol=protocol,
@@ -390,12 +502,22 @@ def dump_failure_artifacts(
     verdict.write_text(outcome.describe() + "\n")
     paths["outcome"] = verdict
 
-    if shrink and not outcome.ok:
-        def still_fails(candidate: FaultPlan) -> bool:
-            return not run_schedule(
-                candidate, protocol=protocol, config=config,
-                transport_config=transport_config,
-            ).ok
+    if shrink and (not outcome.ok or outcome.unrecoverable):
+        if not outcome.ok:
+            def still_fails(candidate: FaultPlan) -> bool:
+                return not run_schedule(
+                    candidate, protocol=protocol, config=config,
+                    transport_config=transport_config,
+                ).ok
+        else:
+            # An ok-but-unrecoverable schedule shrinks against "still
+            # ends in the UNRECOVERABLE verdict", yielding the minimal
+            # replayable terminal-recovery counterexample.
+            def still_fails(candidate: FaultPlan) -> bool:
+                return run_schedule(
+                    candidate, protocol=protocol, config=config,
+                    transport_config=transport_config,
+                ).unrecoverable
 
         minimal = shrink_schedule(
             plan, still_fails, max_runs=max_shrink_runs
@@ -419,6 +541,7 @@ def _atoms(plan: FaultPlan) -> list[tuple[str, object]]:
     atoms.extend(("crash", c) for c in plan.crashes)
     atoms.extend(("storage", f) for f in plan.storage_faults)
     atoms.extend(("network", f) for f in plan.network_faults)
+    atoms.extend(("recovery", f) for f in plan.recovery_faults)
     return atoms
 
 
@@ -436,6 +559,7 @@ def _build(
             max_failures=max_failures,
             storage_faults=[e for tag, e in atoms if tag == "storage"],
             network_faults=[e for tag, e in atoms if tag == "network"],
+            recovery_faults=[e for tag, e in atoms if tag == "recovery"],
         )
     except SimulationError:
         return None

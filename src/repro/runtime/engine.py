@@ -21,7 +21,16 @@ from dataclasses import dataclass, field
 
 from repro.causality.records import EventKind
 from repro.causality.vector_clock import VectorClock
-from repro.errors import DeadlockError, RecoveryError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    NestedFailureError,
+    RecoveryControlError,
+    RecoveryError,
+    SimulationError,
+    StorageError,
+    TransientStorageError,
+    UnrecoverableError,
+)
 from repro.lang import ast_nodes as ast
 from repro.runtime.effects import (
     BcastRecvEffect,
@@ -37,6 +46,8 @@ from repro.runtime.failures import (
     FailurePlan,
     FaultKind,
     NetworkFaultEvent,
+    RecoveryFaultEvent,
+    RecoveryFaultKind,
     StorageFaultEvent,
 )
 from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
@@ -46,6 +57,7 @@ from repro.runtime.network import Message, Network
 from repro.runtime.storage import (
     CheckpointStore,
     ReplicatedCheckpointStore,
+    RetentionPolicy,
     StableStorage,
     StoredCheckpoint,
     snapshot_sizes,
@@ -72,6 +84,41 @@ class RuntimeCosts:
     storage_retry_backoff: float = 0.25    # base of the exponential backoff
 
 
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/backoff policy of the :class:`RecoverySupervisor`.
+
+    Attributes:
+        max_attempts: Recovery attempts per crash before the supervisor
+            declares the rank unrecoverable.
+        backoff_base: Simulated seconds charged before the second
+            attempt; attempt ``k`` waits ``base * factor**(k-1)``.
+        backoff_factor: Exponential growth of the backoff.
+        escalate_fallback: Whether each retry asks the protocol for a
+            one-number-deeper degraded cut (R_i -> R_{i-k}), on top of
+            whatever degradation corruption already forces.
+    """
+
+    max_attempts: int = 4
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+    escalate_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise SimulationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0:
+            raise SimulationError(
+                f"backoff_base must be >= 0, got {self.backoff_base}"
+            )
+        if self.backoff_factor < 1:
+            raise SimulationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+
 @dataclass
 class SimulationStats:
     """Aggregate counters of one run."""
@@ -93,6 +140,20 @@ class SimulationStats:
     corrupt_checkpoints: int = 0
     recovery_fallbacks: int = 0
     fallback_depths: list[int] = field(default_factory=list)
+    # Recovery-supervisor accounting (all zero/False when recovery
+    # never retried and never gave up).
+    recovery_attempts: int = 0
+    recovery_retries: int = 0
+    recovery_backoff_time: float = 0.0
+    nested_crashes: int = 0
+    recovery_control_lost: int = 0
+    recovery_read_faults: int = 0
+    unrecoverable: bool = False
+    # Storage occupancy and retention GC (measured at run end).
+    stored_checkpoints: int = 0
+    stored_bytes: int = 0
+    gc_collected: int = 0
+    gc_reclaimed_bytes: int = 0
     # Transport accounting (all zero under a fault-free network, except
     # the frame/ACK traffic every message generates).
     frames_sent: int = 0
@@ -126,13 +187,20 @@ class SimulationStats:
 
 @dataclass
 class SimulationResult:
-    """Everything a finished run exposes."""
+    """Everything a finished run exposes.
+
+    ``verdict`` is ``"completed"`` for a clean finish, ``"incomplete"``
+    for a ``max_time`` cutoff, and ``"unrecoverable"`` when the
+    recovery supervisor gave up — the run still returns normally with
+    full stats and storage, instead of raising out of :meth:`run`.
+    """
 
     trace: ExecutionTrace
     stats: SimulationStats
     storage: StableStorage
     final_env: dict[int, dict[str, int]]
     completion_time: float
+    verdict: str = "completed"
 
 
 class _Status:
@@ -151,6 +219,153 @@ class _Proc:
     status: str = _Status.READY
     blocked_effect: Effect | None = None
     paused: bool = False
+
+
+class RecoverySupervisor:
+    """Drives every protocol recovery with bounded retry + backoff.
+
+    The engine routes each crash's ``on_failure`` through
+    :meth:`recover`, which (1) injects the failure plan's
+    recovery-scoped faults — nested crashes and lost control traffic
+    interrupt the restore itself, restore-read faults are armed on the
+    store — keyed by **recovery operation index** (the 0-based count of
+    crash-triggered recoveries) so plans stay replayable even though
+    backoff shifts absolute times; (2) retries retryable failures
+    (:class:`NestedFailureError`, :class:`RecoveryControlError`,
+    :class:`TransientStorageError`) up to ``max_attempts`` times with
+    exponential backoff charged to the simulated clock; (3) escalates
+    the degraded fallback one recovery line deeper per retry; and
+    (4) converts exhaustion — or a terminal storage state — into a
+    clean :class:`UnrecoverableError` verdict that :meth:`Simulation.run`
+    turns into ``SimulationResult.verdict == "unrecoverable"``.
+
+    Protocol-bug errors (a plain :class:`RecoveryError` such as "not a
+    recovery line") are **not** retried and propagate unchanged.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        config: SupervisorConfig,
+        recovery_faults: list[RecoveryFaultEvent],
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self._by_recovery: dict[int, list[RecoveryFaultEvent]] = {}
+        for fault in recovery_faults:
+            self._by_recovery.setdefault(fault.recovery, []).append(fault)
+        self.recovery_index = 0
+        # Extra fallback depth the current attempt asks protocols for
+        # (read via Simulation.recovery_escalation).
+        self.escalation = 0
+        # The disruption armed against the next restore, if any.
+        self._pending: RecoveryFaultEvent | None = None
+
+    def recover(self, rank: int, time: float) -> None:
+        """Run the protocol's recovery for a crash of *rank* at *time*."""
+        sim = self.sim
+        index = self.recovery_index
+        self.recovery_index += 1
+        queue: list[RecoveryFaultEvent] = []
+        for fault in self._by_recovery.get(index, []):
+            if fault.kind is RecoveryFaultKind.READ_FAULT:
+                arm = getattr(sim.storage, "arm_read_faults", None)
+                if arm is not None:
+                    arm(fault.rank, fault.attempts)
+            else:
+                # Validation sorted faults with crash-in-recovery ahead
+                # of control-lost, so nested crashes disrupt first.
+                queue.extend([fault] * fault.attempts)
+        now = time
+        attempt = 0
+        cause: Exception | None = None
+        while attempt < self.config.max_attempts:
+            attempt += 1
+            sim.stats.recovery_attempts += 1
+            self.escalation = (
+                attempt - 1 if self.config.escalate_fallback else 0
+            )
+            if self._pending is None and queue:
+                self._pending = queue.pop(0)
+            try:
+                sim.protocol.on_failure(sim, rank, now)
+                return
+            except (
+                NestedFailureError,
+                RecoveryControlError,
+                TransientStorageError,
+            ) as error:
+                cause = error
+                sim.stats.recovery_retries += 1
+                backoff = self.config.backoff_base * (
+                    self.config.backoff_factor ** (attempt - 1)
+                )
+                sim.stats.recovery_backoff_time += backoff
+                if sim.obs is not None:
+                    sim.obs.emit(
+                        "engine", "recovery-retry", rank, now,
+                        attempt=attempt, backoff=backoff, cause=str(error),
+                    )
+                now += backoff
+            except UnrecoverableError as error:
+                self._give_up(rank, attempt, error, now)
+            except StorageError as error:
+                # Non-transient storage failure at restore time: no
+                # intact state is reachable, retrying cannot help.
+                self._give_up(rank, attempt, error, now)
+            finally:
+                self.escalation = 0
+                self._pending = None
+        self._give_up(rank, attempt, cause, now)
+
+    def interrupt_restore(self, at_time: float) -> None:
+        """Fire the armed mid-restore disruption, if one is pending.
+
+        Called by the engine at the top of every restore, before any
+        state is mutated — so an interrupted attempt aborts atomically
+        and the supervisor can simply re-drive it.
+        """
+        fault = self._pending
+        if fault is None:
+            return
+        self._pending = None
+        sim = self.sim
+        if fault.kind is RecoveryFaultKind.CRASH:
+            sim.stats.nested_crashes += 1
+            if sim.obs is not None:
+                sim.obs.emit(
+                    "engine", "nested-crash", fault.rank, at_time,
+                    recovery=fault.recovery,
+                )
+            raise NestedFailureError(
+                f"rank {fault.rank} crashed again while recovery "
+                f"{fault.recovery} was restoring"
+            )
+        sim.stats.recovery_control_lost += 1
+        if sim.obs is not None:
+            sim.obs.emit(
+                "engine", "control-lost", fault.rank, at_time,
+                recovery=fault.recovery,
+            )
+        raise RecoveryControlError(
+            f"recovery control traffic lost while recovery "
+            f"{fault.recovery} was restoring (rank {fault.rank})"
+        )
+
+    def _give_up(
+        self, rank: int, attempt: int, cause: Exception | None, now: float
+    ) -> None:
+        sim = self.sim
+        sim.stats.unrecoverable = True
+        if sim.obs is not None:
+            sim.obs.emit(
+                "engine", "unrecoverable", rank, now,
+                attempts=attempt, cause=str(cause),
+            )
+        raise UnrecoverableError(
+            f"rank {rank} is unrecoverable after {attempt} attempt(s): "
+            f"{cause}"
+        ) from cause
 
 
 class Simulation:
@@ -173,6 +388,8 @@ class Simulation:
         transport_config: TransportConfig | None = None,
         observer=None,
         scheduler: str = "indexed",
+        recovery: SupervisorConfig | None = None,
+        retain_k: int | None = None,
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
@@ -257,6 +474,27 @@ class Simulation:
             key=lambda f: (f.time, f.rank),
         )
         self._last_checkpoint_env: dict[int, dict[str, int]] = {}
+        recovery_faults: list[RecoveryFaultEvent] = list(
+            getattr(plan, "recovery_faults", []) or []
+        )
+        for rec_fault in recovery_faults:
+            if rec_fault.rank >= n_processes:
+                raise SimulationError(
+                    f"recovery fault targets rank {rec_fault.rank} but the "
+                    f"simulation has only {n_processes} processes"
+                )
+        self.supervisor = RecoverySupervisor(
+            self, recovery or SupervisorConfig(), recovery_faults
+        )
+        if retain_k is None:
+            self._retention = None
+        else:
+            # Protect every degraded-fallback candidate the supervisor
+            # could escalate to (one number deeper per retry).
+            self._retention = RetentionPolicy(
+                retain_k,
+                protect_depth=max(1, self.supervisor.config.max_attempts - 1),
+            )
         self.procs = [
             _Proc(
                 rank=rank,
@@ -320,7 +558,13 @@ class Simulation:
             transport_config=spec.transport,
             observer=observer,
             scheduler=getattr(spec, "scheduler", "indexed"),
+            retain_k=getattr(spec, "retain_k", None),
         )
+
+    @property
+    def recovery_escalation(self) -> int:
+        """Extra fallback depth the current recovery attempt asks for."""
+        return self.supervisor.escalation
 
     # ------------------------------------------------------------------
     # Services used by protocols
@@ -415,6 +659,7 @@ class Simulation:
         the respective processes' checkpoints, and the surviving middle
         segment (in-flight across the cut) is re-queued.
         """
+        self.supervisor.interrupt_restore(at_time)
         if set(cut) != set(range(self.n)):
             raise RecoveryError("restore_cut needs one checkpoint per process")
         self._refuse_corrupt(cut.values())
@@ -485,11 +730,17 @@ class Simulation:
         replay cursors. Deterministic replay brings it back to its
         pre-crash state without any rollback of other processes.
         """
+        self.supervisor.interrupt_restore(at_time)
         self._refuse_corrupt([checkpoint])
         rank = checkpoint.rank
         proc = self.procs[rank]
         restart = at_time + self.costs.recovery_overhead
         self.stats.lost_work += max(0.0, proc.clock - checkpoint.time)
+        # Same single-timeline rule as restore_cut: entries stored after
+        # the restore point (stale under a degraded restart, corrupt, or
+        # both) would let a later recovery assemble a cut mixing the
+        # replayed timeline with the discarded one.
+        self.storage.truncate_to(checkpoint)
         self.network.replay_for_rank(
             rank, checkpoint.channel_cursors, restart
         )
@@ -551,52 +802,65 @@ class Simulation:
     # ------------------------------------------------------------------
 
     def run(self, max_time: float | None = None) -> SimulationResult:
-        """Execute until every process finishes (or a guard trips)."""
+        """Execute until every process finishes (or a guard trips).
+
+        A terminal recovery failure does **not** raise: the supervisor's
+        :class:`UnrecoverableError` is absorbed here into a normally
+        returned result with ``verdict == "unrecoverable"``, so callers
+        (and the chaos harness) get full stats and artifacts.
+        """
         self.protocol.on_start(self)
-        while True:
-            if self._n_done == self.n:
-                break
-            self.stats.steps += 1
-            if self.stats.steps > self._max_steps:
-                raise SimulationError(
-                    f"step budget exceeded ({self._max_steps}); "
-                    "likely a livelock or a runaway failure plan"
-                )
-            item = self._next_item()
-            if item is None:
+        unrecoverable = False
+        try:
+            while True:
                 if self._n_done == self.n:
                     break
-                blocked = tuple(
-                    p.rank for p in self.procs if p.status is _Status.BLOCKED
-                )
-                raise DeadlockError(
-                    "no actionable item but processes remain "
-                    f"(blocked: {blocked})",
-                    blocked=blocked,
-                )
-            time, priority, payload = item
-            if max_time is not None and time > max_time:
-                self._unpop_last()
-                break
-            if priority == -1:
-                self._apply_storage_fault(payload, time)
-            elif priority == 0:
-                self._apply_crash(payload, time)
-            elif priority == 1:
-                self._control_queue.remove(payload)
-                self._ctl_seqs.pop(id(payload), None)
-                self.emit(
-                    "control-recv", payload.dst, payload.arrival_time,
-                    src=payload.src, tag=payload.tag,
-                )
-                self.protocol.on_control(self, payload)
-            elif priority == 2:
-                self._timers.remove(payload)
-                self.emit("timer", payload[2], payload[0], tag=payload[3])
-                self.protocol.on_timer(self, payload[2], payload[3], payload[0])
-            else:
-                self._execute_process(payload)
-                self._reschedule(payload.rank)
+                self.stats.steps += 1
+                if self.stats.steps > self._max_steps:
+                    raise SimulationError(
+                        f"step budget exceeded ({self._max_steps}); "
+                        "likely a livelock or a runaway failure plan"
+                    )
+                item = self._next_item()
+                if item is None:
+                    if self._n_done == self.n:
+                        break
+                    blocked = tuple(
+                        p.rank for p in self.procs
+                        if p.status is _Status.BLOCKED
+                    )
+                    raise DeadlockError(
+                        "no actionable item but processes remain "
+                        f"(blocked: {blocked})",
+                        blocked=blocked,
+                    )
+                time, priority, payload = item
+                if max_time is not None and time > max_time:
+                    self._unpop_last()
+                    break
+                if priority == -1:
+                    self._apply_storage_fault(payload, time)
+                elif priority == 0:
+                    self._apply_crash(payload, time)
+                elif priority == 1:
+                    self._control_queue.remove(payload)
+                    self._ctl_seqs.pop(id(payload), None)
+                    self.emit(
+                        "control-recv", payload.dst, payload.arrival_time,
+                        src=payload.src, tag=payload.tag,
+                    )
+                    self.protocol.on_control(self, payload)
+                elif priority == 2:
+                    self._timers.remove(payload)
+                    self.emit("timer", payload[2], payload[0], tag=payload[3])
+                    self.protocol.on_timer(
+                        self, payload[2], payload[3], payload[0]
+                    )
+                else:
+                    self._execute_process(payload)
+                    self._reschedule(payload.rank)
+        except UnrecoverableError:
+            unrecoverable = True
         self.stats.completed = self._n_done == self.n
         self.stats.corrupt_checkpoints = getattr(
             self.storage, "corruption_detected", 0
@@ -611,12 +875,33 @@ class Simulation:
         self.stats.dups_suppressed = transport.dups_suppressed
         self.stats.ack_frames = transport.ack_frames
         self.stats.acks_lost = transport.acks_lost
+        self.stats.stored_checkpoints = self.storage.total_count()
+        self.stats.stored_bytes = self.storage.total_bytes()
+        self.stats.recovery_read_faults = getattr(
+            self.storage, "read_faults_injected", 0
+        )
+        completion_time = max((p.clock for p in self.procs), default=0.0)
+        if self.obs is not None:
+            self.obs.emit(
+                "storage", "occupancy", None, completion_time,
+                count=self.stats.stored_checkpoints,
+                bytes=self.stats.stored_bytes,
+                gc_collected=self.stats.gc_collected,
+                gc_reclaimed_bytes=self.stats.gc_reclaimed_bytes,
+            )
+        if unrecoverable:
+            verdict = "unrecoverable"
+        elif self.stats.completed:
+            verdict = "completed"
+        else:
+            verdict = "incomplete"
         return SimulationResult(
             trace=self.trace,
             stats=self.stats,
             storage=self.storage,
             final_env={p.rank: dict(p.interp.env) for p in self.procs},
-            completion_time=max((p.clock for p in self.procs), default=0.0),
+            completion_time=completion_time,
+            verdict=verdict,
         )
 
     # -- scheduling --------------------------------------------------------------
@@ -979,6 +1264,13 @@ class Simulation:
                 checkpoint_number=stored.number,
                 stmt_id=stmt_id,
             )
+            if self._retention is not None:
+                collected, reclaimed = self._retention.collect(
+                    self.storage, list(range(self.n))
+                )
+                if collected:
+                    self.stats.gc_collected += collected
+                    self.stats.gc_reclaimed_bytes += reclaimed
         return stored
 
     def _take_write_fault(
@@ -1032,7 +1324,7 @@ class Simulation:
         self.trace.append(
             EventKind.FAILURE, proc.rank, time, self._clocks[proc.rank]
         )
-        self.protocol.on_failure(self, proc.rank, time)
+        self.supervisor.recover(proc.rank, time)
         if proc.status is _Status.CRASHED:
             raise RecoveryError(
                 f"protocol {self.protocol.name!r} left rank {proc.rank} "

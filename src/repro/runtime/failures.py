@@ -151,6 +151,75 @@ class NetworkFaultEvent:
         return (min(self.src, self.dst), max(self.src, self.dst))
 
 
+class RecoveryFaultKind(str, Enum):
+    """Taxonomy of faults that strike *during recovery itself*.
+
+    ``CRASH``
+        The targeted rank crashes again while rolling back/replaying
+        (a nested/cascading failure): the interrupted recovery attempt
+        aborts before any state is mutated and the supervisor retries.
+    ``READ_FAULT``
+        Restore-time storage reads of the targeted rank fail
+        transiently: the next ``attempts`` fault-aware reads
+        (``latest_intact``/``intact_with_number``/``intact_history``)
+        raise :class:`~repro.errors.TransientStorageError`.
+    ``CONTROL_LOST``
+        The restart/control traffic of a recovery round is lost on the
+        wire; the round is abandoned and re-driven by the supervisor.
+    """
+
+    CRASH = "crash-in-recovery"
+    READ_FAULT = "restore-read-fail"
+    CONTROL_LOST = "control-lost"
+
+
+@dataclass(frozen=True)
+class RecoveryFaultEvent:
+    """One injected recovery-time fault.
+
+    Recovery faults are keyed by the **recovery operation index** — the
+    0-based count of crash-triggered recoveries in the run — rather
+    than absolute time, so a plan stays seed-deterministic and
+    replayable no matter how backoff shifts the recovery's clock.
+
+    Attributes:
+        recovery: Which recovery operation the fault strikes (0 = the
+            first crash's recovery).
+        rank: The rank the fault targets (the nested-crash victim, the
+            rank whose restore reads fail, or the rank whose control
+            round is lost).
+        kind: The fault class (see :class:`RecoveryFaultKind`).
+        attempts: How many recovery attempts the fault disrupts
+            (``CRASH``/``CONTROL_LOST``) or how many restore reads fail
+            (``READ_FAULT``).
+    """
+
+    recovery: int
+    rank: int
+    kind: RecoveryFaultKind
+    attempts: int = 1
+
+
+#: Allowed per-event JSON keys (typos inside an event entry must not
+#: silently drop the field they were meant to set).
+_CRASH_EVENT_KEYS = frozenset({"time", "rank"})
+_STORAGE_EVENT_KEYS = frozenset(
+    {"time", "rank", "kind", "number", "replica", "attempts"}
+)
+_NETWORK_EVENT_KEYS = frozenset({"time", "kind", "src", "dst", "delay"})
+_RECOVERY_EVENT_KEYS = frozenset({"recovery", "rank", "kind", "attempts"})
+
+
+def _reject_unknown_keys(entry: dict, allowed: frozenset, what: str) -> dict:
+    unknown = sorted(set(entry) - allowed)
+    if unknown:
+        raise SimulationError(
+            f"unknown {what} key(s) {unknown} — "
+            f"expected keys from {sorted(allowed)}"
+        )
+    return entry
+
+
 @dataclass
 class FailurePlan:
     """An ordered schedule of crashes.
@@ -222,10 +291,12 @@ class FaultPlan(FailurePlan):
 
     storage_faults: list[StorageFaultEvent] = field(default_factory=list)
     network_faults: list[NetworkFaultEvent] = field(default_factory=list)
+    recovery_faults: list[RecoveryFaultEvent] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         super().__post_init__()
         self.network_faults = _validate_network_faults(self.network_faults)
+        self.recovery_faults = _validate_recovery_faults(self.recovery_faults)
         normalised: list[StorageFaultEvent] = []
         seen: set[tuple[float, int, str, int | None, int]] = set()
         for fault in self.storage_faults:
@@ -278,7 +349,8 @@ class FaultPlan(FailurePlan):
 
     #: Top-level keys :meth:`from_json_dict` accepts.
     JSON_KEYS = frozenset(
-        {"max_failures", "crashes", "storage_faults", "network_faults"}
+        {"max_failures", "crashes", "storage_faults", "network_faults",
+         "recovery_faults"}
     )
 
     @classmethod
@@ -300,7 +372,10 @@ class FaultPlan(FailurePlan):
         return cls(
             crashes=[
                 CrashEvent(time=float(e["time"]), rank=int(e["rank"]))
-                for e in data.get("crashes", [])
+                for e in (
+                    _reject_unknown_keys(e, _CRASH_EVENT_KEYS, "crash")
+                    for e in data.get("crashes", [])
+                )
             ],
             max_failures=data.get("max_failures"),
             storage_faults=[
@@ -312,7 +387,12 @@ class FaultPlan(FailurePlan):
                     replica=int(e.get("replica", 0)),
                     attempts=int(e.get("attempts", 1)),
                 )
-                for e in data.get("storage_faults", [])
+                for e in (
+                    _reject_unknown_keys(
+                        e, _STORAGE_EVENT_KEYS, "storage fault"
+                    )
+                    for e in data.get("storage_faults", [])
+                )
             ],
             network_faults=[
                 NetworkFaultEvent(
@@ -322,7 +402,26 @@ class FaultPlan(FailurePlan):
                     dst=int(e["dst"]),
                     delay=float(e.get("delay", 0.0)),
                 )
-                for e in data.get("network_faults", [])
+                for e in (
+                    _reject_unknown_keys(
+                        e, _NETWORK_EVENT_KEYS, "network fault"
+                    )
+                    for e in data.get("network_faults", [])
+                )
+            ],
+            recovery_faults=[
+                RecoveryFaultEvent(
+                    recovery=int(e["recovery"]),
+                    rank=int(e["rank"]),
+                    kind=e["kind"],
+                    attempts=int(e.get("attempts", 1)),
+                )
+                for e in (
+                    _reject_unknown_keys(
+                        e, _RECOVERY_EVENT_KEYS, "recovery fault"
+                    )
+                    for e in data.get("recovery_faults", [])
+                )
             ],
         )
 
@@ -360,7 +459,74 @@ class FaultPlan(FailurePlan):
             }
             for f in self.network_faults
         ]
+        payload["recovery_faults"] = [
+            {
+                "recovery": f.recovery,
+                "rank": f.rank,
+                "kind": f.kind.value,
+                "attempts": f.attempts,
+            }
+            for f in self.recovery_faults
+        ]
         return payload
+
+
+def _validate_recovery_faults(
+    faults: list[RecoveryFaultEvent],
+) -> list[RecoveryFaultEvent]:
+    """Normalise, validate, and sort a recovery-fault schedule.
+
+    Rejects unknown kinds, negative indices/ranks, non-positive
+    attempt counts, exact duplicates, and — the nested-failure analogue
+    of a double crash — a second ``CRASH`` fault targeting a
+    ``(recovery, rank)`` pair that is already crashing (a rank cannot
+    crash while it is already down).
+    """
+    normalised: list[RecoveryFaultEvent] = []
+    seen: set[tuple[int, int, str]] = set()
+    crashing: set[tuple[int, int]] = set()
+    for fault in faults:
+        kind = fault.kind
+        if not isinstance(kind, RecoveryFaultKind):
+            try:
+                kind = RecoveryFaultKind(kind)
+            except ValueError:
+                known = ", ".join(k.value for k in RecoveryFaultKind)
+                raise SimulationError(
+                    f"unknown recovery fault kind {fault.kind!r}; "
+                    f"known: {known}"
+                ) from None
+            fault = replace(fault, kind=kind)
+        if fault.recovery < 0:
+            raise SimulationError(
+                f"recovery fault index must be >= 0, got {fault.recovery} "
+                f"(rank {fault.rank})"
+            )
+        if fault.rank < 0:
+            raise SimulationError(
+                f"recovery fault rank must be >= 0, got {fault.rank}"
+            )
+        if fault.attempts < 1:
+            raise SimulationError(
+                f"recovery fault attempts must be >= 1, got {fault.attempts}"
+            )
+        if kind is RecoveryFaultKind.CRASH:
+            if (fault.recovery, fault.rank) in crashing:
+                raise SimulationError(
+                    f"crash scheduled on already-crashed rank {fault.rank} "
+                    f"in recovery {fault.recovery}"
+                )
+            crashing.add((fault.recovery, fault.rank))
+        key = (fault.recovery, fault.rank, kind.value)
+        if key in seen:
+            raise SimulationError(
+                f"duplicate recovery fault (recovery={fault.recovery}, "
+                f"rank={fault.rank}, kind={kind.value})"
+            )
+        seen.add(key)
+        normalised.append(fault)
+    normalised.sort(key=lambda f: (f.recovery, f.rank, f.kind.value))
+    return normalised
 
 
 def _validate_network_faults(

@@ -21,7 +21,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.causality.vector_clock import VectorClock
-from repro.errors import StorageError
+from repro.errors import StorageError, TransientStorageError
 from repro.runtime.failures import FaultKind, StorageFaultEvent
 from repro.runtime.interpreter import ProcessSnapshot
 
@@ -137,6 +137,24 @@ class StableStorage:
         keep_from = max(0, min(keep_from, len(history)))
         del history[:keep_from]
         return keep_from
+
+    def discard(self, checkpoint: StoredCheckpoint) -> None:
+        """Remove one *checkpoint* from its owner's history (GC victim).
+
+        Unlike :meth:`drop_prefix` this evicts an interior entry, which
+        is what spacing-based retention needs. Matches by identity, like
+        :meth:`truncate_to`.
+        """
+        history = self._checkpoints.get(checkpoint.rank, [])
+        for position, stored in enumerate(history):
+            if stored is checkpoint:
+                del history[position]
+                return
+        raise StorageError(
+            "checkpoint is not in storage",
+            rank=checkpoint.rank,
+            number=checkpoint.number,
+        )
 
     def count(self, rank: int) -> int:
         """Number of checkpoints stored for *rank*."""
@@ -300,6 +318,14 @@ class CheckpointStore(StableStorage):
         self._checksums: dict[int, int] = {}
         # Distinct corrupt checkpoints seen by read paths.
         self._detected: set[int] = set()
+        # Armed restore-read faults: remaining transient failures per
+        # rank. Each fault-aware read of an armed rank consumes one and
+        # raises; the supervisor's retry then reads through cleanly.
+        self._read_faults: dict[int, int] = {}
+        self.read_faults_injected = 0
+        # Retention GC accounting (bumped by RetentionPolicy.collect).
+        self.gc_collected = 0
+        self.gc_reclaimed_bytes = 0
 
     # -- counters --------------------------------------------------------------
 
@@ -307,6 +333,32 @@ class CheckpointStore(StableStorage):
     def corruption_detected(self) -> int:
         """Distinct corrupt checkpoints read paths have caught so far."""
         return len(self._detected)
+
+    # -- restore-read faults ---------------------------------------------------
+
+    def arm_read_faults(self, rank: int, failures: int) -> None:
+        """Make the next *failures* fault-aware reads of *rank* fail.
+
+        Models transient I/O errors at restore time: the read paths
+        (:meth:`latest_intact`, :meth:`intact_with_number`,
+        :meth:`intact_history`) raise :class:`TransientStorageError`
+        until the budget is consumed, then behave normally again.
+        """
+        if failures > 0:
+            self._read_faults[rank] = self._read_faults.get(rank, 0) + failures
+
+    def _maybe_read_fault(self, rank: int) -> None:
+        remaining = self._read_faults.get(rank, 0)
+        if remaining <= 0:
+            return
+        if remaining == 1:
+            del self._read_faults[rank]
+        else:
+            self._read_faults[rank] = remaining - 1
+        self.read_faults_injected += 1
+        raise TransientStorageError(
+            "restore read failed (injected transient I/O error)", rank=rank
+        )
 
     # -- writes ----------------------------------------------------------------
 
@@ -436,6 +488,7 @@ class CheckpointStore(StableStorage):
         when the number is missing entirely or every instance is
         corrupt — the caller's cue to degrade to a shallower cut.
         """
+        self._maybe_read_fault(rank)
         for checkpoint in reversed(self._checkpoints.get(rank, [])):
             if checkpoint.number != number:
                 continue
@@ -444,21 +497,36 @@ class CheckpointStore(StableStorage):
             self._note_corrupt(checkpoint)
         return None
 
-    def latest_intact(self, rank: int) -> tuple[StoredCheckpoint, int]:
+    def latest_intact(
+        self, rank: int, skip: int = 0
+    ) -> tuple[StoredCheckpoint, int]:
         """The most recent intact checkpoint of *rank*, with skip depth.
 
         Returns ``(checkpoint, depth)`` where *depth* counts the newer
-        (corrupt) entries that had to be skipped.
+        entries (corrupt or deliberately skipped) above the result. A
+        positive *skip* asks for an *older* intact checkpoint — the
+        supervisor's escalating degraded fallback — clamped to the
+        oldest intact entry when the history is shallower than asked.
         """
+        self._maybe_read_fault(rank)
         history = self._checkpoints.get(rank, [])
+        intact: list[tuple[StoredCheckpoint, int]] = []
         for depth, checkpoint in enumerate(reversed(history)):
             if self.verify(checkpoint):
-                return checkpoint, depth
-            self._note_corrupt(checkpoint)
-        raise StorageError("no intact checkpoint on storage", rank=rank)
+                intact.append((checkpoint, depth))
+                if len(intact) > skip:
+                    # Lazy scan: entries older than the answer are never
+                    # verified, so their rot stays undetected (as before).
+                    return intact[skip]
+            else:
+                self._note_corrupt(checkpoint)
+        if not intact:
+            raise StorageError("no intact checkpoint on storage", rank=rank)
+        return intact[-1]
 
     def intact_history(self, rank: int) -> list[StoredCheckpoint]:
         """All intact checkpoints of *rank*, oldest first (corrupt skipped)."""
+        self._maybe_read_fault(rank)
         intact = []
         for checkpoint in self._checkpoints.get(rank, []):
             if self.verify(checkpoint):
@@ -530,3 +598,147 @@ class ReplicatedCheckpointStore(CheckpointStore):
         for mirror in self._mirrors:
             mirror.drop_prefix(rank, keep_from)
         return dropped
+
+    def discard(self, checkpoint: StoredCheckpoint) -> None:
+        super().discard(checkpoint)
+        for mirror in self._mirrors:
+            mirror.discard(checkpoint)
+
+
+# ----------------------------------------------------------------------
+# Bounded-storage retention
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class RetentionPolicy:
+    """Online k-checkpoints-per-rank retention with a safe-GC invariant.
+
+    Keeps at most ``retain_k`` checkpoints per rank, evicting the entry
+    whose removal merges the *smallest* time gap between surviving
+    neighbours — the greedy spacing rule from Bringmann et al. (arXiv
+    1302.4216), which keeps checkpoints roughly geometrically spaced so
+    a rewind to any age stays near-optimal under bounded storage.
+
+    The GC invariant: the current recovery line — and every degraded
+    fallback candidate the supervisor might escalate to, down to
+    ``protect_depth`` numbers below the common number — is never
+    collected. Protection is computed with :meth:`CheckpointStore.verify`
+    (never a fault-aware read path), so GC cannot consume armed
+    restore-read faults or perturb corruption accounting.
+    """
+
+    retain_k: int
+    protect_depth: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retain_k < 2:
+            raise StorageError(
+                f"retain_k must be >= 2 (need the newest checkpoint plus "
+                f"a recovery floor), got {self.retain_k}"
+            )
+        if self.protect_depth < 0:
+            raise StorageError(
+                f"protect_depth must be >= 0, got {self.protect_depth}"
+            )
+
+    def collect(
+        self, storage: StableStorage, ranks: list[int]
+    ) -> tuple[int, int]:
+        """Evict down to ``retain_k`` per rank; ``(collected, bytes)``.
+
+        Corrupt entries are evicted first (they can never serve a
+        restore); then unprotected interior entries by the merged-gap
+        rule. Stops early for a rank when only protected entries remain,
+        so occupancy may transiently exceed ``retain_k`` rather than
+        break recoverability.
+        """
+        verify = getattr(storage, "verify", None)
+        collected = 0
+        reclaimed = 0
+        common = storage.max_common_number(list(ranks))
+        for rank in ranks:
+            while storage.count(rank) > self.retain_k:
+                history = storage.history(rank)
+                victim = self._pick_victim(history, verify, common)
+                if victim is None:
+                    break
+                storage.discard(victim)
+                collected += 1
+                reclaimed += victim.full_bytes
+                emit = getattr(storage, "_emit", None)
+                if emit is not None:
+                    emit("gc", victim, bytes=victim.full_bytes)
+        if isinstance(storage, CheckpointStore):
+            storage.gc_collected += collected
+            storage.gc_reclaimed_bytes += reclaimed
+        return collected, reclaimed
+
+    def _pick_victim(
+        self,
+        history: list[StoredCheckpoint],
+        verify,
+        common: int,
+    ) -> StoredCheckpoint | None:
+        protected = self._protected_ids(history, verify, common)
+        candidates = [
+            (position, checkpoint)
+            for position, checkpoint in enumerate(history)
+            if id(checkpoint) not in protected
+        ]
+        if not candidates:
+            return None
+        if verify is not None:
+            for _, checkpoint in candidates:
+                if not verify(checkpoint):
+                    return checkpoint
+        # Greedy spacing: evict the entry merging the smallest time gap
+        # between its neighbours (oldest wins ties — deterministic).
+        best = None
+        best_gap = None
+        for position, checkpoint in candidates:
+            before = history[position - 1].time if position > 0 \
+                else checkpoint.time
+            after = history[position + 1].time \
+                if position + 1 < len(history) else checkpoint.time
+            gap = after - before
+            if best_gap is None or gap < best_gap:
+                best, best_gap = checkpoint, gap
+        return best
+
+    def _protected_ids(
+        self,
+        history: list[StoredCheckpoint],
+        verify,
+        common: int,
+    ) -> set[int]:
+        """Identities GC must never touch for this rank's history."""
+        protected: set[int] = set()
+        if not history:
+            return protected
+
+        def intact(checkpoint: StoredCheckpoint) -> bool:
+            return verify is None or verify(checkpoint)
+
+        # The newest entry: the forward-progress frontier.
+        protected.add(id(history[-1]))
+        # The deepest and latest intact entries: the recovery floor and
+        # the preferred restore target of single-rank protocols.
+        for checkpoint in history:
+            if intact(checkpoint):
+                protected.add(id(checkpoint))
+                break
+        for checkpoint in reversed(history):
+            if intact(checkpoint):
+                protected.add(id(checkpoint))
+                break
+        # The straight-cut candidates: the most recent intact instance
+        # of every number the degraded fallback might target.
+        if common >= 0:
+            floor = max(0, common - self.protect_depth)
+            for number in range(floor, common + 1):
+                for checkpoint in reversed(history):
+                    if checkpoint.number == number and intact(checkpoint):
+                        protected.add(id(checkpoint))
+                        break
+        return protected

@@ -22,6 +22,7 @@ from repro.runtime.chaos import (
     ChaosOutcome,
     chaos_sweep,
     draw_schedule,
+    dump_failure_artifacts,
     run_schedule,
     shrink_schedule,
 )
@@ -29,6 +30,8 @@ from repro.runtime.engine import Simulation
 from repro.runtime.failures import (
     FaultPlan,
     NetworkFaultKind,
+    RecoveryFaultEvent,
+    RecoveryFaultKind,
     exponential_network_plan,
 )
 from repro.runtime.transport import TransportConfig
@@ -196,3 +199,114 @@ class TestBrokenTransportShrinking:
         assert self._fails(plan)
         minimal = shrink_schedule(plan, self._fails)
         assert len(minimal.network_faults) >= 1
+
+
+class TestRecoveryFaultSweep:
+    """Recovery-time chaos: faults during rollback plus retention
+    pressure, per ISSUE acceptance — every schedule must end in a
+    byte-identical recovered state or a clean UNRECOVERABLE verdict,
+    with GC never breaking recoverability."""
+
+    RECOVERY = ChaosConfig(recovery_fault_probability=0.7, retain_k=2)
+
+    def test_draw_is_legacy_stream_preserving(self):
+        # Turning the feature off (p=0) must reproduce the pre-feature
+        # schedules bit for bit — old seeds stay replayable.
+        plain = ChaosConfig()
+        disabled = ChaosConfig(recovery_fault_probability=0.0)
+        for seed in range(30):
+            assert draw_schedule(seed, plain) == draw_schedule(seed, disabled)
+
+    def test_draw_produces_recovery_faults(self):
+        drawn = sum(
+            len(draw_schedule(seed, self.RECOVERY).recovery_faults)
+            for seed in range(30)
+        )
+        assert drawn > 0
+
+    def test_recovery_faults_only_strike_crashing_schedules(self):
+        for seed in range(30):
+            plan = draw_schedule(seed, self.RECOVERY)
+            if plan.recovery_faults:
+                assert plan.crashes
+
+    @pytest.mark.parametrize("protocol", CHAOS_PROTOCOLS)
+    @pytest.mark.parametrize("retain_k", [2, 4, None])
+    def test_recovery_sweep_holds(self, protocol, retain_k):
+        config = ChaosConfig(
+            recovery_fault_probability=0.7, retain_k=retain_k
+        )
+        for seed in range(15):
+            outcome = run_schedule(
+                draw_schedule(seed, config), protocol, config
+            )
+            assert outcome.ok, (protocol, retain_k, seed, outcome.describe())
+
+    def test_unrecoverable_verdict_is_clean_and_reported(self):
+        # Find a schedule the supervisor gives up on; it must count as
+        # ok (bounded termination) and be flagged in the outcome.
+        for seed in range(40):
+            outcome = run_schedule(
+                draw_schedule(seed, self.RECOVERY), "appl-driven",
+                self.RECOVERY,
+            )
+            if outcome.unrecoverable:
+                assert outcome.ok
+                assert not outcome.completed
+                assert "[unrecoverable]" in outcome.describe()
+                break
+        else:
+            pytest.skip("no unrecoverable schedule in the first 40 seeds")
+
+    def test_unrecoverable_schedule_shrinks_and_replays(self, tmp_path):
+        for seed in range(40):
+            plan = draw_schedule(seed, self.RECOVERY)
+            outcome = run_schedule(plan, "appl-driven", self.RECOVERY)
+            if outcome.unrecoverable:
+                break
+        else:
+            pytest.skip("no unrecoverable schedule in the first 40 seeds")
+        paths = dump_failure_artifacts(
+            plan, protocol="appl-driven", config=self.RECOVERY,
+            out_dir=tmp_path, prefix="unrec",
+        )
+        assert paths["schedule"].exists()
+        assert "shrunk" in paths
+        minimal = FaultPlan.from_json_dict(
+            __import__("json").loads(paths["shrunk"].read_text())
+        )
+        # The minimal counterexample still ends in the clean verdict.
+        assert run_schedule(
+            minimal, "appl-driven", self.RECOVERY
+        ).unrecoverable
+        assert len(minimal.crashes) + len(minimal.recovery_faults) <= (
+            len(plan.crashes) + len(plan.recovery_faults)
+        )
+
+    def test_ddmin_handles_recovery_atoms(self):
+        # A schedule failing *because of* its recovery fault must shrink
+        # to (crash, recovery-fault) — network atoms dropped, the
+        # recovery atom kept.
+        plan = FaultPlan(
+            crashes=[(19.5, 1)],
+            network_faults=list(
+                draw_schedule(0, ChaosConfig(crash_probability=0.0))
+                .network_faults
+            ),
+            recovery_faults=[RecoveryFaultEvent(
+                recovery=0, rank=1, kind=RecoveryFaultKind.CRASH,
+                attempts=4,
+            )],
+        )
+        config = ChaosConfig()
+
+        def unrecoverable(candidate: FaultPlan) -> bool:
+            return run_schedule(
+                candidate, "appl-driven", config
+            ).unrecoverable
+
+        assert unrecoverable(plan)
+        minimal = shrink_schedule(plan, unrecoverable)
+        assert len(minimal.crashes) == 1
+        assert len(minimal.recovery_faults) == 1
+        assert not minimal.network_faults

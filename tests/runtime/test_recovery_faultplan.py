@@ -1,0 +1,144 @@
+"""Validation and serialisation of recovery-scoped fault plans."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.failures import (
+    FaultPlan,
+    NetworkFaultEvent,
+    NetworkFaultKind,
+    RecoveryFaultEvent,
+    RecoveryFaultKind,
+)
+
+
+def rf(recovery=0, rank=1, kind=RecoveryFaultKind.CRASH, attempts=1):
+    return RecoveryFaultEvent(
+        recovery=recovery, rank=rank, kind=kind, attempts=attempts
+    )
+
+
+class TestRecoveryFaultValidation:
+    def test_accepts_and_sorts(self):
+        plan = FaultPlan(recovery_faults=[
+            rf(recovery=1, rank=0, kind=RecoveryFaultKind.READ_FAULT),
+            rf(recovery=0, rank=2, kind=RecoveryFaultKind.CONTROL_LOST),
+            rf(recovery=0, rank=1, kind=RecoveryFaultKind.CRASH),
+        ])
+        keys = [(f.recovery, f.rank) for f in plan.recovery_faults]
+        assert keys == sorted(keys)
+
+    def test_string_kind_is_normalised(self):
+        plan = FaultPlan(recovery_faults=[
+            rf(kind="restore-read-fail"),
+        ])
+        assert plan.recovery_faults[0].kind is RecoveryFaultKind.READ_FAULT
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError, match="unknown recovery fault"):
+            FaultPlan(recovery_faults=[rf(kind="meteor-strike")])
+
+    @pytest.mark.parametrize("bad", [
+        rf(recovery=-1),
+        rf(rank=-2),
+        rf(attempts=0),
+    ])
+    def test_negative_fields_rejected(self, bad):
+        with pytest.raises(SimulationError):
+            FaultPlan(recovery_faults=[bad])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate recovery fault"):
+            FaultPlan(recovery_faults=[
+                rf(kind=RecoveryFaultKind.CONTROL_LOST),
+                rf(kind=RecoveryFaultKind.CONTROL_LOST, attempts=2),
+            ])
+
+    def test_second_crash_on_crashing_rank_rejected(self):
+        # The nested-failure analogue of a double crash: one CRASH
+        # fault already models repeated nested crashes via `attempts`;
+        # a second CRASH on the same (recovery, rank) is a plan bug.
+        with pytest.raises(SimulationError, match="already-crashed rank"):
+            FaultPlan(recovery_faults=[
+                rf(kind=RecoveryFaultKind.CRASH),
+                rf(kind=RecoveryFaultKind.CRASH, attempts=3),
+            ])
+
+    def test_same_rank_crash_in_distinct_recoveries_allowed(self):
+        plan = FaultPlan(recovery_faults=[
+            rf(recovery=0, kind=RecoveryFaultKind.CRASH),
+            rf(recovery=1, kind=RecoveryFaultKind.CRASH),
+        ])
+        assert len(plan.recovery_faults) == 2
+
+
+class TestPartitionWindowValidation:
+    def test_overlapping_partitions_rejected(self):
+        with pytest.raises(SimulationError, match="already open"):
+            FaultPlan(network_faults=[
+                NetworkFaultEvent(
+                    time=1.0, kind=NetworkFaultKind.PARTITION, src=0, dst=1
+                ),
+                NetworkFaultEvent(
+                    time=2.0, kind=NetworkFaultKind.PARTITION, src=1, dst=0
+                ),
+            ])
+
+    def test_heal_without_partition_rejected(self):
+        with pytest.raises(SimulationError, match="closes no open partition"):
+            FaultPlan(network_faults=[
+                NetworkFaultEvent(
+                    time=1.0, kind=NetworkFaultKind.HEAL, src=0, dst=1
+                ),
+            ])
+
+    def test_duplicate_crash_rejected(self):
+        with pytest.raises(SimulationError, match="duplicate crash"):
+            FaultPlan(crashes=[(3.0, 1), (3.0, 1)])
+
+
+class TestRecoveryFaultRoundTrip:
+    def plan(self):
+        return FaultPlan(
+            crashes=[(9.0, 1)],
+            recovery_faults=[
+                rf(recovery=0, rank=1, kind=RecoveryFaultKind.CRASH,
+                   attempts=2),
+                rf(recovery=1, rank=0, kind=RecoveryFaultKind.READ_FAULT),
+                rf(recovery=1, rank=2,
+                   kind=RecoveryFaultKind.CONTROL_LOST),
+            ],
+        )
+
+    def test_json_round_trip_is_identity(self):
+        plan = self.plan()
+        rebuilt = FaultPlan.from_json_dict(plan.to_json_dict())
+        assert rebuilt.recovery_faults == plan.recovery_faults
+        assert rebuilt.to_json_dict() == plan.to_json_dict()
+
+    def test_kinds_serialise_as_strings(self):
+        payload = self.plan().to_json_dict()
+        kinds = {e["kind"] for e in payload["recovery_faults"]}
+        assert kinds == {
+            "crash-in-recovery", "restore-read-fail", "control-lost"
+        }
+
+    @pytest.mark.parametrize("section,entry", [
+        ("crashes", {"time": 1.0, "rank": 0, "when": 2.0}),
+        ("storage_faults",
+         {"time": 1.0, "rank": 0, "kind": "bit-rot", "numbr": 3}),
+        ("network_faults",
+         {"time": 1.0, "kind": "drop", "src": 0, "dst": 1, "dely": 0.5}),
+        ("recovery_faults",
+         {"recovery": 0, "rank": 1, "kind": "crash-in-recovery",
+          "atempts": 2}),
+    ])
+    def test_unknown_event_keys_rejected(self, section, entry):
+        # A typo inside an event entry must not silently drop the field
+        # it was meant to set.
+        with pytest.raises(SimulationError, match="unknown"):
+            FaultPlan.from_json_dict({section: [entry]})
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(SimulationError, match="unknown top-level"):
+            FaultPlan.from_json_dict({"recovry_faults": []})
