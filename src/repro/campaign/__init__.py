@@ -19,6 +19,20 @@ for large experiment campaigns:
   **byte-identical for any worker count** (timings excepted, and kept
   out of the deterministic artifact by construction).
 
+Two further pieces make the substrate resilient to *its own* faults —
+the paper's checkpoint/restart discipline applied to the harness:
+
+- :class:`~repro.campaign.journal.CampaignJournal` — an append-only,
+  fsync'd, torn-tail-tolerant JSONL journal of finalised cell
+  outcomes, keyed by cell key × content hash, powering
+  ``repro campaign --resume`` / ``repro chaos --resume``;
+- :class:`~repro.campaign.executor.ExecutorPolicy` /
+  :class:`~repro.campaign.executor.ExecutorStats` plus the fault
+  injector in :mod:`repro.campaign.faults` — per-cell timeouts,
+  bounded retry with backoff, ``BrokenProcessPool`` recovery, poison
+  -cell quarantine, and the deterministic crash/hang/raise worker
+  shims that make all of it testable.
+
 The chaos harness (``repro chaos --jobs``), the benchmark regeneration
 tool (``tools/regenerate_results.py --jobs``), and the ``repro
 campaign`` CLI subcommand all run on this substrate.
@@ -32,10 +46,20 @@ from repro.campaign.cache import (
 from repro.campaign.executor import (
     CampaignResult,
     CellOutcome,
+    ExecutorPolicy,
+    ExecutorStats,
     resolve_jobs,
     run_campaign,
     run_cells,
 )
+from repro.campaign.faults import (
+    ExecutorFaultPlan,
+    InjectedWorkerError,
+    WorkerFault,
+    draw_executor_faults,
+    parse_worker_fault,
+)
+from repro.campaign.journal import JOURNAL_VERSION, CampaignJournal
 from repro.campaign.spec import (
     SPEC_VERSION,
     ScenarioSpec,
@@ -46,13 +70,22 @@ from repro.campaign.spec import (
 
 __all__ = [
     "CACHE_VERSION",
+    "CampaignJournal",
     "CampaignResult",
     "CellOutcome",
+    "ExecutorFaultPlan",
+    "ExecutorPolicy",
+    "ExecutorStats",
+    "InjectedWorkerError",
+    "JOURNAL_VERSION",
     "SPEC_VERSION",
     "ScenarioSpec",
     "TransformCache",
+    "WorkerFault",
+    "draw_executor_faults",
     "dump_campaign",
     "load_campaign",
+    "parse_worker_fault",
     "quick_campaign",
     "resolve_jobs",
     "run_campaign",

@@ -1,4 +1,4 @@
-"""Deterministic parallel campaign execution.
+"""Deterministic parallel campaign execution, resilient to its own faults.
 
 :func:`run_cells` is the generic substrate: a list of ``(key,
 payload)`` cells, a picklable worker, and a ``jobs`` knob. Cells fan
@@ -8,6 +8,32 @@ is byte-identical for any worker count — including ``jobs=1``, which
 runs the very same worker serially in-process. Wall-clock timings are
 collected alongside but kept strictly out of the deterministic payload
 (time is the one thing a parallel run is allowed to change).
+
+On top of that substrate sits the resilient mode — the paper's
+checkpoint/restart discipline applied to the harness itself. With an
+:class:`ExecutorPolicy` (or a journal, or an injected fault plan) the
+executor additionally guarantees:
+
+- **per-cell wall-clock timeouts** — a hung worker is detected by the
+  parent, its pool is killed and rebuilt, and the cell is retried;
+- **bounded retry with exponential backoff** — every attributable
+  failure (worker exception, attributable crash, timeout) charges the
+  cell's attempt budget; exhausted cells are *quarantined* into a
+  structured error result instead of aborting the campaign;
+- **``BrokenProcessPool`` recovery** — a worker death breaks the whole
+  pool, taking innocent in-flight cells with it; the executor rebuilds
+  the pool, re-runs the interrupted cells one at a time (*isolation*),
+  and charges only the cell that provably killed its own pool;
+- **journalled resume** — with a :class:`~repro.campaign.journal
+  .CampaignJournal`, every finalised outcome is durably appended
+  (fsync'd JSONL keyed by cell key × content hash), so a SIGKILL'd
+  campaign restarted with the same journal skips every finished cell
+  and re-executes only the rest.
+
+The hard invariant is preserved and extended: the deterministic
+artifact is byte-identical across any ``jobs`` count **and** across
+clean vs. retried vs. killed-and-resumed runs — quarantine messages
+deliberately contain no PIDs, times, or host state.
 
 :func:`run_campaign` instantiates the substrate for
 :class:`~repro.campaign.spec.ScenarioSpec` cells: each worker builds a
@@ -23,17 +49,45 @@ from __future__ import annotations
 import json
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import Counter, deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from functools import partial
 
-from repro.errors import ReproError, SimulationError
+from repro.errors import ExecutorQuarantineError, ReproError, SimulationError
+from repro.campaign.faults import (
+    ExecutorFaultPlan,
+    _InjectedCrash,
+    _InjectedHang,
+    fire_fault,
+)
+from repro.campaign.journal import CampaignJournal
 from repro.campaign.spec import ScenarioSpec
 
 
 def _timed_call(worker, payload):
     """Run *worker* on *payload*, returning ``(result, elapsed_s)``."""
     start = time.perf_counter()
+    result = worker(payload)
+    return result, time.perf_counter() - start
+
+
+def _attempt_call(worker, fault, attempt, in_process, payload):
+    """Worker shim: fire any due injected fault, then run the worker.
+
+    The fault fires *outside* the worker callable, so cell-level error
+    capture (e.g. ``_campaign_cell``'s) never swallows an injected
+    executor fault — they model the process dying, not the cell
+    failing.
+    """
+    start = time.perf_counter()
+    if fault is not None and fault.fires(attempt):
+        fire_fault(fault, in_process)
     result = worker(payload)
     return result, time.perf_counter() - start
 
@@ -45,8 +99,331 @@ def resolve_jobs(jobs: int | None) -> int:
     return jobs
 
 
+@dataclass(frozen=True)
+class ExecutorPolicy:
+    """Retry/timeout policy of the resilient executor.
+
+    Attributes:
+        timeout: Per-cell wall-clock budget in seconds (``None`` =
+            unlimited). Enforced by the parent when cells run on a
+            worker pool (``jobs >= 2``); a serial run cannot preempt
+            itself, so only *injected* hangs are detectable there.
+        max_retries: Re-attempts after the first try; a cell has
+            ``max_retries + 1`` total attempts before quarantine.
+        backoff_base: Sleep before the first retry, in seconds.
+        backoff_factor: Multiplier per further retry (exponential).
+        backoff_max: Upper bound on any single backoff sleep.
+        poll_interval: Parent-side wake-up granularity for deadline
+            checks (diagnostic only; never affects the artifact).
+    """
+
+    timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 2.0
+    poll_interval: float = 0.05
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts a cell gets before quarantine."""
+        return self.max_retries + 1
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff sleep after failed attempt number *attempt* (1-based)."""
+        return min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+
+
+@dataclass
+class ExecutorStats:
+    """Resilience counters of one resilient ``run_cells`` invocation.
+
+    Diagnostic only — never part of the deterministic artifact. The
+    counters mirror the executor's fault handling: pool rebuilds,
+    charged retries, deadline kills, quarantined cells, journal-served
+    cells, and torn journal tails tolerated at load.
+    """
+
+    worker_restarts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    quarantines: int = 0
+    resume_hits: int = 0
+    journal_torn_entries: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counter map."""
+        return {
+            "worker_restarts": self.worker_restarts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "quarantines": self.quarantines,
+            "resume_hits": self.resume_hits,
+            "journal_torn_entries": self.journal_torn_entries,
+        }
+
+    def publish(self, registry) -> None:
+        """Surface the counters as ``executor.*`` metrics on *registry*."""
+        for name, value in self.as_dict().items():
+            registry.counter(f"executor.{name}").inc(value)
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"restarts={self.worker_restarts} retries={self.retries} "
+            f"timeouts={self.timeouts} quarantined={self.quarantines} "
+            f"resume-hits={self.resume_hits}"
+        )
+
+
+def _timeout_reason(policy: ExecutorPolicy) -> str:
+    """Deterministic quarantine reason for a hung/over-deadline cell."""
+    if policy.timeout is not None:
+        return f"timed out after {policy.timeout:g}s"
+    return "hung"
+
+
+def _quarantine_message(attempts: int, reason: str) -> str:
+    """Deterministic quarantine text (no PIDs, times, or host state)."""
+    return (
+        f"executor: quarantined after {attempts} attempt(s); "
+        f"last failure: {reason}"
+    )
+
+
+def _default_fail(key, _payload, message, error):
+    """Quarantine fallback when the caller gave no factory: raise."""
+    raise ExecutorQuarantineError(
+        f"cell {key!r}: {message}"
+    ) from error
+
+
+class _Cell:
+    """Mutable in-flight state of one cell in the resilient runner."""
+
+    __slots__ = ("key", "payload", "attempt", "ready_at", "isolated")
+
+    def __init__(self, key, payload):
+        self.key = key
+        self.payload = payload
+        self.attempt = 1
+        self.ready_at = 0.0
+        self.isolated = False
+
+
+def _run_serial_resilient(
+    cells, worker, policy, fault_plan, stats, emit, fail
+):
+    """Resilient in-process execution (no preemption, same semantics).
+
+    Injected crash/hang sentinels are mapped onto the exact quarantine
+    texts the pool path produces, keeping artifacts byte-identical
+    across ``jobs`` values.
+    """
+    for key, payload in cells:
+        attempt = 1
+        while True:
+            fault = (
+                fault_plan.for_key(key) if fault_plan is not None else None
+            )
+            error = None
+            try:
+                result, elapsed = _attempt_call(
+                    worker, fault, attempt, True, payload
+                )
+            except _InjectedCrash:
+                reason = "worker crashed"
+            except _InjectedHang:
+                stats.timeouts += 1
+                reason = _timeout_reason(policy)
+            except Exception as exc:
+                reason = f"{type(exc).__name__}: {exc}"
+                error = exc
+            else:
+                emit(key, result, elapsed)
+                break
+            if attempt >= policy.max_attempts:
+                stats.quarantines += 1
+                message = _quarantine_message(attempt, reason)
+                emit(key, fail(key, payload, message, error), 0.0)
+                break
+            stats.retries += 1
+            time.sleep(policy.backoff(attempt))
+            attempt += 1
+
+
+def _run_pool_resilient(
+    cells, worker, workers, policy, fault_plan, stats, emit, fail
+):
+    """Resilient process-pool execution with bounded in-flight cells.
+
+    At most *workers* cells are in flight, so a pool death has a
+    bounded blast radius. Interrupted bystanders are re-run *in
+    isolation* (one at a time) without being charged; a cell whose
+    solo pool dies is definitively the culprit and is charged. Cells
+    that exceed their deadline are charged, the pool is killed and
+    rebuilt, and everything else re-runs uncharged.
+    """
+    pending: deque[_Cell] = deque(cells)
+    suspects: deque[_Cell] = deque()
+    inflight: dict = {}
+    deadlines: dict = {}
+    pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(cell: _Cell) -> None:
+        now = time.monotonic()
+        if cell.ready_at > now:
+            time.sleep(cell.ready_at - now)
+        fault = (
+            fault_plan.for_key(cell.key) if fault_plan is not None else None
+        )
+        future = pool.submit(
+            partial(_attempt_call, worker, fault, cell.attempt, False),
+            cell.payload,
+        )
+        inflight[future] = cell
+        deadlines[future] = (
+            time.monotonic() + policy.timeout
+            if policy.timeout is not None
+            else None
+        )
+
+    def restart_pool() -> None:
+        nonlocal pool
+        stats.worker_restarts += 1
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    def abandon_inflight() -> None:
+        # The pool died under these cells through (presumably) no fault
+        # of their own: re-run in isolation, uncharged.
+        interrupted = [inflight.pop(future) for future in list(inflight)]
+        deadlines.clear()
+        for cell in interrupted:
+            cell.ready_at = 0.0
+            suspects.append(cell)
+
+    def failed(cell: _Cell, reason: str, error=None, isolate=True) -> None:
+        if cell.attempt >= policy.max_attempts:
+            stats.quarantines += 1
+            message = _quarantine_message(cell.attempt, reason)
+            emit(cell.key, fail(cell.key, cell.payload, message, error), 0.0)
+            return
+        stats.retries += 1
+        cell.attempt += 1
+        cell.ready_at = time.monotonic() + policy.backoff(cell.attempt - 1)
+        (suspects if isolate else pending).append(cell)
+
+    try:
+        while pending or suspects or inflight:
+            if suspects:
+                if not inflight:
+                    cell = suspects.popleft()
+                    cell.isolated = True
+                    try:
+                        submit(cell)
+                    except BrokenExecutor:
+                        restart_pool()
+                        failed(cell, "worker crashed")
+                        continue
+            else:
+                while pending and len(inflight) < workers:
+                    cell = pending.popleft()
+                    cell.isolated = False
+                    try:
+                        submit(cell)
+                    except BrokenExecutor:
+                        restart_pool()
+                        abandon_inflight()
+                        cell.ready_at = 0.0
+                        suspects.appendleft(cell)
+                        break
+            if not inflight:
+                continue
+            now = time.monotonic()
+            horizon = policy.poll_interval
+            for deadline in deadlines.values():
+                if deadline is not None:
+                    horizon = min(horizon, max(0.0, deadline - now))
+            done, _ = wait(
+                set(inflight), timeout=horizon, return_when=FIRST_COMPLETED
+            )
+            broken_cells: list[_Cell] = []
+            for future in done:
+                cell = inflight.pop(future)
+                deadlines.pop(future, None)
+                try:
+                    result, elapsed = future.result()
+                except BrokenExecutor:
+                    broken_cells.append(cell)
+                except Exception as error:
+                    failed(
+                        cell,
+                        f"{type(error).__name__}: {error}",
+                        error,
+                        isolate=False,
+                    )
+                else:
+                    emit(cell.key, result, elapsed)
+            if broken_cells:
+                restart_pool()
+                for cell in broken_cells:
+                    if cell.isolated:
+                        # Alone in its pool: definitively the culprit.
+                        failed(cell, "worker crashed")
+                    else:
+                        cell.ready_at = 0.0
+                        suspects.append(cell)
+                abandon_inflight()
+                continue
+            now = time.monotonic()
+            expired = [
+                future
+                for future, deadline in deadlines.items()
+                if deadline is not None and now >= deadline
+            ]
+            if expired:
+                stats.timeouts += len(expired)
+                expired_cells = [inflight.pop(future) for future in expired]
+                for future in expired:
+                    deadlines.pop(future, None)
+                restart_pool()
+                abandon_inflight()
+                for cell in expired_cells:
+                    failed(cell, _timeout_reason(policy))
+    finally:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
 def run_cells(
-    items: list[tuple], worker, jobs: int | None = 1
+    items: list[tuple],
+    worker,
+    jobs: int | None = 1,
+    *,
+    policy: ExecutorPolicy | None = None,
+    journal: CampaignJournal | None = None,
+    journal_key=None,
+    cell_hash=None,
+    encode=None,
+    decode=None,
+    quarantine=None,
+    fault_plan: ExecutorFaultPlan | None = None,
+    stats: ExecutorStats | None = None,
 ) -> tuple[dict, dict]:
     """Run every ``(key, payload)`` cell through *worker*.
 
@@ -56,35 +433,106 @@ def run_cells(
     per-cell wall-clock seconds — diagnostic only, never part of any
     byte-identity contract.
 
-    *worker* must be a picklable (module-level) callable; worker
-    exceptions propagate to the caller. Keys must be unique; any
-    hashable, picklable key works.
+    *worker* must be a picklable (module-level) callable. Keys must be
+    unique; any hashable, picklable key works. With none of the
+    keyword-only resilience knobs set, worker exceptions propagate to
+    the caller exactly as they always did.
+
+    Resilient mode engages when *policy*, *journal*, or *fault_plan* is
+    given (see the module doc for semantics):
+
+    - *policy* bounds per-cell wall-clock time and retry budget;
+    - *journal* (with *journal_key*, *cell_hash*, *encode*, *decode*)
+      serves already-finished cells from disk and durably appends each
+      newly finalised one;
+    - *quarantine* is ``(key, payload, message, error) -> result``, the
+      factory for a budget-exhausted cell's structured error result;
+      without it, quarantine raises
+      :class:`~repro.errors.ExecutorQuarantineError`;
+    - *fault_plan* injects deterministic executor faults (tests/CI);
+    - *stats* (an :class:`ExecutorStats`) accumulates the resilience
+      counters in place.
     """
     keys = [key for key, _ in items]
-    if len(set(keys)) != len(keys):
-        dupes = sorted({repr(k) for k in keys if keys.count(k) > 1})
+    counts = Counter(keys)
+    dupes = sorted(repr(key) for key, count in counts.items() if count > 1)
+    if dupes:
         raise SimulationError(
             f"campaign cells must have unique keys; duplicated: {dupes}"
         )
     jobs = resolve_jobs(jobs)
-    collected: dict = {}
-    timings: dict = {}
-    if jobs == 1 or len(items) <= 1:
-        for key, payload in items:
-            collected[key], timings[key] = _timed_call(worker, payload)
-    else:
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(items))
-        ) as pool:
-            pending = {
-                pool.submit(partial(_timed_call, worker), payload): key
-                for key, payload in items
-            }
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    key = pending.pop(future)
-                    collected[key], timings[key] = future.result()
+    resilient = (
+        policy is not None or journal is not None or fault_plan is not None
+    )
+    if not resilient:
+        collected: dict = {}
+        timings: dict = {}
+        if jobs == 1 or len(items) <= 1:
+            for key, payload in items:
+                collected[key], timings[key] = _timed_call(worker, payload)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(items))
+            ) as pool:
+                pending = {
+                    pool.submit(partial(_timed_call, worker), payload): key
+                    for key, payload in items
+                }
+                while pending:
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        key = pending.pop(future)
+                        collected[key], timings[key] = future.result()
+        results = {key: collected[key] for key in keys}
+        return results, {key: timings[key] for key in keys}
+
+    if journal is not None and (
+        journal_key is None or cell_hash is None
+        or encode is None or decode is None
+    ):
+        raise SimulationError(
+            "run_cells with a journal needs journal_key, cell_hash, "
+            "encode, and decode"
+        )
+    policy = policy if policy is not None else ExecutorPolicy()
+    stats = stats if stats is not None else ExecutorStats()
+    fail = quarantine if quarantine is not None else _default_fail
+
+    collected = {}
+    timings = {}
+    hashes: dict = {}
+    todo: list[tuple] = []
+    if journal is not None:
+        journal.load()
+        stats.journal_torn_entries += journal.torn_entries
+    for key, payload in items:
+        if journal is not None:
+            hashes[key] = cell_hash(key, payload)
+            entry = journal.get(journal_key(key), hashes[key])
+            if entry is not None:
+                collected[key] = decode(entry)
+                timings[key] = 0.0
+                stats.resume_hits += 1
+                continue
+        todo.append((key, payload))
+
+    def emit(key, result, elapsed) -> None:
+        collected[key] = result
+        timings[key] = elapsed
+        if journal is not None:
+            journal.record(journal_key(key), hashes[key], encode(result))
+
+    if todo:
+        workers = min(jobs, len(todo))
+        if jobs == 1:
+            _run_serial_resilient(
+                todo, worker, policy, fault_plan, stats, emit, fail
+            )
+        else:
+            _run_pool_resilient(
+                [_Cell(key, payload) for key, payload in todo],
+                worker, workers, policy, fault_plan, stats, emit, fail,
+            )
     results = {key: collected[key] for key in keys}
     return results, {key: timings[key] for key in keys}
 
@@ -96,7 +544,10 @@ class CellOutcome:
     Everything here is deterministic given the spec: the engine is
     seed-driven and the observability log carries simulated time only,
     so two runs of the same spec — in different processes, under
-    different worker counts — produce equal outcomes.
+    different worker counts — produce equal outcomes. A quarantined
+    cell carries an ``executor:``-prefixed error; a cell that died on
+    an unexpected (non-:class:`~repro.errors.ReproError`) exception
+    carries an ``unexpected:``-prefixed one.
     """
 
     label: str
@@ -131,20 +582,47 @@ class CellOutcome:
             "events_jsonl": self.events_jsonl,
         }
 
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "CellOutcome":
+        """Rebuild an outcome from :meth:`to_json_dict`'s schema.
+
+        Exact inverse — a journaled outcome re-serialises to the very
+        bytes it was stored as, which is what the resume byte-identity
+        invariant rests on.
+        """
+        final_env = data.get("final_env")
+        return cls(
+            label=data["label"],
+            spec_hash=data["spec_hash"],
+            error=data.get("error"),
+            stats=data.get("stats"),
+            final_env=(
+                None if final_env is None else {
+                    int(rank): dict(env)
+                    for rank, env in final_env.items()
+                }
+            ),
+            completion_time=data.get("completion_time"),
+            events_jsonl=data.get("events_jsonl"),
+        )
+
 
 @dataclass
 class CampaignResult:
     """Merged outcome of one campaign run.
 
     ``cells`` preserves the submitted spec order; ``timings`` (seconds
-    per cell) and ``jobs`` are diagnostics, deliberately excluded from
-    :meth:`to_json` so the serialised campaign result is byte-identical
-    for any worker count.
+    per cell), ``jobs``, and ``executor`` (resilience counters, when
+    the resilient executor ran) are diagnostics, deliberately excluded
+    from :meth:`to_json` so the serialised campaign result is
+    byte-identical for any worker count and across clean, retried, and
+    killed-and-resumed runs.
     """
 
     cells: dict[str, CellOutcome] = field(default_factory=dict)
     timings: dict[str, float] = field(default_factory=dict)
     jobs: int = 1
+    executor: ExecutorStats | None = None
 
     @property
     def failures(self) -> list[CellOutcome]:
@@ -162,6 +640,16 @@ class CampaignResult:
             indent=indent,
             sort_keys=True,
         )
+
+    def diagnostics_dict(self) -> dict:
+        """The non-deterministic side channel: timings, jobs, counters."""
+        return {
+            "jobs": self.jobs,
+            "timings": dict(self.timings),
+            "executor": (
+                None if self.executor is None else self.executor.as_dict()
+            ),
+        }
 
 
 def _normalized_jsonl(obs, program) -> str:
@@ -228,6 +716,15 @@ def _campaign_cell(spec: ScenarioSpec) -> CellOutcome:
             error=f"{type(error).__name__}: {error}",
             events_jsonl=events,
         )
+    except Exception as error:
+        # A RecursionError, MemoryError, or plain bug in one cell must
+        # not abort a whole serial campaign: capture it as a structured
+        # outcome, distinguishable from engine errors by its prefix.
+        return CellOutcome(
+            label=spec.label,
+            spec_hash=spec.content_hash(),
+            error=f"unexpected: {type(error).__name__}: {error}",
+        )
     return CellOutcome(
         label=spec.label,
         spec_hash=spec.content_hash(),
@@ -242,17 +739,89 @@ def _campaign_cell(spec: ScenarioSpec) -> CellOutcome:
     )
 
 
+def _campaign_journal_key(key) -> str:
+    """Journal key of a campaign cell: its label."""
+    return str(key)
+
+
+def _campaign_cell_hash(_key, spec: ScenarioSpec) -> str:
+    """Content hash of a campaign cell: the spec's identity."""
+    return spec.content_hash()
+
+
+def _encode_outcome(outcome: CellOutcome) -> dict:
+    """Journal encoder for a campaign cell outcome."""
+    return outcome.to_json_dict()
+
+
+def _quarantined_outcome(key, spec: ScenarioSpec, message, _error):
+    """Quarantine factory: a structured error outcome for a dead cell."""
+    return CellOutcome(
+        label=key, spec_hash=spec.content_hash(), error=message
+    )
+
+
 def run_campaign(
-    specs: list[ScenarioSpec], jobs: int | None = 1
+    specs: list[ScenarioSpec],
+    jobs: int | None = 1,
+    *,
+    policy: ExecutorPolicy | None = None,
+    journal_path=None,
+    fault_plan: ExecutorFaultPlan | None = None,
+    registry=None,
 ) -> CampaignResult:
     """Run every spec (labels are the cell keys) and merge the results.
 
     The hard invariant: the returned :class:`CampaignResult`'s
     deterministic artifact (:meth:`CampaignResult.to_json`) is
-    byte-identical for any *jobs* value.
+    byte-identical for any *jobs* value — and, in resilient mode, also
+    across clean, retried, and killed-and-resumed runs.
+
+    *policy* enables per-cell timeouts, bounded retry, and quarantine;
+    *journal_path* makes progress durable (and resumable — a journal
+    that already exists serves its finished cells); *fault_plan*
+    injects deterministic executor faults; *registry* (a
+    :class:`~repro.obs.metrics.MetricsRegistry`) receives the
+    ``executor.*`` resilience counters.
     """
     items = [(spec.label, spec) for spec in specs]
-    results, timings = run_cells(items, _campaign_cell, jobs=jobs)
+    resilient = (
+        policy is not None
+        or journal_path is not None
+        or fault_plan is not None
+    )
+    if not resilient:
+        results, timings = run_cells(items, _campaign_cell, jobs=jobs)
+        return CampaignResult(
+            cells=results, timings=timings, jobs=resolve_jobs(jobs)
+        )
+    stats = ExecutorStats()
+    journal = (
+        CampaignJournal(journal_path) if journal_path is not None else None
+    )
+    try:
+        results, timings = run_cells(
+            items,
+            _campaign_cell,
+            jobs=jobs,
+            policy=policy,
+            journal=journal,
+            journal_key=_campaign_journal_key,
+            cell_hash=_campaign_cell_hash,
+            encode=_encode_outcome,
+            decode=CellOutcome.from_json_dict,
+            quarantine=_quarantined_outcome,
+            fault_plan=fault_plan,
+            stats=stats,
+        )
+    finally:
+        if journal is not None:
+            journal.close()
+    if registry is not None:
+        stats.publish(registry)
     return CampaignResult(
-        cells=results, timings=timings, jobs=resolve_jobs(jobs)
+        cells=results,
+        timings=timings,
+        jobs=resolve_jobs(jobs),
+        executor=stats,
     )

@@ -12,7 +12,9 @@ figures    print the Figure 8 / Figure 9 data tables
 programs   list the shipped example programs
 trace      inspect/convert a recorded JSONL observability event log
 chaos      run the chaos sweep, dumping diagnostics on failure
+           (resumable via --resume, executor-fault injectable)
 campaign   run a declarative scenario campaign on N worker processes
+           with timeouts, retry/quarantine, and --resume restart
 ========== ==========================================================
 
 Program arguments accept either a file path or ``@name`` for a shipped
@@ -592,6 +594,44 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         retain_k=args.retain_k,
     )
     protocols = tuple(args.protocol) if args.protocol else CHAOS_PROTOCOLS
+    executor_stats = None
+    resilient_kwargs: dict = {}
+    if (
+        args.resume
+        or args.timeout is not None
+        or args.retries is not None
+        or args.executor_faults > 0
+    ):
+        from repro.campaign import (
+            ExecutorPolicy,
+            ExecutorStats,
+            draw_executor_faults,
+        )
+
+        executor_stats = ExecutorStats()
+        fault_plan = None
+        if args.executor_faults > 0:
+            keys = [
+                (protocol, seed)
+                for protocol in protocols
+                for seed in range(args.seeds)
+            ]
+            fault_plan = draw_executor_faults(
+                keys,
+                args.executor_fault_seed,
+                probability=args.executor_faults,
+            )
+        resilient_kwargs = {
+            "policy": ExecutorPolicy(
+                timeout=args.timeout,
+                max_retries=(
+                    args.retries if args.retries is not None else 2
+                ),
+            ),
+            "journal_path": args.resume,
+            "executor_fault_plan": fault_plan,
+            "executor_stats": executor_stats,
+        }
     outcomes = chaos_sweep(
         range(args.seeds),
         protocols=protocols,
@@ -599,6 +639,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         transport_config=transport,
         artifacts_dir=args.artifacts,
         jobs=args.jobs,
+        **resilient_kwargs,
     )
     failures = 0
     unrecoverable = 0
@@ -610,13 +651,22 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     if unrecoverable:
         summary += f", {unrecoverable} clean unrecoverable verdict(s)"
     print(summary)
+    if executor_stats is not None:
+        print(f"resilience: {executor_stats.describe()}")
     if failures and args.artifacts:
         print(f"# diagnostics under {args.artifacts}", file=sys.stderr)
     return 1 if failures else 0
 
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import load_campaign, quick_campaign, run_campaign
+    from repro.campaign import (
+        ExecutorFaultPlan,
+        ExecutorPolicy,
+        load_campaign,
+        parse_worker_fault,
+        quick_campaign,
+        run_campaign,
+    )
 
     if args.campaign == "@quick":
         specs = quick_campaign()
@@ -629,7 +679,26 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     else:
         specs = load_campaign(Path(args.campaign).read_text())
-    result = run_campaign(specs, jobs=args.jobs)
+    fault_plan = None
+    if args.inject_fault:
+        fault_plan = ExecutorFaultPlan(
+            dict(parse_worker_fault(text) for text in args.inject_fault)
+        )
+    registry = None
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+    result = run_campaign(
+        specs,
+        jobs=args.jobs,
+        policy=ExecutorPolicy(
+            timeout=args.timeout, max_retries=args.retries
+        ),
+        journal_path=args.resume,
+        fault_plan=fault_plan,
+        registry=registry,
+    )
     width = max((len(cell.label) for cell in result.cells.values()),
                 default=5)
     print(f"{'cell':<{width}s} {'ok':>4s} {'ckpts':>6s} {'msgs':>6s} "
@@ -647,6 +716,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     failures = len(result.failures)
     print(f"{len(result.cells)} cell(s), {failures} failure(s), "
           f"jobs={result.jobs}")
+    if result.executor is not None:
+        print(f"resilience: {result.executor.describe()}")
     if args.results_json:
         payload = result.to_json()
         if args.results_json == "-":
@@ -655,6 +726,9 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             Path(args.results_json).write_text(payload + "\n")
             print(f"# wrote results to {args.results_json}",
                   file=sys.stderr)
+    if registry is not None:
+        Path(args.metrics_out).write_text(registry.to_json() + "\n")
+        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -843,6 +917,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for the sweep (0 = all "
                             "cores); verdicts are byte-identical for "
                             "any N")
+    chaos.add_argument("--resume", metavar="JOURNAL",
+                       help="fsync'd JSONL journal of finished cells; "
+                            "an existing journal is resumed (finished "
+                            "cells are skipped), a missing one is "
+                            "created — a killed sweep restarts where "
+                            "it stopped")
+    chaos.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-cell wall-clock budget in seconds "
+                            "(enforced with --jobs >= 2); over-budget "
+                            "cells are killed, retried, and finally "
+                            "quarantined")
+    chaos.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="executor re-attempts per cell before "
+                            "quarantine (default 2 when resilient "
+                            "mode is active)")
+    chaos.add_argument("--executor-faults", type=float, default=0.0,
+                       metavar="P",
+                       help="per-cell probability of injecting a "
+                            "deterministic executor fault "
+                            "(crash/hang/raise worker shim) — the "
+                            "harness testing its own resilience")
+    chaos.add_argument("--executor-fault-seed", type=int, default=0,
+                       metavar="SEED",
+                       help="seed of the executor-fault draw")
     chaos.set_defaults(func=_cmd_chaos)
 
     campaign = commands.add_parser(
@@ -859,6 +957,34 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--results-json", metavar="PATH",
                           help="write the deterministic campaign result "
                                "as JSON ('-' for stdout)")
+    campaign.add_argument("--resume", metavar="JOURNAL",
+                          help="fsync'd JSONL journal of finished cells "
+                               "keyed by label and content hash; an "
+                               "existing journal is resumed (finished "
+                               "cells are skipped), a missing one is "
+                               "created — a SIGKILL'd campaign restarts "
+                               "where it stopped and its artifact stays "
+                               "byte-identical to a clean run")
+    campaign.add_argument("--timeout", type=float, default=None,
+                          metavar="S",
+                          help="per-cell wall-clock budget in seconds "
+                               "(enforced with --jobs >= 2); over-budget "
+                               "cells are killed, retried, and finally "
+                               "quarantined")
+    campaign.add_argument("--retries", type=int, default=2, metavar="N",
+                          help="executor re-attempts per cell before it "
+                               "is quarantined into a structured error "
+                               "outcome (default 2)")
+    campaign.add_argument("--inject-fault", action="append", default=[],
+                          metavar="LABEL:KIND[:UNTIL]",
+                          help="inject a deterministic executor fault "
+                               "on one cell (kind: crash, hang, raise; "
+                               "UNTIL = last faulting attempt, default "
+                               "forever) — for testing the executor's "
+                               "own resilience")
+    campaign.add_argument("--metrics-out", metavar="PATH",
+                          help="write the executor.* resilience "
+                               "counters (MetricsRegistry JSON) here")
     campaign.set_defaults(func=_cmd_campaign)
 
     optimal = commands.add_parser(

@@ -208,6 +208,35 @@ class ChaosOutcome:
             f"{self.crashes} crash(es)"
         )
 
+    def to_json_dict(self) -> dict:
+        """JSON-ready form (journalled by ``repro chaos --resume``)."""
+        return {
+            "ok": self.ok,
+            "reason": self.reason,
+            "completed": self.completed,
+            "recovery_lines_ok": self.recovery_lines_ok,
+            "state_ok": self.state_ok,
+            "faults": self.faults,
+            "crashes": self.crashes,
+            "unrecoverable": self.unrecoverable,
+            "retention_ok": self.retention_ok,
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: dict) -> "ChaosOutcome":
+        """Rebuild a verdict from :meth:`to_json_dict`'s schema."""
+        return cls(
+            ok=bool(data["ok"]),
+            reason=str(data["reason"]),
+            completed=bool(data["completed"]),
+            recovery_lines_ok=bool(data["recovery_lines_ok"]),
+            state_ok=bool(data["state_ok"]),
+            faults=int(data["faults"]),
+            crashes=int(data["crashes"]),
+            unrecoverable=bool(data.get("unrecoverable", False)),
+            retention_ok=bool(data.get("retention_ok", True)),
+        )
+
 
 def storage_recovery_lines_consistent(
     result: SimulationResult, n_processes: int
@@ -396,6 +425,53 @@ def _chaos_cell(payload) -> ChaosOutcome:
     )
 
 
+def _chaos_journal_key(key) -> str:
+    """Journal key of one sweep cell: ``protocol/seedN``."""
+    protocol, seed = key
+    return f"{protocol}/seed{seed}"
+
+
+def _chaos_cell_hash(_key, payload) -> str:
+    """Content hash of one sweep cell (plan × protocol × config)."""
+    import hashlib
+    import json
+    from dataclasses import asdict
+
+    plan, protocol, config, transport_config = payload
+    material = json.dumps(
+        {
+            "plan": plan.to_json_dict(),
+            "protocol": protocol,
+            "config": asdict(config),
+            "transport": (
+                None if transport_config is None else asdict(transport_config)
+            ),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(material.encode()).hexdigest()
+
+
+def _encode_chaos_outcome(outcome: ChaosOutcome) -> dict:
+    """Journal encoder for a sweep verdict."""
+    return outcome.to_json_dict()
+
+
+def _quarantined_chaos_outcome(_key, payload, message, _error):
+    """Quarantine factory: a structured failing verdict for a dead cell."""
+    plan = payload[0]
+    return ChaosOutcome(
+        ok=False,
+        reason=message,
+        completed=False,
+        recovery_lines_ok=False,
+        state_ok=False,
+        faults=len(plan.network_faults),
+        crashes=len(plan.effective()),
+    )
+
+
 def chaos_sweep(
     seeds: range,
     protocols: tuple[str, ...] = CHAOS_PROTOCOLS,
@@ -403,6 +479,10 @@ def chaos_sweep(
     transport_config: TransportConfig | None = None,
     artifacts_dir=None,
     jobs: int | None = 1,
+    policy=None,
+    journal_path=None,
+    executor_fault_plan=None,
+    executor_stats=None,
 ) -> dict[tuple[str, int], ChaosOutcome]:
     """Run every (protocol, seed) cell and collect the verdicts.
 
@@ -419,8 +499,20 @@ def chaos_sweep(
     counterexample. Artifacts are dumped from the coordinating process
     after the sweep, in cell order, so parallel runs produce the same
     files as serial ones.
+
+    The sweep runs on the resilient executor when *policy* (an
+    :class:`~repro.campaign.executor.ExecutorPolicy`), *journal_path*
+    (enabling ``repro chaos --resume``: finished cells are served from
+    the journal), or *executor_fault_plan* (the deterministic
+    crash/hang/raise injector, keyed by ``(protocol, seed)``) is set;
+    a cell whose worker dies past its retry budget yields a structured
+    failing :class:`ChaosOutcome` instead of an unhandled
+    ``BrokenProcessPool``. *executor_stats* (an
+    :class:`~repro.campaign.executor.ExecutorStats`) accumulates the
+    resilience counters in place.
     """
     from repro.campaign.executor import run_cells
+    from repro.campaign.journal import CampaignJournal
 
     plans = {
         (protocol, seed): draw_schedule(seed, config)
@@ -431,7 +523,36 @@ def chaos_sweep(
         (key, (plan, key[0], config, transport_config))
         for key, plan in plans.items()
     ]
-    outcomes, _timings = run_cells(items, _chaos_cell, jobs=jobs)
+    resilient = (
+        policy is not None
+        or journal_path is not None
+        or executor_fault_plan is not None
+    )
+    if not resilient:
+        outcomes, _timings = run_cells(items, _chaos_cell, jobs=jobs)
+    else:
+        journal = (
+            CampaignJournal(journal_path)
+            if journal_path is not None else None
+        )
+        try:
+            outcomes, _timings = run_cells(
+                items,
+                _chaos_cell,
+                jobs=jobs,
+                policy=policy,
+                journal=journal,
+                journal_key=_chaos_journal_key,
+                cell_hash=_chaos_cell_hash,
+                encode=_encode_chaos_outcome,
+                decode=ChaosOutcome.from_json_dict,
+                quarantine=_quarantined_chaos_outcome,
+                fault_plan=executor_fault_plan,
+                stats=executor_stats,
+            )
+        finally:
+            if journal is not None:
+                journal.close()
     if artifacts_dir is not None:
         for (protocol, seed), outcome in outcomes.items():
             # Clean UNRECOVERABLE verdicts are ok but still archived:

@@ -20,10 +20,31 @@ def _square(payload):
     return payload * payload
 
 
+def _explode(payload):
+    """Module-level worker that always raises (picklable)."""
+    raise ValueError(f"boom on {payload}")
+
+
 class TestRunCells:
     def test_duplicate_keys_rejected(self):
         with pytest.raises(SimulationError, match="unique"):
             run_cells([("a", 1), ("a", 2)], _square)
+
+    def test_duplicate_keys_named_in_message(self):
+        items = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("c", 5)]
+        with pytest.raises(SimulationError) as excinfo:
+            run_cells(items, _square)
+        message = str(excinfo.value)
+        assert "'a'" in message and "'c'" in message
+        assert "'b'" not in message
+
+    def test_worker_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="boom on 1"):
+            run_cells([("a", 1)], _explode, jobs=1)
+
+    def test_worker_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="boom on"):
+            run_cells([("a", 1), ("b", 2)], _explode, jobs=2)
 
     def test_results_in_submission_order(self):
         items = [("c", 3), ("a", 1), ("b", 2)]
@@ -126,6 +147,36 @@ class TestRunCampaign:
         result = run_campaign([])
         assert result.cells == {}
         assert result.to_json() == CampaignResult().to_json()
+
+    def test_unexpected_exception_captured_in_outcome(self, monkeypatch):
+        spec = quick_campaign(steps=4)[0]
+        monkeypatch.setattr(
+            ScenarioSpec,
+            "build",
+            lambda self, observer=None: (_ for _ in ()).throw(
+                RecursionError("maximum recursion depth exceeded")
+            ),
+        )
+        result = run_campaign([spec], jobs=1)
+        outcome = result.cells[spec.label]
+        assert outcome.error == (
+            "unexpected: RecursionError: maximum recursion depth exceeded"
+        )
+        assert not outcome.ok
+        # The artifact serialises the captured failure like any other.
+        assert '"error": "unexpected: RecursionError' in result.to_json()
+
+    def test_cell_outcome_json_roundtrip_exact(self):
+        outcome = CellOutcome(
+            label="x",
+            spec_hash="deadbeef",
+            stats={"completed": True},
+            final_env={1: {"v": 2}, 0: {"v": 1}},
+            completion_time=3.5,
+        )
+        rebuilt = CellOutcome.from_json_dict(outcome.to_json_dict())
+        assert rebuilt == outcome
+        assert rebuilt.to_json_dict() == outcome.to_json_dict()
 
 
 class TestChaosSweepJobs:

@@ -1,0 +1,158 @@
+"""Campaign journal: durability, torn tails, content-keyed resume."""
+
+import json
+
+import pytest
+
+from repro.campaign.journal import JOURNAL_VERSION, CampaignJournal
+from repro.errors import SimulationError
+
+
+def _outcome(label):
+    """A minimal journaled outcome payload."""
+    return {"label": label, "value": len(label)}
+
+
+class TestLoad:
+    def test_missing_file_is_empty_journal(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "absent.jsonl")
+        assert journal.load() == {}
+        assert journal.torn_entries == 0
+        assert len(journal) == 0
+
+    def test_load_is_idempotent(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        journal = CampaignJournal(path)
+        first = journal.load()
+        assert journal.load() is first
+
+    def test_roundtrip_through_fresh_instance(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+            journal.record("b", "h2", _outcome("b"))
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.get("a", "h1") == _outcome("a")
+        assert fresh.get("b", "h2") == _outcome("b")
+        assert len(fresh) == 2
+
+    def test_header_record_is_first_line(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first == {"kind": "header", "version": JOURNAL_VERSION}
+
+    def test_version_mismatch_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "header", "version": 999}\n')
+        with pytest.raises(SimulationError, match="version 999"):
+            CampaignJournal(path).load()
+
+    def test_unknown_record_kind_refused(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        path.write_text('{"kind": "mystery"}\nmore\n')
+        with pytest.raises(SimulationError, match="corrupt"):
+            CampaignJournal(path).load()
+
+    def test_duplicate_key_keeps_newest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", {"v": 1})
+            journal.record("a", "h2", {"v": 2})
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.get("a", "h1") is None
+        assert fresh.get("a", "h2") == {"v": 2}
+
+
+class TestContentKeyedGet:
+    def test_both_key_and_hash_must_match(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "journal.jsonl")
+        journal.record("a", "h1", _outcome("a"))
+        assert journal.get("a", "h1") == _outcome("a")
+        assert journal.get("a", "other") is None
+        assert journal.get("b", "h1") is None
+
+
+class TestTornTail:
+    def test_torn_tail_tolerated_and_counted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        with open(path, "ab") as fh:
+            fh.write(b'{"kind": "cell", "key": "b", "ha')  # SIGKILL'd write
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.torn_entries == 1
+        assert fresh.get("a", "h1") == _outcome("a")
+
+    def test_next_append_truncates_torn_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        with open(path, "ab") as fh:
+            fh.write(b"{torn")
+        with CampaignJournal(path) as journal:
+            journal.load()
+            journal.record("b", "h2", _outcome("b"))
+        # The torn bytes are gone and every surviving line parses.
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        assert [r["kind"] for r in records] == ["header", "cell", "cell"]
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.torn_entries == 0
+        assert fresh.get("a", "h1") == _outcome("a")
+        assert fresh.get("b", "h2") == _outcome("b")
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+            journal.record("b", "h2", _outcome("b"))
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]  # corrupt a middle line
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(SimulationError, match="only the final line"):
+            CampaignJournal(path).load()
+
+    def test_trailing_newline_is_not_a_torn_entry(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.torn_entries == 0
+
+
+class TestAppend:
+    def test_record_before_load_is_allowed(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CampaignJournal(path)
+        journal.record("a", "h1", _outcome("a"))  # implicit load
+        journal.close()
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert fresh.get("a", "h1") == _outcome("a")
+
+    def test_append_to_existing_preserves_old_records(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        with CampaignJournal(path) as journal:
+            journal.record("a", "h1", _outcome("a"))
+        with CampaignJournal(path) as journal:
+            journal.load()
+            journal.record("b", "h2", _outcome("b"))
+        fresh = CampaignJournal(path)
+        fresh.load()
+        assert len(fresh) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = CampaignJournal(tmp_path / "journal.jsonl")
+        journal.record("a", "h1", _outcome("a"))
+        journal.close()
+        journal.close()
