@@ -15,6 +15,14 @@ bench turns into checkable artifacts:
    artifacts; the traced pair also produces byte-identical JSONL event
    logs.
 
+The span tracker (:mod:`repro.obs.spans`) makes the same bargain, and
+the ``spans`` case here checks it: a span-instrumented transform
+produces the identical program (spans never perturb the pipeline), the
+recorded span set is the documented phase catalogue, and the
+spans-off transform pays no measurable tax over an uninstrumented one
+(the wall-clock comparison is folded into a bounded *verdict* — the
+measured ratio itself is machine noise and stays out of the snapshot).
+
 Everything reported here is deterministic (counts and verdicts, never
 wall-clock timings), so the ``results/obs_overhead.txt`` snapshot is
 reproducible byte-for-byte. The *timing* of the enabled path lives in
@@ -25,9 +33,10 @@ machine-dependent.
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass
 
-from repro.lang.programs import ring_pipeline
+from repro.lang.programs import ring_pipeline, stencil_1d
 from repro.obs import Observability
 from repro.protocols import ApplicationDrivenProtocol
 from repro.runtime import FailurePlan, Simulation
@@ -60,6 +69,13 @@ def _run(observer=None, with_crash: bool = True):
     ).run()
 
 
+#: Spans-on wall time may exceed spans-off by at most this factor.
+#: Four context managers around whole pipeline phases cost nanoseconds
+#: against milliseconds of work, so 2x only trips on a real regression
+#: (e.g. span bookkeeping moving into a per-statement loop).
+SPAN_OVERHEAD_BOUND = 2.0
+
+
 @dataclass(frozen=True)
 class ObsOverheadReport:
     """Deterministic verdicts and counts of the overhead experiment."""
@@ -70,6 +86,10 @@ class ObsOverheadReport:
     jsonl_deterministic: bool
     events: int
     events_by_category: dict[str, int]
+    span_zero_perturbation: bool
+    span_deterministic: bool
+    span_overhead_bounded: bool
+    span_names: tuple[str, ...]
 
     @property
     def ok(self) -> bool:
@@ -79,7 +99,50 @@ class ObsOverheadReport:
             and self.enabled_deterministic
             and self.zero_perturbation
             and self.jsonl_deterministic
+            and self.span_zero_perturbation
+            and self.span_deterministic
+            and self.span_overhead_bounded
         )
+
+
+def _span_case() -> tuple[bool, bool, bool, tuple[str, ...]]:
+    """The span-tracker half of the experiment, on a stencil transform.
+
+    Returns (zero_perturbation, deterministic, overhead_bounded, names):
+    the tracked transform's output program is byte-identical to the
+    untracked one, two tracked runs record the same span stream, and
+    spans-on wall time stays within :data:`SPAN_OVERHEAD_BOUND` of
+    spans-off (reported only as a verdict — the raw ratio is machine
+    noise and would break the snapshot's reproducibility).
+    """
+    from repro.lang.printer import to_source
+    from repro.obs.spans import SpanTracker
+    from repro.phases.pipeline import transform
+
+    program = stencil_1d()
+    untracked = to_source(transform(program, force_insertion=True).program)
+    tracker_a, tracker_b = SpanTracker(), SpanTracker()
+    tracked = to_source(
+        transform(program, force_insertion=True, tracker=tracker_a).program
+    )
+    transform(program, force_insertion=True, tracker=tracker_b)
+    stream = tuple(span.name for span in tracker_a.spans)
+    deterministic = stream == tuple(span.name for span in tracker_b.spans)
+
+    def best_of(reps: int, runs: int, tracked: bool) -> float:
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            for _ in range(runs):
+                tracker = SpanTracker() if tracked else None
+                transform(program, force_insertion=True, tracker=tracker)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    off = best_of(5, 3, tracked=False)
+    on = best_of(5, 3, tracked=True)
+    bounded = on <= off * SPAN_OVERHEAD_BOUND
+    return untracked == tracked, deterministic, bounded, stream
 
 
 def obs_overhead_report() -> ObsOverheadReport:
@@ -100,6 +163,7 @@ def obs_overhead_report() -> ObsOverheadReport:
     by_category: dict[str, int] = {}
     for event in obs_a.events:
         by_category[event.category] = by_category.get(event.category, 0) + 1
+    span_clean, span_det, span_bounded, span_names = _span_case()
     return ObsOverheadReport(
         disabled_deterministic=off_a == off_b,
         enabled_deterministic=fingerprint(on_a) == fingerprint(on_b),
@@ -107,6 +171,10 @@ def obs_overhead_report() -> ObsOverheadReport:
         jsonl_deterministic=jsonl_a == jsonl_b,
         events=len(obs_a.events),
         events_by_category=by_category,
+        span_zero_perturbation=span_clean,
+        span_deterministic=span_det,
+        span_overhead_bounded=span_bounded,
+        span_names=span_names,
     )
 
 
@@ -127,6 +195,16 @@ def format_obs_overhead(report: ObsOverheadReport) -> str:
         lines.append(
             f"  {category:<27s}: {report.events_by_category[category]}"
         )
+    lines += [
+        "",
+        "Span tracker (stencil_1d transform, forced insertion)",
+        "",
+        f"tracked == untracked output  : {verdict[report.span_zero_perturbation]}",
+        f"span stream deterministic    : {verdict[report.span_deterministic]}",
+        f"{f'spans-on overhead < {SPAN_OVERHEAD_BOUND:.0f}x off':<29s}: "
+        f"{verdict[report.span_overhead_bounded]}",
+        f"spans recorded               : {' '.join(report.span_names)}",
+    ]
     lines.append("")
     lines.append(
         "disabled path is free: "

@@ -71,10 +71,15 @@ from repro.campaign.spec import ScenarioSpec
 
 
 def _timed_call(worker, payload):
-    """Run *worker* on *payload*, returning ``(result, elapsed_s)``."""
+    """Run *worker* on *payload*: ``(result, elapsed_s, worker_pid)``.
+
+    The pid identifies which process executed the cell — diagnostic
+    only (it feeds the rollup's ``diagnostics.workers`` map), never
+    part of any deterministic artifact.
+    """
     start = time.perf_counter()
     result = worker(payload)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, os.getpid()
 
 
 def _attempt_call(worker, fault, attempt, in_process, payload):
@@ -83,13 +88,14 @@ def _attempt_call(worker, fault, attempt, in_process, payload):
     The fault fires *outside* the worker callable, so cell-level error
     capture (e.g. ``_campaign_cell``'s) never swallows an injected
     executor fault — they model the process dying, not the cell
-    failing.
+    failing. Returns ``(result, elapsed_s, worker_pid)`` like
+    :func:`_timed_call`.
     """
     start = time.perf_counter()
     if fault is not None and fault.fires(attempt):
         fire_fault(fault, in_process)
     result = worker(payload)
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - start, os.getpid()
 
 
 def resolve_jobs(jobs: int | None) -> int:
@@ -215,7 +221,7 @@ class _Cell:
 
 
 def _run_serial_resilient(
-    cells, worker, policy, fault_plan, stats, emit, fail
+    cells, worker, policy, fault_plan, stats, emit, fail, notify
 ):
     """Resilient in-process execution (no preemption, same semantics).
 
@@ -231,7 +237,7 @@ def _run_serial_resilient(
             )
             error = None
             try:
-                result, elapsed = _attempt_call(
+                result, elapsed, pid = _attempt_call(
                     worker, fault, attempt, True, payload
                 )
             except _InjectedCrash:
@@ -243,20 +249,23 @@ def _run_serial_resilient(
                 reason = f"{type(exc).__name__}: {exc}"
                 error = exc
             else:
-                emit(key, result, elapsed)
+                emit(key, result, elapsed, pid, attempt)
                 break
             if attempt >= policy.max_attempts:
                 stats.quarantines += 1
+                notify("quarantine", cell=key)
                 message = _quarantine_message(attempt, reason)
-                emit(key, fail(key, payload, message, error), 0.0)
+                emit(key, fail(key, payload, message, error), 0.0, None,
+                     attempt)
                 break
             stats.retries += 1
+            notify("retry", cell=key, attempt=attempt + 1)
             time.sleep(policy.backoff(attempt))
             attempt += 1
 
 
 def _run_pool_resilient(
-    cells, worker, workers, policy, fault_plan, stats, emit, fail
+    cells, worker, workers, policy, fault_plan, stats, emit, fail, notify
 ):
     """Resilient process-pool execution with bounded in-flight cells.
 
@@ -318,11 +327,14 @@ def _run_pool_resilient(
     def failed(cell: _Cell, reason: str, error=None, isolate=True) -> None:
         if cell.attempt >= policy.max_attempts:
             stats.quarantines += 1
+            notify("quarantine", cell=cell.key)
             message = _quarantine_message(cell.attempt, reason)
-            emit(cell.key, fail(cell.key, cell.payload, message, error), 0.0)
+            emit(cell.key, fail(cell.key, cell.payload, message, error),
+                 0.0, None, cell.attempt)
             return
         stats.retries += 1
         cell.attempt += 1
+        notify("retry", cell=cell.key, attempt=cell.attempt)
         cell.ready_at = time.monotonic() + policy.backoff(cell.attempt - 1)
         (suspects if isolate else pending).append(cell)
 
@@ -365,7 +377,7 @@ def _run_pool_resilient(
                 cell = inflight.pop(future)
                 deadlines.pop(future, None)
                 try:
-                    result, elapsed = future.result()
+                    result, elapsed, pid = future.result()
                 except BrokenExecutor:
                     broken_cells.append(cell)
                 except Exception as error:
@@ -376,7 +388,7 @@ def _run_pool_resilient(
                         isolate=False,
                     )
                 else:
-                    emit(cell.key, result, elapsed)
+                    emit(cell.key, result, elapsed, pid, cell.attempt)
             if broken_cells:
                 restart_pool()
                 for cell in broken_cells:
@@ -424,6 +436,9 @@ def run_cells(
     quarantine=None,
     fault_plan: ExecutorFaultPlan | None = None,
     stats: ExecutorStats | None = None,
+    progress=None,
+    tracker=None,
+    workers: dict | None = None,
 ) -> tuple[dict, dict]:
     """Run every ``(key, payload)`` cell through *worker*.
 
@@ -432,6 +447,22 @@ def run_cells(
     the worker returned — the deterministic artifact; ``timings`` holds
     per-cell wall-clock seconds — diagnostic only, never part of any
     byte-identity contract.
+
+    Three further diagnostic channels, all strictly outside the
+    deterministic artifact:
+
+    - *progress* is a callback receiving structured
+      :class:`~repro.obs.progress.ProgressEvent` records (campaign
+      start, each cell's final outcome, retries, quarantines, end) as
+      they happen — the live-feedback channel behind
+      ``repro campaign --progress``;
+    - *tracker* is a :class:`~repro.obs.spans.SpanTracker` recording
+      the cell lifecycle as wall-clock spans: one ``cell.attempt`` per
+      completed attempt, one ``cell`` per final outcome, and a
+      ``campaign.merge`` span over the deterministic merge;
+    - *workers* is a dict the executor fills with ``key -> worker
+      pid`` for every cell that actually ran (journal-served and
+      quarantined cells have no pid).
 
     *worker* must be a picklable (module-level) callable. Keys must be
     unique; any hashable, picklable key works. With none of the
@@ -461,15 +492,71 @@ def run_cells(
             f"campaign cells must have unique keys; duplicated: {dupes}"
         )
     jobs = resolve_jobs(jobs)
+
+    def notify(kind, cell=None, **fields):
+        if progress is None:
+            return
+        from repro.obs.progress import ProgressEvent
+
+        progress(ProgressEvent(
+            kind=kind,
+            done=len(collected),
+            total=len(items),
+            cell=None if cell is None else str(cell),
+            fields=fields,
+        ))
+
+    def record_cell(key, result, elapsed, pid, attempt) -> None:
+        if pid is not None and workers is not None:
+            workers[key] = pid
+        if tracker is not None:
+            end = time.perf_counter()
+            tracker.record(
+                "cell.attempt", end - elapsed, end,
+                cell=str(key), attempt=attempt,
+            )
+            tracker.record(
+                "cell", end - elapsed, end,
+                cell=str(key), ok=bool(getattr(result, "ok", True)),
+            )
+        notify(
+            "cell-done", cell=key, ok=bool(getattr(result, "ok", True)),
+        )
+
+    def merged(collected, timings) -> tuple[dict, dict]:
+        if tracker is not None:
+            start = time.perf_counter()
+            results = {key: collected[key] for key in keys}
+            ordered = {key: timings[key] for key in keys}
+            tracker.record(
+                "campaign.merge", start, time.perf_counter(),
+                cells=len(keys),
+            )
+        else:
+            results = {key: collected[key] for key in keys}
+            ordered = {key: timings[key] for key in keys}
+        notify(
+            "end",
+            failed=sum(
+                1 for r in results.values() if not getattr(r, "ok", True)
+            ),
+            quarantined=0 if stats is None else stats.quarantines,
+        )
+        return results, ordered
+
     resilient = (
         policy is not None or journal is not None or fault_plan is not None
     )
     if not resilient:
         collected: dict = {}
         timings: dict = {}
+        notify("start", jobs=jobs)
         if jobs == 1 or len(items) <= 1:
             for key, payload in items:
-                collected[key], timings[key] = _timed_call(worker, payload)
+                collected[key], timings[key], pid = _timed_call(
+                    worker, payload
+                )
+                record_cell(key, collected[key], timings[key], pid, 1)
         else:
             with ProcessPoolExecutor(
                 max_workers=min(jobs, len(items))
@@ -482,9 +569,9 @@ def run_cells(
                     done, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for future in done:
                         key = pending.pop(future)
-                        collected[key], timings[key] = future.result()
-        results = {key: collected[key] for key in keys}
-        return results, {key: timings[key] for key in keys}
+                        collected[key], timings[key], pid = future.result()
+                        record_cell(key, collected[key], timings[key], pid, 1)
+        return merged(collected, timings)
 
     if journal is not None and (
         journal_key is None or cell_hash is None
@@ -502,6 +589,7 @@ def run_cells(
     timings = {}
     hashes: dict = {}
     todo: list[tuple] = []
+    notify("start", jobs=jobs)
     if journal is not None:
         journal.load()
         stats.journal_torn_entries += journal.torn_entries
@@ -513,28 +601,33 @@ def run_cells(
                 collected[key] = decode(entry)
                 timings[key] = 0.0
                 stats.resume_hits += 1
+                notify(
+                    "cell-done", cell=key, resumed=True,
+                    ok=bool(getattr(collected[key], "ok", True)),
+                )
                 continue
         todo.append((key, payload))
 
-    def emit(key, result, elapsed) -> None:
+    def emit(key, result, elapsed, pid=None, attempt=1) -> None:
         collected[key] = result
         timings[key] = elapsed
         if journal is not None:
             journal.record(journal_key(key), hashes[key], encode(result))
+        record_cell(key, result, elapsed, pid, attempt)
 
     if todo:
-        workers = min(jobs, len(todo))
+        pool_size = min(jobs, len(todo))
         if jobs == 1:
             _run_serial_resilient(
-                todo, worker, policy, fault_plan, stats, emit, fail
+                todo, worker, policy, fault_plan, stats, emit, fail, notify
             )
         else:
             _run_pool_resilient(
                 [_Cell(key, payload) for key, payload in todo],
-                worker, workers, policy, fault_plan, stats, emit, fail,
+                worker, pool_size, policy, fault_plan, stats, emit, fail,
+                notify,
             )
-    results = {key: collected[key] for key in keys}
-    return results, {key: timings[key] for key in keys}
+    return merged(collected, timings)
 
 
 @dataclass(frozen=True)
@@ -623,6 +716,7 @@ class CampaignResult:
     timings: dict[str, float] = field(default_factory=dict)
     jobs: int = 1
     executor: ExecutorStats | None = None
+    workers: dict[str, int] = field(default_factory=dict)
 
     @property
     def failures(self) -> list[CellOutcome]:
@@ -646,6 +740,7 @@ class CampaignResult:
         return {
             "jobs": self.jobs,
             "timings": dict(self.timings),
+            "workers": dict(self.workers),
             "executor": (
                 None if self.executor is None else self.executor.as_dict()
             ),
@@ -769,6 +864,8 @@ def run_campaign(
     journal_path=None,
     fault_plan: ExecutorFaultPlan | None = None,
     registry=None,
+    progress=None,
+    tracker=None,
 ) -> CampaignResult:
     """Run every spec (labels are the cell keys) and merge the results.
 
@@ -782,18 +879,27 @@ def run_campaign(
     that already exists serves its finished cells); *fault_plan*
     injects deterministic executor faults; *registry* (a
     :class:`~repro.obs.metrics.MetricsRegistry`) receives the
-    ``executor.*`` resilience counters.
+    ``executor.*`` resilience counters; *progress* streams structured
+    :class:`~repro.obs.progress.ProgressEvent` records as cells
+    finish; *tracker* (a :class:`~repro.obs.spans.SpanTracker`)
+    records the cell-lifecycle wall-clock spans. The worker pid of
+    every executed cell lands in :attr:`CampaignResult.workers`.
     """
     items = [(spec.label, spec) for spec in specs]
+    workers: dict[str, int] = {}
     resilient = (
         policy is not None
         or journal_path is not None
         or fault_plan is not None
     )
     if not resilient:
-        results, timings = run_cells(items, _campaign_cell, jobs=jobs)
+        results, timings = run_cells(
+            items, _campaign_cell, jobs=jobs,
+            progress=progress, tracker=tracker, workers=workers,
+        )
         return CampaignResult(
-            cells=results, timings=timings, jobs=resolve_jobs(jobs)
+            cells=results, timings=timings, jobs=resolve_jobs(jobs),
+            workers=workers,
         )
     stats = ExecutorStats()
     journal = (
@@ -813,6 +919,9 @@ def run_campaign(
             quarantine=_quarantined_outcome,
             fault_plan=fault_plan,
             stats=stats,
+            progress=progress,
+            tracker=tracker,
+            workers=workers,
         )
     finally:
         if journal is not None:
@@ -824,4 +933,5 @@ def run_campaign(
         timings=timings,
         jobs=resolve_jobs(jobs),
         executor=stats,
+        workers=workers,
     )

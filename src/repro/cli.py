@@ -10,7 +10,11 @@ simulate   execute a program on the simulator, optionally with
 cfg        dump the (extended) CFG as Graphviz DOT
 figures    print the Figure 8 / Figure 9 data tables
 programs   list the shipped example programs
-trace      inspect/convert a recorded JSONL observability event log
+trace      inspect/filter/convert a recorded JSONL observability event
+           log (``trace query LOG`` lists events matching rank/kind/
+           time-window/span filters)
+metrics    metric-artifact tooling (``metrics diff`` compares two
+           metrics/rollup/BENCH JSONs under ratio thresholds)
 chaos      run the chaos sweep, dumping diagnostics on failure
            (resumable via --resume, executor-fault injectable)
 campaign   run a declarative scenario campaign on N worker processes
@@ -103,13 +107,24 @@ def _cmd_transform(args: argparse.Namespace) -> int:
         from repro.campaign.cache import TransformCache
 
         cache = TransformCache(args.cache)
+    tracker = None
+    if args.spans_out:
+        from repro.obs.spans import SpanTracker
+
+        tracker = SpanTracker()
     result = transform(
         program,
         cost_model=model,
         loop_optimization=args.loop_optimization,
         force_insertion=args.force_insertion,
         cache=cache,
+        tracker=tracker,
     )
+    if tracker is not None:
+        Path(args.spans_out).write_text(
+            tracker.chrome_trace_json(indent=2) + "\n"
+        )
+        print(f"# wrote span trace to {args.spans_out}", file=sys.stderr)
     if cache is not None:
         verdict = "hit" if cache.hits else "miss"
         print(f"# transform cache: {verdict} ({args.cache})",
@@ -559,8 +574,32 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         read_event_log,
         summarize_events,
     )
+    from repro.obs.query import filter_events, format_events
 
-    events = read_event_log(args.log)
+    query_mode = args.log == "query"
+    if query_mode:
+        if args.query_log is None:
+            print("error: repro trace query needs a LOG argument",
+                  file=sys.stderr)
+            return 2
+        log = args.query_log
+    else:
+        log = args.log
+    events = read_event_log(log)
+    filtering = (
+        args.rank or args.category or args.kind
+        or args.since is not None or args.until is not None or args.span
+    )
+    if query_mode or filtering:
+        events = filter_events(
+            events,
+            ranks=args.rank if args.rank else None,
+            categories=args.category if args.category else None,
+            kinds=args.kind if args.kind else None,
+            since=args.since,
+            until=args.until,
+            span=args.span,
+        )
 
     def _write(text: str) -> None:
         if args.output:
@@ -569,7 +608,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         else:
             print(text, end="")
 
-    if args.format == "summary":
+    if query_mode:
+        _write(format_events(events))
+    elif args.format == "summary":
         _write(summarize_events(events))
     elif args.format == "chrome":
         _write(chrome_trace_json(events, indent=2) + "\n")
@@ -578,8 +619,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     else:  # spacetime
         from repro.viz import render_spacetime_from_log
 
-        _write(render_spacetime_from_log(args.log))
+        _write(render_spacetime_from_log(log))
     return 0
+
+
+def _cmd_metrics_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import (
+        Threshold,
+        diff_metrics,
+        format_diff,
+        load_metrics,
+        parse_threshold_rule,
+    )
+
+    try:
+        rules = [parse_threshold_rule(text) for text in args.threshold]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    default = Threshold(
+        min_ratio=args.default_min, max_ratio=args.default_max
+    )
+    report = diff_metrics(
+        load_metrics(args.before),
+        load_metrics(args.after),
+        rules=rules,
+        default=default,
+    )
+    print(format_diff(report, verbose=args.verbose), end="")
+    return 0 if report.ok else 1
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -653,6 +721,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(summary)
     if executor_stats is not None:
         print(f"resilience: {executor_stats.describe()}")
+    if args.metrics_out:
+        from repro.campaign.executor import resolve_jobs
+        from repro.obs.rollup import chaos_rollup, rollup_to_json
+
+        Path(args.metrics_out).write_text(rollup_to_json(chaos_rollup(
+            outcomes,
+            jobs=resolve_jobs(args.jobs),
+            executor=executor_stats,
+        )))
+        print(f"# wrote metrics rollup to {args.metrics_out}",
+              file=sys.stderr)
     if failures and args.artifacts:
         print(f"# diagnostics under {args.artifacts}", file=sys.stderr)
     return 1 if failures else 0
@@ -684,11 +763,16 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         fault_plan = ExecutorFaultPlan(
             dict(parse_worker_fault(text) for text in args.inject_fault)
         )
-    registry = None
-    if args.metrics_out:
-        from repro.obs import MetricsRegistry
+    progress = None
+    if args.progress:
+        from repro.obs.progress import ProgressReporter
 
-        registry = MetricsRegistry()
+        progress = ProgressReporter()
+    tracker = None
+    if args.spans_out:
+        from repro.obs.spans import SpanTracker
+
+        tracker = SpanTracker()
     result = run_campaign(
         specs,
         jobs=args.jobs,
@@ -697,7 +781,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         ),
         journal_path=args.resume,
         fault_plan=fault_plan,
-        registry=registry,
+        progress=progress,
+        tracker=tracker,
     )
     width = max((len(cell.label) for cell in result.cells.values()),
                 default=5)
@@ -726,9 +811,19 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             Path(args.results_json).write_text(payload + "\n")
             print(f"# wrote results to {args.results_json}",
                   file=sys.stderr)
-    if registry is not None:
-        Path(args.metrics_out).write_text(registry.to_json() + "\n")
-        print(f"# wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.metrics_out:
+        from repro.obs.rollup import campaign_rollup, rollup_to_json
+
+        Path(args.metrics_out).write_text(
+            rollup_to_json(campaign_rollup(result))
+        )
+        print(f"# wrote metrics rollup to {args.metrics_out}",
+              file=sys.stderr)
+    if tracker is not None:
+        Path(args.spans_out).write_text(
+            tracker.chrome_trace_json(indent=2) + "\n"
+        )
+        print(f"# wrote span trace to {args.spans_out}", file=sys.stderr)
     return 1 if failures else 0
 
 
@@ -778,6 +873,9 @@ def build_parser() -> argparse.ArgumentParser:
                            help="content-addressed transform cache "
                                 "directory; repeated transforms of the "
                                 "same program are served from it")
+    transform.add_argument("--spans-out", metavar="PATH",
+                           help="write the per-phase spans (Phase I-IV "
+                                "wall timings) as Chrome trace-event JSON")
     transform.set_defaults(func=_cmd_transform)
 
     cfg = commands.add_parser("cfg", help="dump the CFG as DOT")
@@ -869,10 +967,15 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.set_defaults(func=_cmd_analyze)
 
     trace = commands.add_parser(
-        "trace", help="inspect or convert a recorded JSONL event log"
+        "trace", help="inspect, filter, or convert a recorded JSONL "
+                      "event log"
     )
     trace.add_argument("log", help="path to a JSONL event log "
-                                   "(--trace-out or a flight-recorder dump)")
+                                   "(--trace-out or a flight-recorder "
+                                   "dump), or the word 'query' followed "
+                                   "by the log path to list matching "
+                                   "events")
+    trace.add_argument("query_log", nargs="?", help=argparse.SUPPRESS)
     trace.add_argument("--format", choices=("summary", "chrome", "jsonl",
                                             "spacetime"),
                        default="summary",
@@ -880,9 +983,59 @@ def build_parser() -> argparse.ArgumentParser:
                             "(load in chrome://tracing or Perfetto), "
                             "normalised JSONL, or an ASCII space-time "
                             "diagram with recovery lines")
+    trace.add_argument("--rank", type=int, action="append", metavar="R",
+                       help="keep only events published by rank R "
+                            "(repeatable)")
+    trace.add_argument("--category", action="append", metavar="CAT",
+                       help="keep only events of this category "
+                            "(engine, transport, storage, protocol, "
+                            "span; repeatable)")
+    trace.add_argument("--kind", action="append", metavar="NAME",
+                       help="keep only events with this name "
+                            "(e.g. checkpoint, retransmit; repeatable)")
+    trace.add_argument("--since", type=float, default=None, metavar="T",
+                       help="keep only events at simulated time >= T")
+    trace.add_argument("--until", type=float, default=None, metavar="T",
+                       help="keep only events at simulated time <= T")
+    trace.add_argument("--span", metavar="NAME",
+                       help="keep only events inside a recorded span "
+                            "of this name (e.g. recovery.attempt)")
     trace.add_argument("-o", "--output", metavar="PATH",
                        help="write here instead of stdout")
     trace.set_defaults(func=_cmd_trace)
+
+    metrics = commands.add_parser(
+        "metrics", help="work with metric JSON artifacts"
+    )
+    metrics_sub = metrics.add_subparsers(dest="metrics_command",
+                                         required=True)
+    metrics_diff = metrics_sub.add_parser(
+        "diff", help="compare two metrics/rollup/BENCH JSON files "
+                     "with per-metric ratio thresholds"
+    )
+    metrics_diff.add_argument("before", help="baseline metrics JSON "
+                                             "(registry dump, campaign "
+                                             "rollup, or BENCH report)")
+    metrics_diff.add_argument("after", help="current metrics JSON of "
+                                            "any supported schema")
+    metrics_diff.add_argument("--threshold", action="append", default=[],
+                              metavar="PATTERN:min=X[,max=Y]",
+                              help="ratio bound for metrics matching "
+                                   "the fnmatch PATTERN, e.g. "
+                                   "'*.speedup:min=0.5' (repeatable; "
+                                   "first match wins)")
+    metrics_diff.add_argument("--default-min", type=float, default=None,
+                              metavar="R",
+                              help="floor on after/before for metrics "
+                                   "no --threshold matches")
+    metrics_diff.add_argument("--default-max", type=float, default=None,
+                              metavar="R",
+                              help="ceiling on after/before for metrics "
+                                   "no --threshold matches")
+    metrics_diff.add_argument("-v", "--verbose", action="store_true",
+                              help="also print passing and added/"
+                                   "removed metrics")
+    metrics_diff.set_defaults(func=_cmd_metrics_diff)
 
     chaos = commands.add_parser(
         "chaos", help="run the chaos sweep; dump diagnostics on failure"
@@ -941,6 +1094,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--executor-fault-seed", type=int, default=0,
                        metavar="SEED",
                        help="seed of the executor-fault draw")
+    chaos.add_argument("--metrics-out", metavar="PATH",
+                       help="write the sweep's metric rollup "
+                            "(deterministic aggregate + per-cell "
+                            "verdict counters) as JSON")
     chaos.set_defaults(func=_cmd_chaos)
 
     campaign = commands.add_parser(
@@ -983,8 +1140,18 @@ def build_parser() -> argparse.ArgumentParser:
                                "forever) — for testing the executor's "
                                "own resilience")
     campaign.add_argument("--metrics-out", metavar="PATH",
-                          help="write the executor.* resilience "
-                               "counters (MetricsRegistry JSON) here")
+                          help="write the campaign metric rollup "
+                               "(campaign_metrics.json: deterministic "
+                               "aggregate + per-cell metrics, wall-clock "
+                               "diagnostics separate) here")
+    campaign.add_argument("--progress", action="store_true",
+                          help="stream line-oriented progress to stderr "
+                               "as cells finish (never part of any "
+                               "artifact)")
+    campaign.add_argument("--spans-out", metavar="PATH",
+                          help="write the executor's cell-lifecycle "
+                               "spans as Chrome trace-event JSON "
+                               "(wall-clock; diagnostic only)")
     campaign.set_defaults(func=_cmd_campaign)
 
     optimal = commands.add_parser(

@@ -16,7 +16,13 @@ On top of the bus sit:
 - a bounded :class:`~repro.obs.recorder.FlightRecorder` the chaos
   harness dumps automatically next to ddmin counterexamples;
 - exporters to JSONL and Chrome ``chrome://tracing`` trace-event format
-  (:mod:`repro.obs.export`).
+  (:mod:`repro.obs.export`), with a schema-versioned log header;
+- hierarchical :mod:`spans <repro.obs.spans>` (wall + simulated clock)
+  over the transform phases, recovery attempts, and campaign cells;
+- campaign-scale :mod:`rollups <repro.obs.rollup>` (mergeable metrics,
+  deterministic aggregate), a :mod:`diff engine <repro.obs.diff>` for
+  regression gating, :mod:`event queries <repro.obs.query>`, and
+  :mod:`live progress <repro.obs.progress>` streaming.
 
 The subsystem is zero-cost when disabled (``observer=None`` leaves
 every hot path a single ``is None`` test away from the status quo) and
@@ -25,10 +31,21 @@ replays produce byte-identical JSONL logs.
 """
 
 from repro.obs.bus import EventBus
+from repro.obs.diff import (
+    DiffReport,
+    MetricDelta,
+    Threshold,
+    diff_metrics,
+    flatten_metrics,
+    format_diff,
+)
 from repro.obs.events import CATEGORIES, ObsEvent
 from repro.obs.export import (
+    EVENT_LOG_SCHEMA_VERSION,
+    SchemaVersionError,
     chrome_trace,
     chrome_trace_json,
+    event_log_header,
     events_to_jsonl,
     read_event_log,
     summarize_events,
@@ -42,7 +59,16 @@ from repro.obs.metrics import (
     MetricsCollector,
     MetricsRegistry,
 )
+from repro.obs.progress import ProgressEvent, ProgressReporter
+from repro.obs.query import filter_events
 from repro.obs.recorder import FlightRecorder
+from repro.obs.rollup import (
+    campaign_rollup,
+    chaos_rollup,
+    merge_registries,
+    rollup_to_json,
+)
+from repro.obs.spans import NULL_TRACKER, Span, SpanTracker
 
 
 class Observability:
@@ -76,18 +102,37 @@ class Observability:
 __all__ = [
     "CATEGORIES",
     "Counter",
+    "DiffReport",
+    "EVENT_LOG_SCHEMA_VERSION",
     "EventBus",
     "FlightRecorder",
     "Gauge",
     "Histogram",
+    "MetricDelta",
     "MetricsCollector",
     "MetricsRegistry",
+    "NULL_TRACKER",
     "ObsEvent",
     "Observability",
+    "ProgressEvent",
+    "ProgressReporter",
+    "SchemaVersionError",
+    "Span",
+    "SpanTracker",
+    "Threshold",
+    "campaign_rollup",
+    "chaos_rollup",
     "chrome_trace",
     "chrome_trace_json",
+    "diff_metrics",
+    "event_log_header",
     "events_to_jsonl",
+    "filter_events",
+    "flatten_metrics",
+    "format_diff",
+    "merge_registries",
     "read_event_log",
+    "rollup_to_json",
     "summarize_events",
     "trace_from_events",
     "write_event_log",

@@ -19,6 +19,10 @@ storage    ``commit``, ``write-fail``, ``torn-write``, ``bit-rot``,
 protocol   ``control-send``, ``control-recv``, ``timer``,
            ``recovery``, ``degraded-fallback``, ``domino-search``,
            ``replay-restart``
+span       closed :class:`~repro.obs.spans.Span` records — the span
+           name is the event name (``recovery.attempt``,
+           ``phase3.placement``, ...); ``fields`` carry ``span_id``,
+           ``parent``, and the simulated-clock ``dur``
 ========== =========================================================
 """
 
@@ -27,8 +31,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
-#: The event categories, one per publishing runtime layer.
-CATEGORIES = ("engine", "transport", "storage", "protocol")
+#: The event categories, one per publishing runtime layer (plus the
+#: cross-layer ``span`` records emitted by closed spans).
+CATEGORIES = ("engine", "transport", "storage", "protocol", "span")
 
 
 @dataclass(frozen=True)

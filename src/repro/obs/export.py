@@ -1,13 +1,23 @@
 """Event-log exporters: JSONL, Chrome trace-event format, summaries.
 
-The JSONL log is the archival format — one event per line, sorted keys,
-byte-identical across replays of the same seed and fault plan. From it
-this module can reconstruct a full
-:class:`~repro.runtime.trace.ExecutionTrace` (the engine events carry
-vector clocks and local sequence numbers, so every offline causality
-analysis and the space-time renderer work on recorded logs exactly as
-on live traces), convert to the Chrome ``chrome://tracing`` /
-Perfetto trace-event JSON format, or print a human summary.
+The JSONL log is the archival format — a schema-version header line
+followed by one event per line, sorted keys, byte-identical across
+replays of the same seed and fault plan. From it this module can
+reconstruct a full :class:`~repro.runtime.trace.ExecutionTrace` (the
+engine events carry vector clocks and local sequence numbers, so every
+offline causality analysis and the space-time renderer work on recorded
+logs exactly as on live traces), convert to the Chrome
+``chrome://tracing`` / Perfetto trace-event JSON format, or print a
+human summary.
+
+Schema versioning: the header line is
+``{"log_schema_version": N, "format": "repro-obs-jsonl"}``. Version 1
+logs (pre-header, events only) are still read; a header announcing an
+*unknown* version is rejected with a structured
+:class:`SchemaVersionError` before any event is parsed, so consumers
+(``trace_from_events`` and everything downstream of
+:func:`read_event_log`) never misinterpret records from a future
+schema. Version 2 added ``span``-category events.
 """
 
 from __future__ import annotations
@@ -27,19 +37,56 @@ _CHROME_US = 1_000_000.0
 
 _ENGINE_KINDS = frozenset(kind.value for kind in EventKind)
 
+#: The JSONL schema version this build writes.
+EVENT_LOG_SCHEMA_VERSION = 2
+
+#: Versions :func:`read_event_log` accepts (1 = legacy headerless logs).
+SUPPORTED_SCHEMA_VERSIONS = frozenset({1, 2})
+
+
+class SchemaVersionError(SimulationError):
+    """An event log announced a schema this build cannot interpret.
+
+    Attributes:
+        found: The version the header declared.
+        supported: The versions this build reads.
+    """
+
+    def __init__(self, found: int) -> None:
+        self.found = found
+        self.supported = tuple(sorted(SUPPORTED_SCHEMA_VERSIONS))
+        super().__init__(
+            f"event log declares schema version {found}; this build "
+            f"supports {list(self.supported)} — refusing to guess at "
+            "unknown record types"
+        )
+
+
+def event_log_header() -> str:
+    """The JSONL header line (compact, sorted keys, no newline)."""
+    return json.dumps(
+        {
+            "format": "repro-obs-jsonl",
+            "log_schema_version": EVENT_LOG_SCHEMA_VERSION,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
 
 def events_to_jsonl(events: Iterable[ObsEvent]) -> str:
-    """Serialise *events* as JSONL (one compact object per line).
+    """Serialise *events* as JSONL: header line + one event per line.
 
     Keys are sorted and separators fixed, so the bytes are a pure
     function of the event stream — the determinism contract the test
     suite checks byte-for-byte.
     """
-    lines = [
+    lines = [event_log_header()]
+    lines += [
         json.dumps(event.to_dict(), sort_keys=True, separators=(",", ":"))
         for event in events
     ]
-    return "\n".join(lines) + ("\n" if lines else "")
+    return "\n".join(lines) + "\n"
 
 
 def write_event_log(path: str | Path, events: Iterable[ObsEvent]) -> Path:
@@ -50,7 +97,13 @@ def write_event_log(path: str | Path, events: Iterable[ObsEvent]) -> Path:
 
 
 def read_event_log(source: str | Path) -> list[ObsEvent]:
-    """Parse a JSONL event log from a path or a JSONL string."""
+    """Parse a JSONL event log from a path or a JSONL string.
+
+    The first non-blank line may be a schema-version header (see the
+    module doc); a header declaring an unsupported version raises
+    :class:`SchemaVersionError`. Headerless logs are read as legacy
+    version 1.
+    """
     if isinstance(source, Path):
         text = source.read_text()
     elif "\n" in source or source.lstrip().startswith("{"):
@@ -58,11 +111,26 @@ def read_event_log(source: str | Path) -> list[ObsEvent]:
     else:
         text = Path(source).read_text()
     events = []
+    header_seen = False
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue
         try:
-            events.append(ObsEvent.from_dict(json.loads(line)))
+            data = json.loads(line)
+            if (
+                not header_seen
+                and not events
+                and isinstance(data, dict)
+                and "log_schema_version" in data
+            ):
+                header_seen = True
+                version = int(data["log_schema_version"])
+                if version not in SUPPORTED_SCHEMA_VERSIONS:
+                    raise SchemaVersionError(version)
+                continue
+            events.append(ObsEvent.from_dict(data))
+        except SchemaVersionError:
+            raise
         except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
             raise SimulationError(
                 f"malformed event log line {lineno}: {exc}"
@@ -114,9 +182,13 @@ def chrome_trace(events: Iterable[ObsEvent]) -> dict[str, Any]:
     Every event becomes an instant event (``ph: "i"``) on the thread
     of its rank (rank-less events land on a synthetic "system" thread),
     timestamped in microseconds of simulated time, with the vector
-    clock and payload fields attached as ``args``. Thread-name
-    metadata events label each rank ``P0 .. Pn-1``. The result loads
-    directly into ``chrome://tracing`` or https://ui.perfetto.dev.
+    clock and payload fields attached as ``args``. ``span``-category
+    events instead become complete events (``ph: "X"``) whose duration
+    is the span's simulated-clock ``dur`` field, so nested spans
+    (recovery attempts, pipeline phases) render as stacked bars.
+    Thread-name metadata events label each rank ``P0 .. Pn-1``. The
+    result loads directly into ``chrome://tracing`` or
+    https://ui.perfetto.dev.
     """
     trace_events: list[dict[str, Any]] = []
     ranks: set[int] = set()
@@ -127,6 +199,19 @@ def chrome_trace(events: Iterable[ObsEvent]) -> dict[str, Any]:
         args: dict[str, Any] = dict(event.fields)
         if event.clock is not None:
             args["vector_clock"] = list(event.clock)
+        if event.category == "span":
+            args.pop("dur", None)
+            trace_events.append({
+                "name": event.name,
+                "cat": event.category,
+                "ph": "X",
+                "ts": event.time * _CHROME_US,
+                "dur": float(event.fields.get("dur", 0.0)) * _CHROME_US,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            })
+            continue
         trace_events.append({
             "name": event.name,
             "cat": event.category,

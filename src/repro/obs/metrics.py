@@ -177,6 +177,11 @@ class MetricsCollector:
             self._on_protocol(event)
         elif event.category == "storage":
             self._on_storage(event)
+        elif event.category == "span":
+            # Simulated duration distribution per span name.
+            self.registry.histogram(f"span.{event.name}.sim_dur").observe(
+                float(event.fields.get("dur", 0.0))
+            )
 
     def _on_storage(self, event: ObsEvent) -> None:
         if event.name == "commit":

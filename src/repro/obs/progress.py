@@ -1,0 +1,120 @@
+"""Live campaign progress: structured events, line-oriented rendering.
+
+A long campaign is opaque without feedback, but progress output must
+never leak into deterministic artifacts — so progress is a separate
+channel: the executor invokes a callback with structured
+:class:`ProgressEvent` records (campaign start, each cell's final
+outcome, retries, quarantines, campaign end), and the CLI's
+``--progress`` flag attaches a :class:`ProgressReporter` that renders
+them as plain lines on stderr. Nothing here touches the campaign
+result, the event logs, or the rollup's deterministic sections; wall
+clock is allowed because this channel is ephemeral by construction.
+
+Event kinds (full field semantics in ``docs/metrics.md``):
+
+============== ====================================================
+``start``       campaign accepted; ``total`` cells, ``jobs`` workers
+``cell-done``   one cell reached a final outcome (``cell``, ``ok``)
+``retry``       a failed attempt will be retried (``cell``,
+                ``attempt``)
+``quarantine``  a cell exhausted its retry budget (``cell``)
+``end``         campaign finished; summary counters
+============== ====================================================
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, TextIO
+
+#: Signature of the executor's progress callback.
+ProgressCallback = Callable[["ProgressEvent"], None]
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One structured progress fact about a running campaign.
+
+    Attributes:
+        kind: ``start`` / ``cell-done`` / ``retry`` / ``quarantine`` /
+            ``end``.
+        done: Cells with a final outcome so far.
+        total: Cells in the campaign.
+        cell: The cell key this event concerns, where one does.
+        fields: Kind-specific extras (``jobs``, ``ok``, ``attempt``,
+            ``failed``, ``quarantined``...).
+    """
+
+    kind: str
+    done: int
+    total: int
+    cell: str | None = None
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+class ProgressReporter:
+    """Renders progress events as plain lines (one per event).
+
+    Line-oriented on purpose: no cursor tricks, so output survives CI
+    log capture, ``tee``, and non-TTY pipes. Elapsed wall time and a
+    naive ETA (linear extrapolation over finished cells) decorate the
+    ``cell-done`` lines.
+    """
+
+    def __init__(
+        self,
+        stream: TextIO | None = None,
+        wall_clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._wall = wall_clock
+        self._started = self._wall()
+
+    def __call__(self, event: ProgressEvent) -> None:
+        self.stream.write(self._render(event) + "\n")
+        self.stream.flush()
+
+    def _render(self, event: ProgressEvent) -> str:
+        elapsed = self._wall() - self._started
+        if event.kind == "start":
+            self._started = self._wall()
+            jobs = event.fields.get("jobs", 1)
+            return (
+                f"campaign: {event.total} cells, {jobs} job(s)"
+            )
+        if event.kind == "cell-done":
+            ok = event.fields.get("ok", True)
+            eta = ""
+            if event.done and event.done < event.total:
+                remaining = (
+                    elapsed / event.done * (event.total - event.done)
+                )
+                eta = f" eta {remaining:.0f}s"
+            return (
+                f"[{event.done}/{event.total}] "
+                f"{'ok  ' if ok else 'FAIL'} {event.cell}"
+                f" ({elapsed:.1f}s{eta})"
+            )
+        if event.kind == "retry":
+            attempt = event.fields.get("attempt", "?")
+            return (
+                f"[{event.done}/{event.total}] retry {event.cell} "
+                f"(attempt {attempt})"
+            )
+        if event.kind == "quarantine":
+            return (
+                f"[{event.done}/{event.total}] QUARANTINED {event.cell}"
+            )
+        if event.kind == "end":
+            failed = event.fields.get("failed", 0)
+            quarantined = event.fields.get("quarantined", 0)
+            verdict = "all ok" if not failed and not quarantined else (
+                f"{failed} failed, {quarantined} quarantined"
+            )
+            return (
+                f"campaign done: {event.done}/{event.total} cells, "
+                f"{verdict} ({elapsed:.1f}s)"
+            )
+        return f"{event.kind}: {event.cell or ''}"

@@ -1,0 +1,97 @@
+"""Event-log queries: filter a recorded stream without replaying it.
+
+``repro trace query`` answers "what did rank 2 do between t=4 and
+t=6?" or "show every event inside the recovery.attempt span" straight
+from a JSONL log. Filters compose conjunctively; each is optional:
+
+- ``ranks`` — keep events published by these ranks (rank-less events
+  match only when ``None`` is in the set);
+- ``categories`` / ``kinds`` — event taxonomy filters
+  (``category``/``name``);
+- ``since`` / ``until`` — inclusive simulated-time window;
+- ``span`` — keep events whose simulated time falls inside any
+  recorded span of that name (span events carry ``t`` + ``dur``, so
+  the interval is recoverable from the log alone; the span events
+  themselves match too).
+
+Everything operates on simulated time — queries over a log are as
+deterministic as the log.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.events import ObsEvent
+
+
+def span_intervals(
+    events: Iterable[ObsEvent], name: str
+) -> list[tuple[float, float]]:
+    """The ``[sim_start, sim_end]`` intervals of every span called
+    *name* in the log, in emission order."""
+    intervals: list[tuple[float, float]] = []
+    for event in events:
+        if event.category == "span" and event.name == name:
+            start = event.time
+            intervals.append((
+                start, start + float(event.fields.get("dur", 0.0))
+            ))
+    return intervals
+
+
+def filter_events(
+    events: Sequence[ObsEvent],
+    ranks: Iterable[int | None] | None = None,
+    categories: Iterable[str] | None = None,
+    kinds: Iterable[str] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    span: str | None = None,
+) -> list[ObsEvent]:
+    """Apply the conjunction of the given filters to *events*."""
+    rank_set = None if ranks is None else set(ranks)
+    cat_set = None if categories is None else set(categories)
+    kind_set = None if kinds is None else set(kinds)
+    intervals = None if span is None else span_intervals(events, span)
+    kept: list[ObsEvent] = []
+    for event in events:
+        if rank_set is not None and event.rank not in rank_set:
+            continue
+        if cat_set is not None and event.category not in cat_set:
+            continue
+        if kind_set is not None and event.name not in kind_set:
+            continue
+        if since is not None and event.time < since:
+            continue
+        if until is not None and event.time > until:
+            continue
+        if intervals is not None:
+            inside = any(
+                start <= event.time <= end for start, end in intervals
+            )
+            matches_span = (
+                event.category == "span" and event.name == span
+            )
+            if not inside and not matches_span:
+                continue
+        kept.append(event)
+    return kept
+
+
+def format_events(events: Iterable[ObsEvent]) -> str:
+    """One aligned text line per event (seq, time, rank, kind, fields)."""
+    lines = []
+    for event in events:
+        rank = "-" if event.rank is None else str(event.rank)
+        fields = " ".join(
+            f"{key}={event.fields[key]}" for key in sorted(event.fields)
+        )
+        lines.append(
+            f"{event.seq:>6d}  t={event.time:<10.4f} r{rank:<3s} "
+            f"{event.category}.{event.name}"
+            + (f"  {fields}" if fields else "")
+        )
+    if not lines:
+        return "no events matched\n"
+    return "\n".join(lines) + "\n"

@@ -12,9 +12,11 @@ from dataclasses import dataclass
 
 from repro.attributes.contradiction import Universe
 from repro.lang import ast_nodes as ast
+from repro.obs.spans import NULL_TRACKER
 from repro.phases.insertion import CostModel, InsertionPlan, insert_checkpoints
+from repro.phases.matching import build_extended_cfg
 from repro.phases.placement import PlacementResult, ensure_recovery_lines
-from repro.phases.verification import VerificationResult, verify_program
+from repro.phases.verification import VerificationResult, check_condition1
 
 
 @dataclass
@@ -43,6 +45,7 @@ def transform(
     universe: Universe = Universe(),
     force_insertion: bool = False,
     cache=None,
+    tracker=None,
 ) -> TransformResult:
     """Apply Phases I–III to *program* (never mutated) and verify.
 
@@ -55,27 +58,41 @@ def transform(
     universe, and flags, the stored result is returned without
     re-running any phase (and the cache's hit counter ticks —
     observable through an attached metrics registry).
+
+    *tracker* is an optional :class:`~repro.obs.spans.SpanTracker`;
+    when given, each phase runs inside a span (``phase1.insertion``,
+    ``phase2.matching``, ``phase3.placement``, ``phase4.verification``)
+    plus a ``cache.lookup`` span with an ``outcome`` field, so
+    ``repro trace chrome`` shows where transform time goes.
     """
+    tracker = tracker if tracker is not None else NULL_TRACKER
     key: str | None = None
     if cache is not None:
         key = cache.key_for(
             program, cost_model, loop_optimization, universe, force_insertion
         )
-        cached = cache.get(key)
+        with tracker.span("cache.lookup") as lookup:
+            cached = cache.get(key)
+            lookup.fields["outcome"] = "hit" if cached is not None else "miss"
         if cached is not None:
             return cached
     insertion: InsertionPlan | None = None
     current = program
     if force_insertion or ast.count_statements(program, ast.Checkpoint) == 0:
-        insertion = insert_checkpoints(program, model=cost_model)
+        with tracker.span("phase1.insertion"):
+            insertion = insert_checkpoints(program, model=cost_model)
         current = insertion.program
-    placement = ensure_recovery_lines(
-        current, loop_optimization=loop_optimization, universe=universe
-    )
-    verification = verify_program(
-        placement.program,
-        include_back_edge_paths=not loop_optimization,
-    )
+    with tracker.span("phase3.placement"):
+        placement = ensure_recovery_lines(
+            current, loop_optimization=loop_optimization, universe=universe
+        )
+    # verify_program inlined so Phases II and IV time separately.
+    with tracker.span("phase2.matching"):
+        ext = build_extended_cfg(placement.program)
+    with tracker.span("phase4.verification"):
+        verification = check_condition1(
+            ext, include_back_edge_paths=not loop_optimization
+        )
     verification.raise_if_failed()
     result = TransformResult(
         program=placement.program,

@@ -260,6 +260,28 @@ class RecoverySupervisor:
         self.escalation = 0
         # The disruption armed against the next restore, if any.
         self._pending: RecoveryFaultEvent | None = None
+        # Deterministic id sequence for recovery.attempt span events.
+        self._span_seq = 0
+
+    def _emit_attempt_span(
+        self, rank: int, start: float, end: float, attempt: int, outcome: str
+    ) -> None:
+        """Publish one recovery attempt as a ``span`` event.
+
+        Emitted on the simulation's bus with **simulated** times only
+        (start of the attempt; duration covers the backoff it charged),
+        so span records are as replayable as every other engine event.
+        """
+        sim = self.sim
+        if sim.obs is None:
+            return
+        span_id = self._span_seq
+        self._span_seq += 1
+        sim.obs.emit(
+            "span", "recovery.attempt", rank, start,
+            span_id=span_id, parent=None, dur=end - start,
+            attempt=attempt, outcome=outcome,
+        )
 
     def recover(self, rank: int, time: float) -> None:
         """Run the protocol's recovery for a crash of *rank* at *time*."""
@@ -287,8 +309,10 @@ class RecoverySupervisor:
             )
             if self._pending is None and queue:
                 self._pending = queue.pop(0)
+            start = now
             try:
                 sim.protocol.on_failure(sim, rank, now)
+                self._emit_attempt_span(rank, start, now, attempt, "ok")
                 return
             except (
                 NestedFailureError,
@@ -307,11 +331,18 @@ class RecoverySupervisor:
                         attempt=attempt, backoff=backoff, cause=str(error),
                     )
                 now += backoff
+                self._emit_attempt_span(rank, start, now, attempt, "retry")
             except UnrecoverableError as error:
+                self._emit_attempt_span(
+                    rank, start, now, attempt, "unrecoverable"
+                )
                 self._give_up(rank, attempt, error, now)
             except StorageError as error:
                 # Non-transient storage failure at restore time: no
                 # intact state is reachable, retrying cannot help.
+                self._emit_attempt_span(
+                    rank, start, now, attempt, "unrecoverable"
+                )
                 self._give_up(rank, attempt, error, now)
             finally:
                 self.escalation = 0

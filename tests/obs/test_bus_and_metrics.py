@@ -79,7 +79,9 @@ class TestObsEvent:
         assert ObsEvent.from_dict(event.to_dict()) == event
 
     def test_category_taxonomy_is_fixed(self):
-        assert CATEGORIES == ("engine", "transport", "storage", "protocol")
+        assert CATEGORIES == (
+            "engine", "transport", "storage", "protocol", "span"
+        )
 
 
 class TestMetrics:
@@ -156,5 +158,6 @@ class TestFlightRecorder:
         bus.emit("engine", "send", 0, 0.0)
         path = recorder.dump(tmp_path / "flight.jsonl")
         lines = path.read_text().splitlines()
-        assert len(lines) == 1
-        assert '"cat":"engine"' in lines[0]
+        assert len(lines) == 2  # schema-version header + one event
+        assert '"log_schema_version"' in lines[0]
+        assert '"cat":"engine"' in lines[1]

@@ -1,8 +1,10 @@
 """CLI tests of the observability surface.
 
 Covers ``simulate --trace-out/--metrics-out/--stats-json``, the
-``repro trace`` subcommand in all four formats, and ``repro chaos``
-with automatic artifact dumping.
+``repro trace`` subcommand in all four formats plus query mode,
+``repro metrics diff``, ``repro chaos`` with automatic artifact
+dumping, and the campaign telemetry flags
+(``--metrics-out``/``--progress``/``--spans-out``).
 """
 
 import json
@@ -119,6 +121,118 @@ class TestTraceSubcommand:
     def test_missing_log_is_a_clean_error(self, tmp_path, capsys):
         assert main(["trace", str(tmp_path / "nope.jsonl")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestTraceQuery:
+    def test_query_lists_matching_events(self, tmp_path, capsys):
+        _, log = _capture(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "trace", "query", str(log), "--rank", "1",
+            "--category", "engine",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert out
+        for line in out.splitlines():
+            assert " r1 " in line
+            assert "engine." in line
+
+    def test_query_time_window(self, tmp_path, capsys):
+        _, log = _capture(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "trace", "query", str(log), "--since", "100", "--until", "200",
+        ]) == 0
+        assert capsys.readouterr().out == "no events matched\n"
+
+    def test_query_span_filter(self, tmp_path, capsys):
+        # The crash at t=10 produces a recovery.attempt span; events
+        # inside its sim-time interval (plus the span event) match.
+        _, log = _capture(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "trace", "query", str(log), "--span", "recovery.attempt",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "span.recovery.attempt" in out
+
+    def test_query_without_log_is_a_clean_error(self, capsys):
+        assert main(["trace", "query"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_filters_compose_with_formats(self, tmp_path, capsys):
+        _, log = _capture(tmp_path)
+        out_file = tmp_path / "span.chrome.json"
+        assert main([
+            "trace", str(log), "--category", "span",
+            "--format", "chrome", "-o", str(out_file),
+        ]) == 0
+        doc = json.loads(out_file.read_text())
+        complete = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert complete
+        assert all(e["name"] == "recovery.attempt" for e in complete)
+
+
+class TestMetricsDiff:
+    def _write(self, tmp_path, name, value):
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "speedup": {"type": "gauge", "value": value},
+        }))
+        return str(path)
+
+    def test_identical_files_pass(self, tmp_path, capsys):
+        before = self._write(tmp_path, "a.json", 4.0)
+        assert main(["metrics", "diff", before, before]) == 0
+        assert "OK: 0 of" in capsys.readouterr().out
+
+    def test_threshold_trips_and_names_worst(self, tmp_path, capsys):
+        before = self._write(tmp_path, "a.json", 4.0)
+        after = self._write(tmp_path, "b.json", 1.0)
+        assert main([
+            "metrics", "diff", before, after,
+            "--threshold", "speedup:min=0.5",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "worst regression: speedup (4 -> 1, ratio 0.250)" in out
+
+    def test_default_bounds_apply_everywhere(self, tmp_path):
+        before = self._write(tmp_path, "a.json", 2.0)
+        after = self._write(tmp_path, "b.json", 10.0)
+        assert main([
+            "metrics", "diff", before, after, "--default-max", "2.0",
+        ]) == 1
+
+    def test_bad_threshold_rule_is_a_clean_error(self, tmp_path, capsys):
+        before = self._write(tmp_path, "a.json", 1.0)
+        assert main([
+            "metrics", "diff", before, before, "--threshold", "nonsense",
+        ]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestCampaignTelemetry:
+    def test_rollup_progress_and_spans(self, tmp_path, capsys):
+        metrics = tmp_path / "campaign_metrics.json"
+        spans = tmp_path / "spans.json"
+        assert main([
+            "campaign", "@quick", "--jobs", "1",
+            "--metrics-out", str(metrics), "--progress",
+            "--spans-out", str(spans),
+        ]) == 0
+        captured = capsys.readouterr()
+        # Progress went to stderr, line-oriented.
+        assert "campaign:" in captured.err
+        assert "campaign done:" in captured.err
+        rollup = json.loads(metrics.read_text())
+        assert rollup["rollup_schema_version"] == 1
+        assert rollup["aggregate"]["stats.completed"]["value"] > 0
+        assert rollup["diagnostics"]["jobs"] == 1
+        doc = json.loads(spans.read_text())
+        names = {
+            e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"
+        }
+        assert {"cell.attempt", "cell", "campaign.merge"} <= names
 
 
 class TestChaosSubcommand:

@@ -6,12 +6,22 @@ Re-runs the microbenchmarks behind ``results/BENCH_engine.json`` and
 (reference implementation / optimized implementation, both timed on the
 current machine) against the committed baselines. Absolute wall times
 are machine-dependent and never compared; a ratio is portable because
-both sides pay the same hardware tax. The check fails only when a
-current ratio drops below **half** the committed one — a deliberately
-loose bound so shared-runner noise can't flake the job, while a real
-regression (optimized path degrading toward the reference) still trips
-it. It also fails if any benchmark case reports non-identical results
-between the two implementations, which would invalidate the ratios.
+both sides pay the same hardware tax.
+
+The comparison is the general metrics-diff engine
+(:mod:`repro.obs.diff` — the same logic behind ``repro metrics diff``)
+with two threshold rules:
+
+- ``case.*.speedup`` must keep at least **half** its committed ratio —
+  a deliberately loose bound so shared-runner noise can't flake the
+  job, while a real regression (optimized path degrading toward the
+  reference) still trips it;
+- ``case.*.identical`` must stay at 1.0 — a benchmark row is invalid
+  if the two implementations diverge.
+
+A failure names the specific regressing case with its before/after
+ratio (the diff report's *worst regression* line), so the red CI line
+is a diagnosis, not a boolean.
 
 Run from the repository root::
 
@@ -21,37 +31,55 @@ Run from the repository root::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
+#: The perf-smoke gate, expressed as diff-engine threshold rules.
+THRESHOLD_RULES = (
+    ("case.*.speedup", 0.5),
+    ("case.*.identical", 1.0),
+)
+
 
 def check_report(current, baseline_path: Path) -> list[str]:
-    """Compare a fresh report against its committed baseline file."""
-    from repro.bench.record import load_report
+    """Diff a fresh report against its committed baseline file.
 
-    problems: list[str] = []
+    Returns a list of problem strings (empty = pass), each naming the
+    regressing case and its before/after values.
+    """
+    from repro.obs.diff import Threshold, diff_metrics, flatten_metrics
+
     if not baseline_path.exists():
         return [f"missing committed baseline {baseline_path}"]
-    baseline = load_report(baseline_path)
-    committed = {case.name: case for case in baseline.cases}
-    for case in current.cases:
-        if not case.identical:
+    report = diff_metrics(
+        flatten_metrics(json.loads(baseline_path.read_text())),
+        flatten_metrics(current.as_dict()),
+        rules=[
+            (pattern, Threshold(min_ratio=floor))
+            for pattern, floor in THRESHOLD_RULES
+        ],
+    )
+    problems = []
+    for delta in report.failures:
+        if delta.name.endswith(".identical"):
             problems.append(
-                f"{current.benchmark}/{case.name}: implementations "
+                f"{current.benchmark}/{delta.name}: implementations "
                 "disagree — benchmark results are invalid"
             )
-            continue
-        reference = committed.get(case.name)
-        if reference is None:
-            # New case with no baseline yet: nothing to regress against.
-            continue
-        floor = reference.speedup / 2.0
-        if case.speedup < floor:
+        else:
             problems.append(
-                f"{current.benchmark}/{case.name}: speedup "
-                f"{case.speedup:.2f}x fell below {floor:.2f}x "
-                f"(half the committed {reference.speedup:.2f}x)"
+                f"{current.benchmark}/{delta.name}: speedup "
+                f"{delta.after:.2f}x fell below half the committed "
+                f"{delta.before:.2f}x (ratio {delta.ratio:.2f})"
             )
+    worst = report.worst
+    if worst is not None:
+        problems.append(
+            f"worst regression: {current.benchmark}/{worst.name} "
+            f"({worst.before:g} -> {worst.after:g}, "
+            f"ratio {worst.ratio:.3f})"
+        )
     return problems
 
 
