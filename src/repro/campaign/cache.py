@@ -25,6 +25,7 @@ from repro.attributes.contradiction import Universe
 from repro.cfg.paths import CheckpointEnumeration
 from repro.errors import ReproError
 from repro.lang import ast_nodes as ast
+from repro.lang.compile import COMPILER_VERSION
 from repro.lang.parser import parse
 from repro.lang.printer import to_source
 from repro.phases.insertion import CostModel, InsertionPlan
@@ -37,6 +38,19 @@ from repro.phases.verification import OrderingConstraint, VerificationResult
 CACHE_VERSION = 1
 
 
+def cache_schema() -> str:
+    """The cache's schema identity: entry format x executable form.
+
+    Cached transforms feed the closure compiler downstream, so a
+    lowering change (``COMPILER_VERSION`` bump in
+    :mod:`repro.lang.compile`) must orphan old entries exactly like a
+    ``CACHE_VERSION`` bump does — stale artifacts stop being
+    addressable rather than being served against a compiler that would
+    execute them differently.
+    """
+    return f"cache-{CACHE_VERSION}/compiler-{COMPILER_VERSION}"
+
+
 def transform_cache_key(
     program: ast.Program,
     cost_model: CostModel,
@@ -47,7 +61,7 @@ def transform_cache_key(
     """SHA-256 identity of one ``transform()`` invocation's inputs."""
     material = json.dumps(
         {
-            "version": CACHE_VERSION,
+            "schema": cache_schema(),
             "program": to_source(program),
             "cost_model": {
                 "local_statement": cost_model.local_statement,

@@ -61,6 +61,11 @@ class ScenarioSpec:
             this cell and returns its JSONL event log.
         retain_k: Bounded-storage retention (max checkpoints per rank),
             or ``None`` for unbounded storage.
+        backend: Process-execution backend — ``"compiled"`` (closure
+            compiler, the default) or ``"reference"`` (tree-walking
+            interpreter). Both produce identical traces and artifacts;
+            the field still enters :meth:`content_hash` so cached
+            results record which executable form produced them.
     """
 
     label: str
@@ -80,6 +85,7 @@ class ScenarioSpec:
     costs: RuntimeCosts | None = None
     observe: bool = False
     retain_k: int | None = None
+    backend: str = "compiled"
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -125,6 +131,7 @@ class ScenarioSpec:
             "max_steps": self.max_steps,
             "observe": self.observe,
             "retain_k": self.retain_k,
+            "backend": self.backend,
             "fault_plan": (
                 None if self.fault_plan is None
                 else self.fault_plan.to_json_dict()
@@ -144,7 +151,7 @@ class ScenarioSpec:
             "protocol", "period", "seed", "base_latency",
             "storage_replicas", "max_storage_retries",
             "record_compute_events", "max_steps", "observe", "retain_k",
-            "fault_plan", "transport", "costs",
+            "backend", "fault_plan", "transport", "costs",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -184,6 +191,7 @@ class ScenarioSpec:
                     None if data.get("retain_k") is None
                     else int(data["retain_k"])
                 ),
+                backend=str(data.get("backend", "compiled")),
                 fault_plan=(
                     None if fault_plan is None
                     else FaultPlan.from_json_dict(fault_plan)

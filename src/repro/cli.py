@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 
 from repro.errors import ReproError
@@ -390,6 +391,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         storage_replicas=args.storage_replicas,
         observer=obs.bus if obs is not None else None,
         scheduler=args.scheduler,
+        backend=args.backend,
         retain_k=args.retain_k,
     )
     result = sim.run()
@@ -658,6 +660,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     config = ChaosConfig(
         sim_seed=args.sim_seed,
         scheduler=args.scheduler,
+        backend=args.backend,
         recovery_fault_probability=args.recovery_faults,
         retain_k=args.retain_k,
     )
@@ -758,6 +761,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         return 2
     else:
         specs = load_campaign(Path(args.campaign).read_text())
+    if args.backend is not None:
+        specs = [replace(spec, backend=args.backend) for spec in specs]
     fault_plan = None
     if args.inject_fault:
         fault_plan = ExecutorFaultPlan(
@@ -924,6 +929,12 @@ def build_parser() -> argparse.ArgumentParser:
                           help="engine scheduler: the indexed priority "
                                "queue or the original linear scan; runs "
                                "are byte-identical for both")
+    simulate.add_argument("--backend", choices=("compiled", "reference"),
+                          default="compiled",
+                          help="process-execution backend: the closure "
+                               "compiler or the tree-walking "
+                               "interpreter; runs are byte-identical "
+                               "for both")
     simulate.add_argument("--period", type=float, default=10.0,
                           help="checkpoint period for timer protocols")
     simulate.add_argument("--spacetime", action="store_true",
@@ -1050,6 +1061,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="indexed",
                        help="engine scheduler; verdicts are "
                             "byte-identical for both")
+    chaos.add_argument("--backend", choices=("compiled", "reference"),
+                       default="compiled",
+                       help="process-execution backend; verdicts and "
+                            "artifacts are byte-identical for both")
     chaos.add_argument("--recovery-faults", type=float, default=0.0,
                        metavar="P",
                        help="per-slot probability of drawing a "
@@ -1152,6 +1167,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the executor's cell-lifecycle "
                                "spans as Chrome trace-event JSON "
                                "(wall-clock; diagnostic only)")
+    campaign.add_argument("--backend", choices=("compiled", "reference"),
+                          default=None,
+                          help="override every cell's execution backend "
+                               "(default: honour each spec's own "
+                               "backend field); results are "
+                               "byte-identical for both, modulo the "
+                               "spec_hash recorded per cell")
     campaign.set_defaults(func=_cmd_campaign)
 
     optimal = commands.add_parser(

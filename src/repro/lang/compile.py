@@ -1,0 +1,1070 @@
+"""Compile MiniMP ASTs to pre-bound closure programs.
+
+The reference :class:`~repro.runtime.interpreter.ProcessInterpreter`
+walks AST nodes on every step: each statement pays an ``isinstance``
+dispatch chain, each expression node a recursive ``_eval`` call, and
+each snapshot a frame-by-frame copy of the control stack. This module
+lowers a validated program once into a flat *register program* — a list
+of pre-bound Python closures indexed by a program counter — and executes
+that instead:
+
+- **Slotted frames.** Variables live in a flat register list indexed by
+  a per-program symbol table instead of a dict environment. A separate
+  first-binding order list reproduces the reference interpreter's dict
+  insertion order exactly, so ``env`` (and every JSON artifact derived
+  from it) is byte-identical.
+- **Pre-resolved builtins and endpoints.** Builtin functions are looked
+  up at bind time; ``myrank``/``nprocs`` are constant-folded per rank,
+  so rank arithmetic (neighbour computation, root tests) disappears at
+  bind time and statically-known effects are allocated once and reused.
+- **Flattened control flow.** ``if``/``while``/``for`` become jump
+  targets; loop bookkeeping is a small stack of counters, not frames.
+- **Snapshot templates.** Every effectful instruction carries the exact
+  control-stack shape the reference interpreter would have at that
+  point (including its lazily-unpopped exhausted frames), so
+  :meth:`CompiledProcess.snapshot` rebuilds a bit-identical
+  :class:`~repro.runtime.interpreter.ProcessSnapshot` in O(depth), and
+  :meth:`CompiledProcess.restore` maps any snapshot back to a program
+  counter through a precomputed static-key table.
+
+The compiled backend is behaviourally indistinguishable from the
+reference interpreter — same effects (including shared ``stmt`` AST
+references), same error messages at the same execution points, same
+evaluation order (``input()`` streams included), same snapshots — which
+is enforced by ``tests/runtime/test_backend_differential.py``.
+
+Bind-time errors never replace run-time errors: folding is attempted
+opportunistically and abandoned on any failure (division by zero,
+out-of-range constant endpoint, unknown builtin), leaving a closure
+that raises the reference interpreter's exact error when — and only
+when — the statement actually executes.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.lang import ast_nodes as ast
+from repro.lang.builtins import BUILTINS, call_builtin
+from repro.runtime.effects import (
+    BcastRecvEffect,
+    BcastSendEffect,
+    CheckpointEffect,
+    ComputeEffect,
+    LocalEffect,
+    RecvEffect,
+    SendEffect,
+)
+from repro.runtime.inputs import InputProvider
+from repro.runtime.interpreter import FrameState, ProcessSnapshot
+
+#: Version of the lowering scheme. Bump on any change that could alter
+#: compiled-program behaviour; cache keys (``campaign/cache.py``)
+#: incorporate it so stale transforms can't be served across compiler
+#: changes.
+COMPILER_VERSION = 1
+
+#: Register value marking a never-bound variable slot.
+_UNBOUND = object()
+
+#: ``_staged`` sentinel: nothing staged by :meth:`CompiledProcess.step_local`.
+#: (``None`` itself is a legal staged value — it means "program finished".)
+_NO_STAGE = object()
+
+_EMPTY_TMPL: tuple = ()
+
+
+def _tmpl_key(tmpl: tuple) -> tuple:
+    """Static restore key of a snapshot template (node ids + indexes)."""
+    parts = []
+    for entry in tmpl:
+        kind = entry[0]
+        if kind == "block":
+            parts.append(("b", entry[1].node_id, entry[2]))
+        elif kind == "while":
+            parts.append(("w", entry[1].node_id))
+        else:
+            parts.append(("f", entry[1].node_id))
+    return tuple(parts)
+
+
+def _frames_key(frames: tuple) -> tuple:
+    """Static restore key of a snapshot's frame tuple."""
+    parts = []
+    for frame in frames:
+        kind = frame.kind
+        if kind == "block":
+            parts.append(("b", frame.block.node_id, frame.index))
+        elif kind == "while":
+            parts.append(("w", frame.stmt.node_id))
+        elif kind == "for":
+            parts.append(("f", frame.stmt.node_id))
+        else:
+            raise SimulationError(f"corrupt frame kind {kind!r}")
+    return tuple(parts)
+
+
+_EFFECT_STMTS = (
+    ast.Assign, ast.Pass, ast.Compute, ast.Send, ast.Recv, ast.Bcast,
+    ast.Checkpoint,
+)
+
+
+class CompiledProgram:
+    """The rank-independent lowering of one program.
+
+    Holds the flat instruction descriptors (with jump targets resolved
+    and jump chains threaded away), the symbol table, the per-effect
+    snapshot templates, and the restore table. :meth:`bind` specialises
+    it into a :class:`CompiledProcess` for one rank.
+    """
+
+    def __init__(self, program: ast.Program, n_processes: int) -> None:
+        if n_processes < 1:
+            raise SimulationError(
+                f"need at least one process, got {n_processes}"
+            )
+        self.program = program
+        self.nprocs = n_processes
+        self.symtab: dict[str, int] = {}
+        self.names: list[str] = []
+        # Descriptors: mutable lists so jump targets can be patched.
+        #   ["eff", stmt, tmpl, cont]
+        #   ["branch", cond, then_pc, else_pc]
+        #   ["jump", target]
+        #   ["wenter", next_pc] / ["whead", stmt, body_pc, exit_pc]
+        #   ["fenter", stmt, next_pc] / ["fhead", stmt, body_pc, exit_pc]
+        self._descs: list[list] = []
+        # Static frame key -> (resume pc, template).
+        self._restore: dict[tuple, tuple[int, tuple]] = {}
+        self.init_tmpl = (("block", program.body, 0),)
+
+        for node in ast.walk(program):
+            node_type = type(node)
+            if node_type is ast.Name:
+                self.ensure_slot(node.ident)
+            elif node_type in (ast.Assign, ast.Recv, ast.Bcast):
+                self.ensure_slot(node.target)
+            elif node_type is ast.For:
+                self.ensure_slot(node.var)
+
+        self._lower_block(program.body, ())
+        self._resolve()
+        self.entry_pc = self._thread(0)
+        self._restore[_tmpl_key(self.init_tmpl)] = (
+            self.entry_pc, self.init_tmpl
+        )
+        self._restore[()] = (-1, _EMPTY_TMPL)
+
+    # -- symbol table ----------------------------------------------------------
+
+    def ensure_slot(self, name: str) -> int:
+        """The register slot of *name* (allocated on first use)."""
+        slot = self.symtab.get(name)
+        if slot is None:
+            slot = len(self.names)
+            self.symtab[name] = slot
+            self.names.append(name)
+        return slot
+
+    # -- diagnostics -----------------------------------------------------------
+
+    @property
+    def lowering_stats(self) -> dict[str, int]:
+        """Deterministic size counters for the ``compile.lower`` span."""
+        return {
+            "instructions": len(self._descs),
+            "slots": len(self.names),
+            "restore_keys": len(self._restore),
+        }
+
+    # -- lowering --------------------------------------------------------------
+
+    def _emit(self, desc: list) -> int:
+        self._descs.append(desc)
+        return len(self._descs) - 1
+
+    def _lower_block(self, block: ast.Block, ctx: tuple) -> None:
+        for position, stmt in enumerate(block.statements):
+            entry = ("block", block, position + 1)
+            stmt_type = type(stmt)
+            if stmt_type is ast.If:
+                branch = self._emit(["branch", stmt.cond, None, None])
+                self._descs[branch][2] = len(self._descs)
+                self._lower_block(stmt.then_block, ctx + (entry,))
+                jump = self._emit(["jump", None])
+                self._descs[branch][3] = len(self._descs)
+                self._lower_block(stmt.else_block, ctx + (entry,))
+                self._descs[jump][1] = len(self._descs)
+            elif stmt_type is ast.While:
+                self._emit(["wenter", None])
+                head = self._emit(["whead", stmt, None, None])
+                self._descs[head][2] = len(self._descs)
+                self._lower_block(
+                    stmt.body, ctx + (entry, ("while", stmt))
+                )
+                self._emit(["jump", head])
+                self._descs[head][3] = len(self._descs)
+            elif stmt_type is ast.For:
+                self._emit(["fenter", stmt, None])
+                head = self._emit(["fhead", stmt, None, None])
+                self._descs[head][2] = len(self._descs)
+                self._lower_block(
+                    stmt.body, ctx + (entry, ("for", stmt))
+                )
+                self._emit(["jump", head])
+                self._descs[head][3] = len(self._descs)
+            else:
+                # Effectful (or unknown) statement: one instruction, one
+                # snapshot template describing the reference stack —
+                # enclosing frames plus this block at position+1.
+                tmpl = ctx + (entry,)
+                self._emit(["eff", stmt, tmpl, None])
+
+    def _thread(self, pc: int) -> int:
+        """Resolve *pc* through jump chains to a real instruction."""
+        descs = self._descs
+        total = len(descs)
+        hops = 0
+        while 0 <= pc < total:
+            desc = descs[pc]
+            if desc[0] != "jump":
+                return pc
+            pc = desc[1]
+            hops += 1
+            if hops > total:
+                raise SimulationError("jump cycle in lowered program")
+        return -1
+
+    def _resolve(self) -> None:
+        """Thread every control target and register the restore table."""
+        for pc, desc in enumerate(self._descs):
+            kind = desc[0]
+            if kind == "eff":
+                cont = self._thread(pc + 1)
+                desc[3] = cont
+                key = _tmpl_key(desc[2])
+                existing = self._restore.get(key)
+                if existing is not None and existing[0] != cont:
+                    raise SimulationError(
+                        "ambiguous control snapshot: two statements share "
+                        f"frame coordinates {key!r} (duplicated node ids?)"
+                    )
+                self._restore[key] = (cont, desc[2])
+            elif kind == "branch":
+                desc[2] = self._thread(desc[2])
+                desc[3] = self._thread(desc[3])
+            elif kind in ("whead", "fhead"):
+                desc[2] = self._thread(desc[2])
+                desc[3] = self._thread(desc[3])
+            elif kind == "wenter":
+                desc[1] = self._thread(pc + 1)
+            elif kind == "fenter":
+                desc[2] = self._thread(pc + 1)
+
+    # -- binding ---------------------------------------------------------------
+
+    def bind(
+        self,
+        rank: int,
+        params: dict[str, int] | None = None,
+        inputs: InputProvider | None = None,
+    ) -> "CompiledProcess":
+        """Specialise this program for one rank."""
+        return CompiledProcess(self, rank, params=params, inputs=inputs)
+
+
+def compile_program(program: ast.Program, n_processes: int) -> CompiledProgram:
+    """Lower *program* for an ``n_processes``-rank simulation."""
+    return CompiledProgram(program, n_processes)
+
+
+class CompiledProcess:
+    """One rank's pre-bound closure program.
+
+    Drop-in replacement for
+    :class:`~repro.runtime.interpreter.ProcessInterpreter`: same driving
+    protocol (``step``/``deliver``), same snapshot/restore contract,
+    same attribute surface (``env``, ``checkpoint_count``, ``finished``,
+    ``awaiting_delivery``), bit-identical behaviour.
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        rank: int,
+        params: dict[str, int] | None = None,
+        inputs: InputProvider | None = None,
+    ) -> None:
+        nprocs = compiled.nprocs
+        if not 0 <= rank < nprocs:
+            raise SimulationError(
+                f"rank {rank} out of range for {nprocs} processes"
+            )
+        self.compiled = compiled
+        self.program = compiled.program
+        self.rank = rank
+        self.nprocs = nprocs
+        self.inputs = inputs if inputs is not None else InputProvider()
+        self.checkpoint_count = 0
+        for name in (params or {}):
+            compiled.ensure_slot(name)
+        self._names = compiled.names
+        self._symtab = compiled.symtab
+        self._regs: list = [_UNBOUND] * len(compiled.names)
+        self._order: list[int] = []
+        for name, value in (params or {}).items():
+            slot = compiled.symtab[name]
+            self._regs[slot] = value
+            self._order.append(slot)
+        self._loops: list[list[int]] = []
+        self._pending: tuple[int, str] | None = None
+        self._staged = _NO_STAGE
+        self._pc = compiled.entry_pc
+        self._tmpl = compiled.init_tmpl
+        self._code = self._build_code()
+
+    # -- state queries --------------------------------------------------------
+
+    @property
+    def env(self) -> dict[str, int]:
+        """The variable environment, in reference insertion order."""
+        names = self._names
+        regs = self._regs
+        return {names[slot]: regs[slot] for slot in self._order}
+
+    @property
+    def finished(self) -> bool:
+        """True once the program has run to completion."""
+        return self._pc < 0 and not self._tmpl
+
+    @property
+    def awaiting_delivery(self) -> bool:
+        """True while blocked at a receive awaiting deliver()."""
+        return self._pending is not None
+
+    @property
+    def pending_recv(self) -> str | None:
+        """Name of the variable awaiting a delivery, if any."""
+        pending = self._pending
+        return None if pending is None else pending[1]
+
+    # -- snapshot / restore -----------------------------------------------------
+
+    def snapshot(self) -> ProcessSnapshot:
+        """Capture current state (legal even while blocked at a recv)."""
+        frames = []
+        loops = self._loops
+        loop_index = 0
+        for entry in self._tmpl:
+            kind = entry[0]
+            if kind == "block":
+                frames.append(
+                    FrameState("block", entry[1], entry[2], None, 0, 0)
+                )
+            elif kind == "while":
+                trip = loops[loop_index][0]
+                loop_index += 1
+                frames.append(
+                    FrameState("while", None, 0, entry[1], 0, trip)
+                )
+            else:
+                remaining, trip = loops[loop_index]
+                loop_index += 1
+                frames.append(
+                    FrameState("for", None, 0, entry[1], remaining, trip)
+                )
+        pending = self._pending
+        names = self._names
+        regs = self._regs
+        # Built through __dict__ (see the engine's trace events): one
+        # snapshot per checkpoint, and the generated frozen __init__
+        # costs ~3x this path.
+        snap = ProcessSnapshot.__new__(ProcessSnapshot)
+        snap.__dict__.update(
+            env={names[slot]: regs[slot] for slot in self._order},
+            frames=tuple(frames),
+            checkpoint_count=self.checkpoint_count,
+            input_counters=self.inputs.snapshot(self.rank),
+            pending_recv=None if pending is None else pending[1],
+        )
+        return snap
+
+    def restore(self, snap: ProcessSnapshot) -> None:
+        """Rewind to *snap* (rollback or restart after a failure)."""
+        entry = self.compiled._restore.get(_frames_key(snap.frames))
+        if entry is None:
+            raise SimulationError(
+                "snapshot does not correspond to any control point of "
+                "the compiled program"
+            )
+        self._pc, self._tmpl = entry
+        regs = self._regs
+        for slot in range(len(regs)):
+            regs[slot] = _UNBOUND
+        order = self._order
+        order.clear()
+        symtab = self._symtab
+        for name, value in snap.env.items():
+            slot = symtab.get(name)
+            if slot is None:
+                raise SimulationError(
+                    f"snapshot variable {name!r} is unknown to the "
+                    "compiled program"
+                )
+            regs[slot] = value
+            order.append(slot)
+        loops = self._loops
+        loops.clear()
+        for frame in snap.frames:
+            if frame.kind == "while":
+                loops.append([frame.trip])
+            elif frame.kind == "for":
+                loops.append([frame.remaining, frame.trip])
+        self.checkpoint_count = snap.checkpoint_count
+        self.inputs.restore(self.rank, dict(snap.input_counters))
+        name = snap.pending_recv
+        self._pending = None if name is None else (symtab[name], name)
+        self._staged = _NO_STAGE
+
+    # -- execution ----------------------------------------------------------------
+
+    def step(self):
+        """Advance to the next effect; ``None`` when the program is done.
+
+        Raises if called while a receive is awaiting its delivery.
+        """
+        staged = self._staged
+        if staged is not _NO_STAGE:
+            # step_local() already executed the statement and staged its
+            # effect (possibly None for "finished"); hand it over without
+            # re-executing anything. The pending check is skipped on
+            # purpose: a staged RecvEffect has already set _pending.
+            self._staged = _NO_STAGE
+            return staged
+        if self._pending is not None:
+            raise SimulationError("step() called while awaiting a delivery")
+        pc = self._pc
+        if pc < 0:
+            # Finished (or an empty program finishing its first step):
+            # the reference interpreter pops exhausted frames lazily, so
+            # the control stack empties only now.
+            self._tmpl = _EMPTY_TMPL
+            self._loops.clear()
+            return None
+        code = self._code
+        while True:
+            result = code[pc]()
+            if result.__class__ is int:
+                pc = result
+                if pc < 0:
+                    self._pc = -1
+                    self._tmpl = _EMPTY_TMPL
+                    self._loops.clear()
+                    return None
+            else:
+                self._pc = result[0]
+                self._tmpl = result[2]
+                return result[1]
+
+    def step_local(self):
+        """Execute the next statement only if it yields a ``LocalEffect``.
+
+        Engine fast path: returns True when one local statement ran (the
+        caller owns the clock/step accounting the normal
+        ``step()``/``_perform`` pair would have done), False when the
+        next effect is anything else — in that case the statement has
+        still been executed and its effect is *staged*, to be returned
+        by the next ``step()`` call. Either way the statement executes
+        exactly once, so the effect stream is unchanged.
+        """
+        if self._staged is not _NO_STAGE or self._pending is not None:
+            return False
+        pc = self._pc
+        if pc < 0:
+            return False
+        code = self._code
+        while True:
+            result = code[pc]()
+            if result.__class__ is int:
+                pc = result
+                if pc < 0:
+                    self._pc = -1
+                    self._tmpl = _EMPTY_TMPL
+                    self._loops.clear()
+                    self._staged = None
+                    return False
+            else:
+                self._pc = result[0]
+                self._tmpl = result[2]
+                effect = result[1]
+                if effect.__class__ is LocalEffect:
+                    return True
+                self._staged = effect
+                return False
+
+    def deliver(self, value: int) -> None:
+        """Complete a pending receive with *value*."""
+        pending = self._pending
+        if pending is None:
+            raise SimulationError("deliver() without a pending receive")
+        slot = pending[0]
+        regs = self._regs
+        if regs[slot] is _UNBOUND:
+            self._order.append(slot)
+        regs[slot] = value
+        self._pending = None
+
+    # -- expression compilation -------------------------------------------------
+    #
+    # _compile_expr returns (is_const, value_or_closure). Folding is
+    # opportunistic: anything that cannot be proven to evaluate without
+    # error (or that has input() side effects) stays a closure, so
+    # run-time errors fire exactly where the reference interpreter's
+    # would.
+
+    def _thunk(self, const: bool, value):
+        """A zero-argument callable for a compiled expression."""
+        if not const:
+            return value
+        return lambda: value
+
+    def _compile_expr(self, expr):
+        expr_type = type(expr)
+        if expr_type is ast.Const:
+            return True, expr.value
+        if expr_type is ast.MyRank:
+            return True, self.rank
+        if expr_type is ast.NProcs:
+            return True, self.nprocs
+        if expr_type is ast.Name:
+            slot = self.compiled.ensure_slot(expr.ident)
+            if slot >= len(self._regs):
+                self._regs.extend(
+                    [_UNBOUND] * (len(self.compiled.names) - len(self._regs))
+                )
+            regs = self._regs
+            rank, ident, line = self.rank, expr.ident, expr.line
+
+            def read_name():
+                value = regs[slot]
+                if value is _UNBOUND:
+                    raise SimulationError(
+                        f"P{rank}: unbound variable {ident!r} at line {line}"
+                    )
+                return value
+
+            return False, read_name
+        if expr_type is ast.InputData:
+            inputs, label, rank = self.inputs, expr.label, self.rank
+            return False, lambda: inputs.value(label, rank)
+        if expr_type is ast.UnaryOp:
+            const, operand = self._compile_expr(expr.operand)
+            if expr.op == "-":
+                if const:
+                    return True, -operand
+                return False, lambda: -operand()
+            # The reference interpreter treats every non-"-" unary op as
+            # logical not; mirror that exactly.
+            if const:
+                return True, int(not operand)
+            return False, lambda: int(not operand())
+        if expr_type is ast.Call:
+            return self._compile_call(expr)
+        if expr_type is ast.BinOp:
+            return self._compile_binop(expr)
+        # Unknown expression node: the reference raises only when the
+        # expression is actually evaluated.
+        message = f"unknown expression {expr!r}"
+
+        def unknown_expr():
+            raise SimulationError(message)
+
+        return False, unknown_expr
+
+    def _compile_call(self, expr: ast.Call):
+        parts = [self._compile_expr(arg) for arg in expr.args]
+        func = BUILTINS.get(expr.func)
+        if func is not None and all(const for const, _ in parts):
+            try:
+                return True, int(func(*[value for _, value in parts]))
+            except Exception:
+                pass  # fold failed: evaluate (and fail) at run time
+        thunks = [self._thunk(const, value) for const, value in parts]
+        if func is None:
+            # Unknown builtin: args still evaluate first (input() side
+            # effects), then call_builtin raises the reference error.
+            name = expr.func
+
+            def unknown_builtin():
+                return call_builtin(name, [thunk() for thunk in thunks])
+
+            return False, unknown_builtin
+        if len(thunks) == 1:
+            arg0 = thunks[0]
+            return False, lambda: int(func(arg0()))
+        if len(thunks) == 2:
+            arg0, arg1 = thunks
+            return False, lambda: int(func(arg0(), arg1()))
+        return False, lambda: int(func(*[thunk() for thunk in thunks]))
+
+    def _compile_binop(self, expr: ast.BinOp):
+        op = expr.op
+        left_const, left = self._compile_expr(expr.left)
+        if op == "and":
+            if left_const:
+                # Constant truthy left: the expression IS the right
+                # side; constant falsy left: right never evaluates.
+                return self._compile_expr(expr.right) if left != 0 \
+                    else (True, 0)
+            right = self._thunk(*self._compile_expr(expr.right))
+            return False, lambda: right() if left() != 0 else 0
+        if op == "or":
+            if left_const:
+                return (True, left) if left != 0 \
+                    else self._compile_expr(expr.right)
+            right = self._thunk(*self._compile_expr(expr.right))
+
+            def lazy_or():
+                value = left()
+                return value if value != 0 else right()
+
+            return False, lazy_or
+        right_const, right = self._compile_expr(expr.right)
+        if left_const and right_const:
+            try:
+                return True, self._fold_binop(op, left, right, expr.line)
+            except SimulationError:
+                pass  # e.g. constant division by zero: raise at run time
+        left_fn = self._thunk(left_const, left)
+        right_fn = self._thunk(right_const, right)
+        if op == "+":
+            return False, lambda: left_fn() + right_fn()
+        if op == "-":
+            return False, lambda: left_fn() - right_fn()
+        if op == "*":
+            return False, lambda: left_fn() * right_fn()
+        if op in ("/", "//"):
+            rank, line = self.rank, expr.line
+
+            def divide():
+                divisor = right_fn()
+                if divisor == 0:
+                    raise SimulationError(
+                        f"P{rank}: division by zero at line {line}"
+                    )
+                return left_fn() // divisor
+
+            return False, divide
+        if op == "%":
+            rank, line = self.rank, expr.line
+
+            def modulo():
+                divisor = right_fn()
+                if divisor == 0:
+                    raise SimulationError(
+                        f"P{rank}: modulo by zero at line {line}"
+                    )
+                return left_fn() % divisor
+
+            return False, modulo
+        if op == "==":
+            return False, lambda: int(left_fn() == right_fn())
+        if op == "!=":
+            return False, lambda: int(left_fn() != right_fn())
+        if op == "<":
+            return False, lambda: int(left_fn() < right_fn())
+        if op == "<=":
+            return False, lambda: int(left_fn() <= right_fn())
+        if op == ">":
+            return False, lambda: int(left_fn() > right_fn())
+        if op == ">=":
+            return False, lambda: int(left_fn() >= right_fn())
+        message = f"unknown operator {op!r}"
+
+        def unknown_op():
+            raise SimulationError(message)
+
+        return False, unknown_op
+
+    def _fold_binop(self, op: str, left: int, right: int, line: int) -> int:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op in ("/", "//"):
+            if right == 0:
+                raise SimulationError(
+                    f"P{self.rank}: division by zero at line {line}"
+                )
+            return left // right
+        if op == "%":
+            if right == 0:
+                raise SimulationError(
+                    f"P{self.rank}: modulo by zero at line {line}"
+                )
+            return left % right
+        if op == "==":
+            return int(left == right)
+        if op == "!=":
+            return int(left != right)
+        if op == "<":
+            return int(left < right)
+        if op == "<=":
+            return int(left <= right)
+        if op == ">":
+            return int(left > right)
+        if op == ">=":
+            return int(left >= right)
+        raise SimulationError(f"unknown operator {op!r}")
+
+    # -- instruction binding ----------------------------------------------------
+
+    def _raiser(self, message: str):
+        def raise_error():
+            raise SimulationError(message)
+
+        return raise_error
+
+    def _endpoint_error(self, value: int, line: int) -> str:
+        return (
+            f"P{self.rank}: endpoint rank {value} out of range "
+            f"[0, {self.nprocs}) at line {line}"
+        )
+
+    def _build_code(self) -> list:
+        code = []
+        for desc in self.compiled._descs:
+            kind = desc[0]
+            if kind == "eff":
+                code.append(self._bind_effect(desc[1], desc[2], desc[3]))
+            elif kind == "branch":
+                const, cond = self._compile_expr(desc[1])
+                then_pc, else_pc = desc[2], desc[3]
+                if const:
+                    target = then_pc if cond != 0 else else_pc
+                    code.append(lambda target=target: target)
+                else:
+                    code.append(
+                        lambda cond=cond, t=then_pc, e=else_pc:
+                            t if cond() != 0 else e
+                    )
+            elif kind == "jump":
+                # Unreachable after threading; a guard, not a hot path.
+                code.append(self._raiser("jump instruction executed"))
+            elif kind == "wenter":
+                loops, next_pc = self._loops, desc[1]
+
+                def while_enter(loops=loops, next_pc=next_pc):
+                    loops.append([0])
+                    return next_pc
+
+                code.append(while_enter)
+            elif kind == "whead":
+                code.append(self._bind_while_head(desc[1], desc[2], desc[3]))
+            elif kind == "fenter":
+                const, count = self._compile_expr(desc[1].count)
+                loops, next_pc = self._loops, desc[2]
+                if const:
+                    initial = count if count > 0 else 0
+
+                    def for_enter_const(
+                        loops=loops, initial=initial, next_pc=next_pc
+                    ):
+                        loops.append([initial, 0])
+                        return next_pc
+
+                    code.append(for_enter_const)
+                else:
+
+                    def for_enter(
+                        loops=loops, count=count, next_pc=next_pc
+                    ):
+                        value = count()
+                        loops.append([value if value > 0 else 0, 0])
+                        return next_pc
+
+                    code.append(for_enter)
+            elif kind == "fhead":
+                code.append(self._bind_for_head(desc[1], desc[2], desc[3]))
+            else:
+                raise SimulationError(f"unknown instruction {kind!r}")
+        return code
+
+    def _bind_while_head(self, stmt: ast.While, body_pc: int, exit_pc: int):
+        const, cond = self._compile_expr(stmt.cond)
+        loops = self._loops
+        if const:
+            if cond != 0:
+
+                def spin(loops=loops, body_pc=body_pc):
+                    loops[-1][0] += 1
+                    return body_pc
+
+                return spin
+
+            def exit_loop(loops=loops, exit_pc=exit_pc):
+                loops.pop()
+                return exit_pc
+
+            return exit_loop
+
+        def while_head(
+            loops=loops, cond=cond, body_pc=body_pc, exit_pc=exit_pc
+        ):
+            if cond() != 0:
+                loops[-1][0] += 1
+                return body_pc
+            loops.pop()
+            return exit_pc
+
+        return while_head
+
+    def _bind_for_head(self, stmt: ast.For, body_pc: int, exit_pc: int):
+        slot = self.compiled.ensure_slot(stmt.var)
+        loops, regs, order = self._loops, self._regs, self._order
+
+        def for_head(
+            loops=loops, regs=regs, order=order, slot=slot,
+            body_pc=body_pc, exit_pc=exit_pc,
+        ):
+            top = loops[-1]
+            remaining = top[0]
+            if remaining > 0:
+                trip = top[1]
+                if regs[slot] is _UNBOUND:
+                    order.append(slot)
+                regs[slot] = trip
+                top[0] = remaining - 1
+                top[1] = trip + 1
+                return body_pc
+            loops.pop()
+            return exit_pc
+
+        return for_head
+
+    def _bind_effect(self, stmt, tmpl: tuple, cont: int):
+        stmt_type = type(stmt)
+        regs, order = self._regs, self._order
+        if stmt_type is ast.Assign:
+            slot = self.compiled.ensure_slot(stmt.target)
+            const, value = self._compile_expr(stmt.value)
+            done = (cont, LocalEffect(description=stmt.target), tmpl)
+            if const:
+
+                def assign_const(
+                    regs=regs, order=order, slot=slot, value=value, done=done
+                ):
+                    if regs[slot] is _UNBOUND:
+                        order.append(slot)
+                    regs[slot] = value
+                    return done
+
+                return assign_const
+
+            def assign(
+                regs=regs, order=order, slot=slot, value=value, done=done
+            ):
+                result = value()
+                if regs[slot] is _UNBOUND:
+                    order.append(slot)
+                regs[slot] = result
+                return done
+
+            return assign
+        if stmt_type is ast.Pass:
+            done = (cont, LocalEffect(description="pass"), tmpl)
+            return lambda done=done: done
+        if stmt_type is ast.Compute:
+            const, cost = self._compile_expr(stmt.cost)
+            if const:
+                done = (cont, ComputeEffect(cost=float(cost)), tmpl)
+                return lambda done=done: done
+            return lambda cost=cost, cont=cont, tmpl=tmpl: (
+                cont, ComputeEffect(cost=float(cost())), tmpl
+            )
+        if stmt_type is ast.Send:
+            return self._bind_send(stmt, tmpl, cont)
+        if stmt_type is ast.Recv:
+            return self._bind_recv(stmt, tmpl, cont)
+        if stmt_type is ast.Bcast:
+            return self._bind_bcast(stmt, tmpl, cont)
+        if stmt_type is ast.Checkpoint:
+            done = (cont, CheckpointEffect(stmt=stmt), tmpl)
+
+            def checkpoint(proc=self, done=done):
+                proc.checkpoint_count += 1
+                return done
+
+            return checkpoint
+        return self._raiser(f"unknown statement {stmt!r}")
+
+    def _bind_send(self, stmt: ast.Send, tmpl: tuple, cont: int):
+        dest_const, dest = self._compile_expr(stmt.dest)
+        if dest_const and not 0 <= dest < self.nprocs:
+            return self._raiser(self._endpoint_error(dest, stmt.line))
+        value_const, value = self._compile_expr(stmt.value)
+        if dest_const:
+            if value_const:
+                done = (
+                    cont,
+                    SendEffect(dest=dest, value=value, stmt=stmt),
+                    tmpl,
+                )
+                return lambda done=done: done
+            return lambda dest=dest, value=value, stmt=stmt, \
+                cont=cont, tmpl=tmpl: (
+                    cont,
+                    SendEffect(dest=dest, value=value(), stmt=stmt),
+                    tmpl,
+                )
+        # Dynamic destination: evaluate, range-check, THEN evaluate the
+        # value — the reference order, observable through input().
+        value_fn = self._thunk(value_const, value)
+        nprocs, rank, line = self.nprocs, self.rank, stmt.line
+
+        def send(
+            dest=dest, value_fn=value_fn, stmt=stmt, cont=cont, tmpl=tmpl,
+            nprocs=nprocs, rank=rank, line=line,
+        ):
+            target = dest()
+            if not 0 <= target < nprocs:
+                raise SimulationError(
+                    f"P{rank}: endpoint rank {target} out of range "
+                    f"[0, {nprocs}) at line {line}"
+                )
+            return (
+                cont,
+                SendEffect(dest=target, value=value_fn(), stmt=stmt),
+                tmpl,
+            )
+
+        return send
+
+    def _bind_recv(self, stmt: ast.Recv, tmpl: tuple, cont: int):
+        source_const, source = self._compile_expr(stmt.source)
+        if source_const and not 0 <= source < self.nprocs:
+            return self._raiser(self._endpoint_error(source, stmt.line))
+        slot = self.compiled.ensure_slot(stmt.target)
+        pending = (slot, stmt.target)
+        if source_const:
+            done = (
+                cont,
+                RecvEffect(source=source, target=stmt.target, stmt=stmt),
+                tmpl,
+            )
+
+            def recv_const(proc=self, pending=pending, done=done):
+                proc._pending = pending
+                return done
+
+            return recv_const
+        nprocs, rank, line = self.nprocs, self.rank, stmt.line
+
+        def recv(
+            proc=self, source=source, pending=pending, stmt=stmt,
+            cont=cont, tmpl=tmpl, nprocs=nprocs, rank=rank, line=line,
+        ):
+            origin = source()
+            if not 0 <= origin < nprocs:
+                raise SimulationError(
+                    f"P{rank}: endpoint rank {origin} out of range "
+                    f"[0, {nprocs}) at line {line}"
+                )
+            proc._pending = pending
+            return (
+                cont,
+                RecvEffect(source=origin, target=stmt.target, stmt=stmt),
+                tmpl,
+            )
+
+        return recv
+
+    def _bind_bcast(self, stmt: ast.Bcast, tmpl: tuple, cont: int):
+        root_const, root = self._compile_expr(stmt.root)
+        if root_const and not 0 <= root < self.nprocs:
+            return self._raiser(self._endpoint_error(root, stmt.line))
+        slot = self.compiled.ensure_slot(stmt.target)
+        regs, order = self._regs, self._order
+        pending = (slot, stmt.target)
+        if root_const:
+            if root == self.rank:
+                value_const, value = self._compile_expr(stmt.value)
+                if value_const:
+                    done = (
+                        cont,
+                        BcastSendEffect(value=value, stmt=stmt),
+                        tmpl,
+                    )
+
+                    def bcast_root_const(
+                        regs=regs, order=order, slot=slot, value=value,
+                        done=done,
+                    ):
+                        if regs[slot] is _UNBOUND:
+                            order.append(slot)
+                        regs[slot] = value
+                        return done
+
+                    return bcast_root_const
+
+                def bcast_root(
+                    regs=regs, order=order, slot=slot, value=value,
+                    stmt=stmt, cont=cont, tmpl=tmpl,
+                ):
+                    result = value()
+                    if regs[slot] is _UNBOUND:
+                        order.append(slot)
+                    regs[slot] = result
+                    return (
+                        cont,
+                        BcastSendEffect(value=result, stmt=stmt),
+                        tmpl,
+                    )
+
+                return bcast_root
+            done = (
+                cont,
+                BcastRecvEffect(root=root, target=stmt.target, stmt=stmt),
+                tmpl,
+            )
+
+            def bcast_leaf(proc=self, pending=pending, done=done):
+                proc._pending = pending
+                return done
+
+            return bcast_leaf
+        value_const, value = self._compile_expr(stmt.value)
+        value_fn = self._thunk(value_const, value)
+        nprocs, rank, line = self.nprocs, self.rank, stmt.line
+
+        def bcast(
+            proc=self, root=root, value_fn=value_fn, regs=regs, order=order,
+            slot=slot, pending=pending, stmt=stmt, cont=cont, tmpl=tmpl,
+            nprocs=nprocs, rank=rank, line=line,
+        ):
+            origin = root()
+            if not 0 <= origin < nprocs:
+                raise SimulationError(
+                    f"P{rank}: endpoint rank {origin} out of range "
+                    f"[0, {nprocs}) at line {line}"
+                )
+            if origin == rank:
+                result = value_fn()
+                if regs[slot] is _UNBOUND:
+                    order.append(slot)
+                regs[slot] = result
+                return (
+                    cont,
+                    BcastSendEffect(value=result, stmt=stmt),
+                    tmpl,
+                )
+            proc._pending = pending
+            return (
+                cont,
+                BcastRecvEffect(root=origin, target=stmt.target, stmt=stmt),
+                tmpl,
+            )
+
+        return bcast

@@ -17,6 +17,9 @@ metrics from the event stream alone:
 - ``rollback_depth`` — histogram of degraded-recovery fallback depths;
 - ``storage_checkpoints`` / ``storage_bytes`` — occupancy gauges from
   the end-of-run storage event;
+- ``snapshot_bytes`` / ``snapshot_bytes_dist`` — size of the most
+  recently committed checkpoint snapshot (gauge) and its distribution
+  over the run (histogram), fed by storage ``commit`` events;
 - ``storage_retries_total`` / ``gc_collected_total`` /
   ``gc_reclaimed_bytes_total`` — write-retry and retention-GC counters;
 - ``recovery_retries_total`` / ``recovery_backoff`` /
@@ -188,6 +191,12 @@ class MetricsCollector:
             retries = event.fields.get("retries", 0)
             if retries:
                 self.registry.counter("storage_retries_total").inc(retries)
+            # Size of the snapshot just committed (full-state bytes as
+            # accounted by the storage model): a gauge of the most
+            # recent value plus a distribution across the run.
+            size = float(event.fields.get("bytes", 0))
+            self.registry.gauge("snapshot_bytes").set(size)
+            self.registry.histogram("snapshot_bytes_dist").observe(size)
         elif event.name == "gc":
             self.registry.counter("gc_collected_total").inc()
             self.registry.counter("gc_reclaimed_bytes_total").inc(

@@ -77,6 +77,9 @@ class ChaosConfig:
             schedule seed, so one workload meets many schedules.
         scheduler: Engine scheduler (``"indexed"`` or ``"reference"``);
             verdicts and artifacts are byte-identical for both.
+        backend: Execution backend (``"compiled"`` or ``"reference"``);
+            like the scheduler, verdicts and artifacts are
+            byte-identical for both.
     """
 
     n_processes: int = 3
@@ -92,6 +95,7 @@ class ChaosConfig:
     retain_k: int | None = None
     sim_seed: int = 0
     scheduler: str = "indexed"
+    backend: str = "compiled"
 
 
 def draw_schedule(seed: int, config: ChaosConfig = ChaosConfig()) -> FaultPlan:
@@ -319,7 +323,7 @@ def _workload():
 def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
     """Final environment of the fault-free run (cached per workload)."""
     key = (protocol, config.n_processes, config.steps, config.sim_seed,
-           config.scheduler)
+           config.scheduler, config.backend)
     if key not in _BASELINES:
         result = Simulation(
             _workload(),
@@ -328,6 +332,7 @@ def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
             protocol=_make_protocol(protocol),
             seed=config.sim_seed,
             scheduler=config.scheduler,
+            backend=config.backend,
         ).run()
         _BASELINES[key] = result.final_env
     return _BASELINES[key]
@@ -361,6 +366,7 @@ def run_schedule(
         transport_config=transport_config,
         observer=observer,
         scheduler=config.scheduler,
+        backend=config.backend,
         retain_k=config.retain_k,
     )
     try:

@@ -52,7 +52,7 @@ from repro.runtime.failures import (
 )
 from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
 from repro.runtime.inputs import InputProvider
-from repro.runtime.interpreter import ProcessInterpreter
+from repro.runtime.interpreter import ProcessInterpreter, make_backend
 from repro.runtime.network import Message, Network
 from repro.runtime.storage import (
     CheckpointStore,
@@ -203,6 +203,9 @@ class SimulationResult:
     verdict: str = "completed"
 
 
+_INF = float("inf")
+
+
 class _Status:
     READY = "ready"
     BLOCKED = "blocked"
@@ -219,6 +222,12 @@ class _Proc:
     status: str = _Status.READY
     blocked_effect: Effect | None = None
     paused: bool = False
+    # Bound ``interp.step_local`` when the backend provides one (the
+    # compiled backend's pure-local fast path), else None. Cached here
+    # because the run loop would otherwise getattr() per dispatch; the
+    # interp object lives for the whole simulation (recovery restores
+    # state in place), so the bound method can never go stale.
+    fast_local: object = None
 
 
 class RecoverySupervisor:
@@ -421,6 +430,7 @@ class Simulation:
         scheduler: str = "indexed",
         recovery: SupervisorConfig | None = None,
         retain_k: int | None = None,
+        backend: str = "compiled",
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
@@ -430,6 +440,10 @@ class Simulation:
                 "(expected 'indexed' or 'reference')"
             )
         self._scheduler = scheduler
+        # Raises on an unknown backend; for "compiled" this is also
+        # where the program is lowered, once, shared by every rank.
+        process_factory = make_backend(program, n_processes, backend)
+        self.backend = backend
         if storage_replicas < 1:
             raise SimulationError(
                 f"need at least one storage replica, got {storage_replicas}"
@@ -438,6 +452,22 @@ class Simulation:
         self.n = n_processes
         self.costs = costs
         self.protocol = protocol if protocol is not None else NullProtocol()
+        # The base on_effect hook is a no-op; detecting that once lets
+        # the per-effect loop skip the call entirely for every shipped
+        # protocol (none of them override it).
+        self._observes_effects = (
+            type(self.protocol).on_effect is not ProtocolHooks.on_effect
+        )
+        # Same trick for piggyback: the base hook returns {} and has no
+        # side effects, so sends can skip the call (and the empty-dict
+        # copy in the network layer) unless the protocol overrides it.
+        self._has_piggyback = (
+            type(self.protocol).piggyback is not ProtocolHooks.piggyback
+        )
+        self._sees_app_messages = (
+            type(self.protocol).on_app_message
+            is not ProtocolHooks.on_app_message
+        )
         plan = failure_plan or FailurePlan.none()
         network_faults: list[NetworkFaultEvent] = list(
             getattr(plan, "network_faults", []) or []
@@ -529,16 +559,27 @@ class Simulation:
         self.procs = [
             _Proc(
                 rank=rank,
-                interp=ProcessInterpreter(
-                    program,
-                    rank,
-                    n_processes,
-                    params=params,
-                    inputs=self._inputs,
-                ),
+                interp=process_factory(rank, params, self._inputs),
             )
             for rank in range(n_processes)
         ]
+        for proc in self.procs:
+            proc.fast_local = getattr(proc.interp, "step_local", None)
+        # Backend diagnostics are strictly opt-in: an unconditional
+        # backend-identifying event would break the byte-identical
+        # cross-backend JSONL contract, so the bus must declare
+        # ``wants_backend_events`` to receive them.
+        if observer is not None and getattr(
+            observer, "wants_backend_events", False
+        ):
+            observer.emit("engine", "backend", None, 0.0, backend=backend)
+            compiled = getattr(process_factory, "compiled", None)
+            if compiled is not None:
+                observer.emit(
+                    "span", "compile.lower", None, 0.0,
+                    span_id=-1, parent=None, dur=0.0,
+                    **compiled.lowering_stats,
+                )
         # Indexed-scheduler state: a single priority queue of actionable
         # items with lazy invalidation (per-rank version counters), plus
         # channel waiters so blocked receivers are woken by arrival
@@ -590,6 +631,7 @@ class Simulation:
             observer=observer,
             scheduler=getattr(spec, "scheduler", "indexed"),
             retain_k=getattr(spec, "retain_k", None),
+            backend=getattr(spec, "backend", "compiled"),
         )
 
     @property
@@ -842,17 +884,33 @@ class Simulation:
         """
         self.protocol.on_start(self)
         unrecoverable = False
+        indexed = self._scheduler == "indexed"
+        _READY = _Status.READY
+        next_item = (
+            self._next_item_indexed if indexed else self._next_item_reference
+        )
+        # Loop invariants of the batching fast path, hoisted: these
+        # objects are mutated in place but never rebound during a run
+        # (``_resync`` clears the heap rather than replacing it).
+        heap = self._heap
+        stats = self.stats
+        max_steps = self._max_steps
+        crashes = self._crashes
+        rots = self._rot_events
+        observes_effects = self._observes_effects
+        local_cost = self.costs.local_statement
+        limit = max_time if max_time is not None else _INF
         try:
             while True:
                 if self._n_done == self.n:
                     break
-                self.stats.steps += 1
-                if self.stats.steps > self._max_steps:
+                stats.steps += 1
+                if stats.steps > max_steps:
                     raise SimulationError(
                         f"step budget exceeded ({self._max_steps}); "
                         "likely a livelock or a runaway failure plan"
                     )
-                item = self._next_item()
+                item = next_item()
                 if item is None:
                     if self._n_done == self.n:
                         break
@@ -866,10 +924,67 @@ class Simulation:
                         blocked=blocked,
                     )
                 time, priority, payload = item
-                if max_time is not None and time > max_time:
+                if time > limit:
                     self._unpop_last()
                     break
-                if priority == -1:
+                if priority == 3:
+                    # Process execution is by far the most common
+                    # dispatch; test for it first.
+                    self._execute_process(payload)
+                    if indexed:
+                        # Hot-process fast path: keep executing this
+                        # process while it is provably still the strict
+                        # scheduler minimum, skipping the heap round
+                        # trip per effect. The heap plus the fault-event
+                        # heads are a conservative lower bound on every
+                        # other actionable item (stale entries only ever
+                        # carry earlier times), so the check can only
+                        # end a run early, never reorder dispatches —
+                        # the dispatch sequence (and stats.steps) is
+                        # byte-identical to the unbatched loop.
+                        proc = payload
+                        rank = proc.rank
+                        # The crash/rot schedules only mutate at their
+                        # own dispatches (priorities 0/-1), never inside
+                        # a process batch, so their heads can be hoisted.
+                        bound = crashes[0].time if crashes else _INF
+                        if rots and rots[0].time < bound:
+                            bound = rots[0].time
+                        # Pure-local statements skip the step()/Effect/
+                        # _perform round trip entirely: step_local()
+                        # executes exactly one statement and the loop
+                        # below applies the same clock/step accounting
+                        # _perform's LocalEffect branch would have.
+                        fast_local = (
+                            None if observes_effects else proc.fast_local
+                        )
+                        while proc.status is _READY and not proc.paused:
+                            clock = proc.clock
+                            if clock > limit or bound <= clock:
+                                break
+                            if heap:
+                                top = heap[0]
+                                t0 = top[0]
+                                if t0 < clock or (
+                                    t0 == clock
+                                    and (
+                                        top[1] < 3
+                                        or (top[1] == 3 and top[2] <= rank)
+                                    )
+                                ):
+                                    break
+                            stats.steps += 1
+                            if stats.steps > max_steps:
+                                raise SimulationError(
+                                    f"step budget exceeded ({self._max_steps}); "
+                                    "likely a livelock or a runaway failure plan"
+                                )
+                            if fast_local is not None and fast_local():
+                                proc.clock = clock + local_cost
+                                continue
+                            self._execute_process(proc)
+                    self._reschedule(payload.rank)
+                elif priority == -1:
                     self._apply_storage_fault(payload, time)
                 elif priority == 0:
                     self._apply_crash(payload, time)
@@ -887,9 +1002,6 @@ class Simulation:
                     self.protocol.on_timer(
                         self, payload[2], payload[3], payload[0]
                     )
-                else:
-                    self._execute_process(payload)
-                    self._reschedule(payload.rank)
         except UnrecoverableError:
             unrecoverable = True
         self.stats.completed = self._n_done == self.n
@@ -955,12 +1067,12 @@ class Simulation:
     # processes by rank; classes at equal times resolve by priority.
 
     def _next_item(self) -> tuple[float, int, object] | None:
-        self._pending_entry = None
         if self._scheduler == "reference":
             return self._next_item_reference()
         return self._next_item_indexed()
 
     def _next_item_reference(self) -> tuple[float, int, object] | None:
+        self._pending_entry = None
         best: tuple[float, int, object] | None = None
 
         def consider(time: float, priority: int, payload: object) -> None:
@@ -993,9 +1105,23 @@ class Simulation:
         return best
 
     def _next_item_indexed(self) -> tuple[float, int, object] | None:
+        self._pending_entry = None
         resynced = False
+        heap = self._heap
+        heappop = heapq.heappop
+        proc_version = self._proc_version
         while True:
-            entry = self._pop_valid()
+            # Inline _pop_valid: pop until a live entry surfaces.
+            entry = None
+            while heap:
+                candidate = heappop(heap)
+                if (
+                    candidate[4] == "proc"
+                    and candidate[6] != proc_version[candidate[2]]
+                ):
+                    continue
+                entry = candidate
+                break
             best: tuple[float, int, object] | None = None
             if self._rot_events:
                 rot = self._rot_events[0]
@@ -1060,16 +1186,19 @@ class Simulation:
         """
         if self._scheduler != "indexed":
             return
-        self._proc_version[rank] += 1
+        version = self._proc_version[rank] + 1
+        self._proc_version[rank] = version
         proc = self.procs[rank]
         if proc.paused:
             return
-        if proc.status is _Status.READY:
-            self._push(
-                proc.clock, 3, rank, "proc", proc,
-                version=self._proc_version[rank],
+        status = proc.status
+        if status is _Status.READY:
+            self._push_seq += 1
+            heapq.heappush(
+                self._heap,
+                (proc.clock, 3, rank, self._push_seq, "proc", proc, version),
             )
-        elif proc.status is _Status.BLOCKED:
+        elif status is _Status.BLOCKED:
             head = self._awaited_message(proc)
             if head is None:
                 effect = proc.blocked_effect
@@ -1079,9 +1208,15 @@ class Simulation:
                     key = (effect.root, rank, "coll")
                 self._waiters[key] = rank
             else:
-                self._push(
-                    max(proc.clock, head.arrival_time), 3, rank, "proc",
-                    proc, version=self._proc_version[rank],
+                clock = proc.clock
+                arrival = head.arrival_time
+                self._push_seq += 1
+                heapq.heappush(
+                    self._heap,
+                    (
+                        arrival if arrival > clock else clock,
+                        3, rank, self._push_seq, "proc", proc, version,
+                    ),
                 )
 
     def _on_message_enqueued(self, message: Message) -> None:
@@ -1115,6 +1250,11 @@ class Simulation:
 
     def _awaited_message(self, proc: _Proc) -> Message | None:
         effect = proc.blocked_effect
+        cls = effect.__class__
+        if cls is RecvEffect:
+            return self.network.peek(effect.source, proc.rank, "p2p")
+        if cls is BcastRecvEffect:
+            return self.network.peek(effect.root, proc.rank, "coll")
         if isinstance(effect, RecvEffect):
             return self.network.peek(effect.source, proc.rank, "p2p")
         if isinstance(effect, BcastRecvEffect):
@@ -1133,9 +1273,70 @@ class Simulation:
             self._n_done += 1
             return
         self._perform(proc, effect)
-        self.protocol.on_effect(self, proc.rank, effect)
+        if self._observes_effects:
+            self.protocol.on_effect(self, proc.rank, effect)
 
     def _perform(self, proc: _Proc, effect: Effect) -> None:
+        # Exact-type dispatch, ordered by observed frequency: effects are
+        # closed-world frozen dataclasses, so an identity check on the
+        # class beats an isinstance() chain on the hottest path in the
+        # engine. Subclasses (if anyone ever makes one) fall through to
+        # the isinstance-based slow path below.
+        costs = self.costs
+        cls = effect.__class__
+        if cls is LocalEffect:
+            proc.clock += costs.local_statement
+            return
+        if cls is SendEffect:
+            proc.clock += costs.send_overhead
+            self._send_app_message(
+                proc, effect.dest, effect.value, "p2p",
+                stmt_id=effect.stmt.node_id,
+            )
+            return
+        if cls is RecvEffect or cls is BcastRecvEffect:
+            proc.status = _Status.BLOCKED
+            proc.blocked_effect = effect
+            head = self._awaited_message(proc)
+            if head is not None and head.arrival_time <= proc.clock:
+                self._complete_receive(proc)
+            return
+        if cls is ComputeEffect:
+            proc.clock += effect.cost * costs.compute_unit
+            if self.record_compute_events:
+                self._tick(proc.rank)
+                self.trace.append(
+                    EventKind.COMPUTE, proc.rank, proc.clock, self._clocks[proc.rank]
+                )
+            return
+        if cls is CheckpointEffect:
+            proc.clock += costs.checkpoint_overhead
+            stored = self._store_checkpoint(
+                proc,
+                stmt_id=effect.stmt.node_id,
+                tag="app",
+                time=proc.clock,
+            )
+            self.stats.checkpoints += 1
+            if stored is not None:
+                self.protocol.on_checkpoint(
+                    self, proc.rank, proc.interp.checkpoint_count
+                )
+            return
+        if cls is BcastSendEffect:
+            for dst in range(self.n):
+                if dst == proc.rank:
+                    continue
+                proc.clock += costs.send_overhead
+                self._send_app_message(
+                    proc, dst, effect.value, "coll",
+                    stmt_id=effect.stmt.node_id,
+                )
+            return
+        self._perform_slow(proc, effect)
+
+    def _perform_slow(self, proc: _Proc, effect: Effect) -> None:
+        """isinstance-based fallback for effect subclasses."""
         costs = self.costs
         if isinstance(effect, LocalEffect):
             proc.clock += costs.local_statement
@@ -1192,17 +1393,22 @@ class Simulation:
         self, proc: _Proc, dst: int, value: int, lane: str,
         stmt_id: int | None = None,
     ) -> None:
-        piggyback = self.protocol.piggyback(self, proc.rank)
-        self._tick(proc.rank)
-        message = self.network.send(
-            proc.rank, dst, value, proc.clock, lane=lane, piggyback=piggyback
+        rank = proc.rank
+        piggyback = (
+            self.protocol.piggyback(self, rank)
+            if self._has_piggyback else None
         )
-        self._message_clocks[message.message_id] = self._clocks[proc.rank]
+        clocks = self._clocks
+        clock = clocks[rank] = clocks[rank].tick(rank)
+        message = self.network.send(
+            rank, dst, value, proc.clock, lane=lane, piggyback=piggyback
+        )
+        self._message_clocks[message.message_id] = clock
         self.trace.append(
             EventKind.SEND,
-            proc.rank,
+            rank,
             proc.clock,
-            self._clocks[proc.rank],
+            clock,
             message_id=message.message_id,
             peer=dst,
             stmt_id=stmt_id,
@@ -1211,32 +1417,46 @@ class Simulation:
 
     def _complete_receive(self, proc: _Proc) -> None:
         effect = proc.blocked_effect
-        if isinstance(effect, RecvEffect):
+        cls = effect.__class__
+        if cls is RecvEffect or isinstance(effect, RecvEffect):
             src, lane = effect.source, "p2p"
-        elif isinstance(effect, BcastRecvEffect):
+        elif cls is BcastRecvEffect or isinstance(effect, BcastRecvEffect):
             src, lane = effect.root, "coll"
         else:
             raise SimulationError(f"corrupt blocked effect on rank {proc.rank}")
-        head = self.network.peek(src, proc.rank, lane)
-        if head is None:
-            raise SimulationError(
-                f"rank {proc.rank} scheduled to receive but channel is empty"
-            )
-        self.protocol.on_app_message(self, proc.rank, head)
-        message = self.network.consume(src, proc.rank, lane)
+        rank = proc.rank
+        if self._sees_app_messages:
+            head = self.network.peek(src, rank, lane)
+            if head is None:
+                raise SimulationError(
+                    f"rank {rank} scheduled to receive but channel is empty"
+                )
+            self.protocol.on_app_message(self, rank, head)
+            message = self.network.consume(src, rank, lane)
+        else:
+            # No protocol hook between peek and consume: use the fused
+            # single-lookup pop.
+            message = self.network.pop(src, rank, lane)
+            if message is None:
+                raise SimulationError(
+                    f"rank {rank} scheduled to receive but channel is empty"
+                )
         proc.clock = max(proc.clock, message.arrival_time) + self.costs.recv_overhead
         sender_clock = self._message_clocks.get(message.message_id)
-        self._tick(proc.rank)
+        clocks = self._clocks
         if sender_clock is not None:
-            self._clocks[proc.rank] = self._clocks[proc.rank].merge(sender_clock)
+            clock = clocks[rank].receive(sender_clock, rank)
+        else:
+            clock = clocks[rank].tick(rank)
+        clocks[rank] = clock
         proc.interp.deliver(message.value)
         proc.status = _Status.READY
         proc.blocked_effect = None
         self.trace.append(
             EventKind.RECV,
-            proc.rank,
+            rank,
             proc.clock,
-            self._clocks[proc.rank],
+            clock,
             message_id=message.message_id,
             peer=src,
             stmt_id=effect.stmt.node_id,
@@ -1254,24 +1474,30 @@ class Simulation:
         checkpoint numbering keeps advancing, so the straight-cut
         structure stays globally consistent with a hole at this number).
         """
-        self._tick(proc.rank)
+        rank = proc.rank
+        clocks = self._clocks
+        clock = clocks[rank] = clocks[rank].tick(rank)
         snapshot = proc.interp.snapshot()
-        previous_env = self._last_checkpoint_env.get(proc.rank)
+        previous_env = self._last_checkpoint_env.get(rank)
         full_bytes, delta_bytes = snapshot_sizes(snapshot, previous_env)
-        stored = StoredCheckpoint(
-            rank=proc.rank,
+        # Built through __dict__ like the trace's events: checkpoints
+        # are the third per-effect frozen-dataclass allocation on the
+        # hot path, and the generated __init__ costs ~3x this.
+        stored = StoredCheckpoint.__new__(StoredCheckpoint)
+        stored.__dict__.update(
+            rank=rank,
             number=proc.interp.checkpoint_count,
             snapshot=snapshot,
-            clock=self._clocks[proc.rank],
+            clock=clock,
             time=time,
-            channel_cursors=self.network.cursors_for(proc.rank),
+            channel_cursors=self.network.cursors_for(rank),
             stmt_id=stmt_id,
             tag=tag,
             blocked_effect=proc.blocked_effect,
             full_bytes=full_bytes,
             delta_bytes=delta_bytes,
         )
-        fault = self._take_write_fault(proc.rank, time, stored.number)
+        fault = self._take_write_fault(rank, time, stored.number)
         receipt = self.storage.store(stored, fault=fault)
         if receipt.retries:
             # Bounded retry with exponential backoff: attempt k waits
@@ -1285,13 +1511,15 @@ class Simulation:
             if receipt.torn:
                 self.stats.torn_writes += 1
             return None
-        self._last_checkpoint_env[proc.rank] = dict(snapshot.env)
+        # Both backends build a fresh env dict per snapshot and never
+        # mutate it afterwards, so the delta baseline can alias it.
+        self._last_checkpoint_env[rank] = snapshot.env
         if tag != "initial":
             self.trace.append(
                 EventKind.CHECKPOINT,
                 proc.rank,
                 time,
-                self._clocks[proc.rank],
+                clock,
                 checkpoint_number=stored.number,
                 stmt_id=stmt_id,
             )

@@ -12,11 +12,25 @@ Driving protocol::
     effect = interp.step()          # None when the program finished
     ...engine performs the effect...
     interp.deliver(value)           # only after a Recv/BcastRecv effect
+
+This module is also the **backend seam**: :func:`make_backend` returns a
+per-rank process factory for either execution backend —
+
+- ``"compiled"`` (default): the closure/register machine from
+  :mod:`repro.lang.compile`, which lowers the program once and binds it
+  per rank;
+- ``"reference"``: this tree-walking interpreter, retained as a
+  differential oracle (the same pattern PR 5 used for the scheduler).
+
+Both backends produce bit-identical :class:`ProcessSnapshot`\\ s and
+identical effect streams; ``tests/runtime/test_backend_differential.py``
+enforces it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, NamedTuple
 
 from repro.errors import SimulationError
 from repro.lang import ast_nodes as ast
@@ -36,7 +50,7 @@ from repro.runtime.inputs import InputProvider
 
 @dataclass
 class _Frame:
-    """One control-stack entry.
+    """One live control-stack entry of the reference interpreter.
 
     ``kind`` is ``"block"`` (executing ``block`` at ``index``),
     ``"while"`` (re-evaluating ``stmt``'s condition each pass), or
@@ -50,32 +64,40 @@ class _Frame:
     remaining: int = 0
     trip: int = 0
 
-    def copy(self) -> "_Frame":
-        return _Frame(
-            kind=self.kind,
-            block=self.block,
-            index=self.index,
-            stmt=self.stmt,
-            remaining=self.remaining,
-            trip=self.trip,
-        )
+
+class FrameState(NamedTuple):
+    """One frozen control-stack entry inside a :class:`ProcessSnapshot`.
+
+    The compact (tuple) frame representation shared by both execution
+    backends: an immutable record of a :class:`_Frame`, so snapshots
+    tuple-freeze the stack instead of allocating mutable frame copies.
+    Field names match ``_Frame`` — checkpoint payloads read
+    ``kind``/``index``/``remaining``/``trip`` unchanged.
+    """
+
+    kind: str
+    block: ast.Block | None = None
+    index: int = 0
+    stmt: ast.Stmt | None = None
+    remaining: int = 0
+    trip: int = 0
 
 
 @dataclass(frozen=True)
 class ProcessSnapshot:
     """A restorable snapshot of one process's state.
 
-    Frames are copied, the environment is copied, the AST is shared.
-    ``checkpoint_count`` preserves dynamic checkpoint numbering across
-    rollbacks; ``input_counters`` preserves the input stream position.
-    ``pending_recv`` is the awaited variable when the snapshot was taken
-    while blocked at a receive (protocols may checkpoint a blocked
-    process); restoring such a snapshot re-enters the blocked state and
-    the engine re-issues the receive.
+    Frames are tuple-frozen :class:`FrameState` records, the environment
+    is copied, the AST is shared. ``checkpoint_count`` preserves dynamic
+    checkpoint numbering across rollbacks; ``input_counters`` preserves
+    the input stream position. ``pending_recv`` is the awaited variable
+    when the snapshot was taken while blocked at a receive (protocols
+    may checkpoint a blocked process); restoring such a snapshot
+    re-enters the blocked state and the engine re-issues the receive.
     """
 
     env: dict[str, int]
-    frames: tuple[_Frame, ...]
+    frames: tuple[FrameState, ...]
     checkpoint_count: int
     input_counters: dict[str, int]
     pending_recv: str | None = None
@@ -121,7 +143,12 @@ class ProcessInterpreter:
         """Capture current state (legal even while blocked at a recv)."""
         return ProcessSnapshot(
             env=dict(self.env),
-            frames=tuple(f.copy() for f in self._stack),
+            frames=tuple(
+                FrameState(
+                    f.kind, f.block, f.index, f.stmt, f.remaining, f.trip
+                )
+                for f in self._stack
+            ),
             checkpoint_count=self.checkpoint_count,
             input_counters=self.inputs.snapshot(self.rank),
             pending_recv=self._pending_recv,
@@ -130,7 +157,10 @@ class ProcessInterpreter:
     def restore(self, snap: ProcessSnapshot) -> None:
         """Rewind to *snap* (rollback or restart after a failure)."""
         self.env = dict(snap.env)
-        self._stack = [f.copy() for f in snap.frames]
+        self._stack = [
+            _Frame(f.kind, f.block, f.index, f.stmt, f.remaining, f.trip)
+            for f in snap.frames
+        ]
         self.checkpoint_count = snap.checkpoint_count
         self._pending_recv = snap.pending_recv
         self.inputs.restore(self.rank, dict(snap.input_counters))
@@ -312,3 +342,52 @@ class ProcessInterpreter:
         if op == ">=":
             return int(left >= right)
         raise SimulationError(f"unknown operator {op!r}")
+
+
+# -- backend seam -------------------------------------------------------------
+
+#: The recognised execution backends, in default-first order.
+BACKENDS = ("compiled", "reference")
+
+#: A per-rank process factory: (rank, params, inputs) -> process.
+ProcessFactory = Callable[
+    [int, "dict[str, int] | None", "InputProvider | None"],
+    "ProcessInterpreter",
+]
+
+
+def make_backend(
+    program: ast.Program, n_processes: int, backend: str = "compiled"
+) -> ProcessFactory:
+    """Build a per-rank process factory for the chosen *backend*.
+
+    ``"compiled"`` lowers *program* once (shared across ranks) and binds
+    closures per rank; ``"reference"`` constructs the tree-walking
+    :class:`ProcessInterpreter`. Both factories expose the identical
+    ``step``/``deliver``/``snapshot``/``restore`` surface.
+    """
+    if backend == "compiled":
+        # Imported here: lang.compile imports this module for the
+        # snapshot types, so a top-level import would be circular.
+        from repro.lang.compile import compile_program
+
+        compiled = compile_program(program, n_processes)
+
+        def make_compiled(rank, params=None, inputs=None):
+            return compiled.bind(rank, params=params, inputs=inputs)
+
+        # Exposed so callers (the engine's opt-in ``compile.lower``
+        # span, tests) can reach the shared lowering.
+        make_compiled.compiled = compiled
+        return make_compiled
+    if backend == "reference":
+
+        def make_reference(rank, params=None, inputs=None):
+            return ProcessInterpreter(
+                program, rank, n_processes, params=params, inputs=inputs
+            )
+
+        return make_reference
+    raise SimulationError(
+        f"unknown backend {backend!r} (expected 'compiled' or 'reference')"
+    )

@@ -118,6 +118,9 @@ class Network:
             observer=observer,
         )
         self._channels: dict[tuple[int, int, str], _Channel] = {}
+        # latency() is a pure function of (seed, src, dst); memoise it so
+        # the per-send cost is one dict hit instead of a hash mix.
+        self._latency_cache: dict[tuple[int, int], float] = {}
         # Per-rank channel keys (creation order), so checkpoint cursor
         # snapshots touch only a rank's own channels instead of scanning
         # every channel in the system.
@@ -182,12 +185,19 @@ class Network:
             if channel.replayed >= len(channel.log):
                 channel.replayed = None
             return original
+        latency = self._latency_cache.get((src, dst))
+        if latency is None:
+            latency = self._latency_cache[(src, dst)] = self.latency(src, dst)
         delivery = self.transport.transmit(
-            src, dst, lane, value, send_time, self.latency(src, dst)
+            src, dst, lane, value, send_time, latency
         )
         arrival = max(delivery.delivery_time, channel.last_arrival)
         channel.last_arrival = arrival
-        message = Message(
+        # Build the frozen message through __dict__ directly: one
+        # message per application send, and the generated frozen
+        # __init__ (object.__setattr__ per field) costs ~3x this path.
+        message = Message.__new__(Message)
+        message.__dict__.update(
             message_id=next(self._ids),
             src=src,
             dst=dst,
@@ -195,7 +205,7 @@ class Network:
             value=value,
             send_time=send_time,
             arrival_time=arrival,
-            piggyback=dict(piggyback or {}),
+            piggyback=dict(piggyback) if piggyback else {},
         )
         channel.log.append(message)
         if self.on_enqueue is not None:
@@ -239,6 +249,21 @@ class Network:
                 "channel is empty", src=src, dst=dst, lane=lane
             )
         channel.delivered += 1
+        return head
+
+    def pop(self, src: int, dst: int, lane: str = "p2p") -> Message | None:
+        """``peek`` followed by ``consume``, fused into one lookup.
+
+        Returns the delivered head, or ``None`` when the channel is
+        absent or drained (in which case nothing is consumed). Like
+        ``peek`` it never materialises a channel.
+        """
+        channel = self._channels.get((src, dst, lane))
+        if channel is None:
+            return None
+        head = channel.queue_head()
+        if head is not None:
+            channel.delivered += 1
         return head
 
     # -- rollback support ------------------------------------------------------------

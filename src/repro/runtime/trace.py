@@ -50,7 +50,11 @@ class ExecutionTrace:
         """Record an event, assigning its local-history sequence number."""
         seq = self._seq.get(process, 0)
         self._seq[process] = seq + 1
-        event = TraceEvent(
+        # Build the frozen event through __dict__ directly: the engine
+        # appends one event per traced effect, and the generated frozen
+        # __init__ (object.__setattr__ per field) costs ~3x this path.
+        event = TraceEvent.__new__(TraceEvent)
+        event.__dict__.update(
             kind=kind,
             process=process,
             seq=seq,

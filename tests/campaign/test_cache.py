@@ -43,6 +43,26 @@ class TestKey:
         loops = transform_cache_key(program, model, True, Universe(), False)
         assert len({plain, forced, loops}) == 3
 
+    def test_compiler_version_changes_key(self, monkeypatch):
+        """A COMPILER_VERSION bump must orphan every cached transform.
+
+        Cached programs are executed by the closure compiler, so the
+        cache schema ties entries to the lowering that will run them.
+        """
+        import repro.campaign.cache as cache_mod
+        from repro.attributes.contradiction import Universe
+
+        program = load_program("ring_pipeline")
+        model = CostModel()
+        before_schema = cache_mod.cache_schema()
+        before = transform_cache_key(program, model, False, Universe(), False)
+        monkeypatch.setattr(
+            cache_mod, "COMPILER_VERSION", cache_mod.COMPILER_VERSION + 1
+        )
+        assert cache_mod.cache_schema() != before_schema
+        after = transform_cache_key(program, model, False, Universe(), False)
+        assert after != before
+
 
 class TestHitMiss:
     def test_first_miss_then_hit(self, tmp_path):

@@ -1,0 +1,179 @@
+"""Differential tests: compiled backend vs the tree-walking reference.
+
+The closure compiler must be a pure performance change — every
+observable artifact (trace events with their vector clocks, stats,
+final state, completion time, normalised JSONL event logs, campaign
+cell artifacts, chaos verdicts) must be byte-identical to the
+tree-walking interpreter it replaced. These tests drive both backends
+through a workload x protocol x failure-plan grid, the @quick campaign
+matrix, and the full 210-schedule chaos sweep, and compare everything.
+
+The one sanctioned divergence surface is the campaign cell's
+``spec_hash``: the backend is part of a spec's content hash (a cached
+result records which executable form produced it), so cross-backend
+cell comparisons strip that single field and demand byte-identity on
+everything else.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.workloads import standard_workloads, strip_checkpoints
+from repro.campaign import quick_campaign
+from repro.campaign.executor import _campaign_cell
+from repro.errors import RecoveryError
+from repro.lang import ast_nodes as ast
+from repro.protocols import make_protocol
+from repro.runtime import FailurePlan, RuntimeCosts, Simulation
+from repro.runtime.chaos import CHAOS_PROTOCOLS, ChaosConfig, chaos_sweep
+from repro.runtime.failures import CrashEvent, exponential_fault_plan
+
+
+def run_fingerprint(result, jsonl=None):
+    """Everything observable about a finished run, as comparable data.
+
+    Unlike the scheduler differential, the event tuple includes the
+    full vector-clock components: the compiled backend reimplements the
+    statement loop, so clock propagation is exactly the kind of thing a
+    subtle compilation bug would skew.
+    """
+    events = tuple(
+        (
+            e.seq, e.time, e.process, e.kind.value, e.stmt_id,
+            e.message_id, e.peer, e.checkpoint_number,
+            e.clock.components,
+        )
+        for e in result.trace.events
+    )
+    return (
+        events,
+        result.stats.as_dict(),
+        result.final_env,
+        result.completion_time,
+        jsonl,
+    )
+
+
+def run_once(base, n_processes, params, protocol, make_plan, backend):
+    """One observed simulation of a *shared* AST (cloned: node ids match)."""
+    from repro.obs import Observability
+
+    obs = Observability()
+    sim = Simulation(
+        ast.clone(base),
+        n_processes,
+        params=dict(params),
+        costs=RuntimeCosts(),
+        protocol=make_protocol(protocol, period=6.0),
+        failure_plan=make_plan(n_processes),
+        seed=3,
+        scheduler="indexed",
+        backend=backend,
+        observer=obs.bus,
+    )
+    result = sim.run()
+    return run_fingerprint(result, jsonl=obs.jsonl())
+
+
+PLANS = {
+    "clean": lambda n: FailurePlan.none(),
+    "crash": lambda n: FailurePlan(crashes=[CrashEvent(time=12.0, rank=1)]),
+    "storm": lambda n: exponential_fault_plan(
+        n, horizon=40.0, failure_rate=0.02, storage_fault_rate=0.05, seed=7
+    ),
+}
+
+
+class TestWorkloadMatrix:
+    """Workload x protocol x failure-plan grid, both backends."""
+
+    @pytest.mark.parametrize(
+        "workload", standard_workloads(steps=8), ids=lambda w: w.name
+    )
+    @pytest.mark.parametrize("protocol", ("appl-driven", "cl", "cic"))
+    @pytest.mark.parametrize("plan_name", tuple(PLANS))
+    def test_byte_identical(self, workload, protocol, plan_name):
+        base = workload.make_program()
+        if protocol != "appl-driven":
+            base = strip_checkpoints(base)
+
+        def attempt(backend):
+            # A corrupt-checkpoint storm can legitimately exhaust
+            # recovery (RecoveryError); both backends must then fail
+            # identically. Any other exception is a real bug and
+            # propagates.
+            try:
+                return run_once(
+                    base, workload.n_processes, workload.params,
+                    protocol, PLANS[plan_name], backend,
+                )
+            except RecoveryError as error:
+                return ("RecoveryError", str(error))
+
+        assert attempt("compiled") == attempt("reference")
+
+
+class TestCampaignMatrix:
+    """The @quick campaign matrix, cell artifacts included."""
+
+    @pytest.mark.parametrize(
+        "spec", quick_campaign(), ids=lambda s: s.label
+    )
+    def test_cell_artifacts_identical(self, spec):
+        compiled = dataclasses.replace(
+            spec, observe=True, backend="compiled"
+        )
+        reference = dataclasses.replace(
+            spec, observe=True, backend="reference"
+        )
+        cell_compiled = _campaign_cell(compiled).to_json_dict()
+        cell_reference = _campaign_cell(reference).to_json_dict()
+        assert cell_compiled["error"] is None
+        # The backend is deliberately part of the spec's content hash;
+        # everything else — stats, final env, completion time, the
+        # stmt_id-normalised JSONL event log — must match exactly.
+        assert cell_compiled.pop("spec_hash") != cell_reference.pop(
+            "spec_hash"
+        )
+        assert cell_compiled == cell_reference
+
+
+class TestChaosSweep:
+    """The full 210-schedule chaos sweep under both backends."""
+
+    def test_sweep_verdicts_identical(self):
+        seeds = range(70)  # 70 seeds x 3 protocols = 210 schedules
+        compiled = chaos_sweep(
+            seeds,
+            protocols=CHAOS_PROTOCOLS,
+            config=ChaosConfig(backend="compiled"),
+        )
+        reference = chaos_sweep(
+            seeds,
+            protocols=CHAOS_PROTOCOLS,
+            config=ChaosConfig(backend="reference"),
+        )
+        assert list(compiled) == list(reference)
+        assert compiled == reference
+        assert all(outcome.ok for outcome in compiled.values())
+
+
+class TestBackendArgument:
+    def test_unknown_backend_rejected(self):
+        workload = standard_workloads(steps=4)[0]
+        with pytest.raises(Exception, match="unknown backend"):
+            Simulation(
+                workload.make_program(),
+                workload.n_processes,
+                params=dict(workload.params),
+                backend="jit",
+            )
+
+    def test_spec_backend_reaches_engine(self):
+        spec = dataclasses.replace(
+            quick_campaign()[0], backend="reference"
+        )
+        sim = spec.build()
+        assert sim.backend == "reference"
+        assert spec.build().run().stats.completed

@@ -41,6 +41,42 @@ THRESHOLD_RULES = (
     ("case.*.identical", 1.0),
 )
 
+#: Engine cases the compiled backend must cover. A missing row means
+#: the benchmark silently stopped exercising the compiled backend; a
+#: speedup below 1.0 means compiled execution regressed to (or under)
+#: the tree-walking reference stack measured on the same machine.
+REQUIRED_ENGINE_CASES = (
+    "stencil_1d_n192",
+    "stencil_1d_n256",
+    "token_ring_n192",
+)
+
+
+def check_compiled_floor(report) -> list[str]:
+    """Assert every required engine case exists and compiled >= reference.
+
+    The ratio rules above compare against the *committed* baseline; this
+    check is absolute — whatever the baseline says, the compiled backend
+    must never be slower than the reference interpreter timed in the
+    same process on the same inputs.
+    """
+    by_name = {case.name: case for case in report.cases}
+    problems = []
+    for name in REQUIRED_ENGINE_CASES:
+        case = by_name.get(name)
+        if case is None:
+            problems.append(
+                f"{report.benchmark}/{name}: no compiled-backend entry "
+                "in the fresh report"
+            )
+        elif case.speedup < 1.0:
+            problems.append(
+                f"{report.benchmark}/{name}: compiled backend is slower "
+                f"than the reference stack ({case.optimized_wall_s:.3f}s "
+                f"vs {case.reference_wall_s:.3f}s)"
+            )
+    return problems
+
 
 def check_report(current, baseline_path: Path) -> list[str]:
     """Diff a fresh report against its committed baseline file.
@@ -105,6 +141,7 @@ def main(argv: list[str] | None = None) -> int:
     engine = engine_hotpath_report()
     print(format_engine_hotpath(engine))
     problems += check_report(engine, baseline_dir / "BENCH_engine.json")
+    problems += check_compiled_floor(engine)
     transform = transform_hotpath_report()
     print()
     print(format_transform_hotpath(transform))
