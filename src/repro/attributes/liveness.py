@@ -1,0 +1,184 @@
+"""Per-checkpoint live-variable analysis over the CFG.
+
+Checkpoint-content minimization (the AutoCheck idea, arXiv 2408.06082)
+needs to know, for every placed checkpoint statement, which variables a
+restore could still *read*: a variable is **live-out** at a checkpoint
+when some path from the checkpoint reaches a use of it before any
+redefinition. Everything else is provably dead at that checkpoint —
+restoring an arbitrary (deterministic) value for it cannot change any
+later read, message, branch, or the final environment — so snapshots
+may exclude it.
+
+This is the classic backward may-liveness dataflow, run over the same
+CFG the transformation phases use (:mod:`repro.cfg.builder`), with one
+deliberately conservative convention: **the exit node uses every
+variable**. The simulator observes the complete final environment of
+every process (``SimulationResult.final_env``), so a variable is dead
+at a checkpoint only when it is *rewritten* before any read on every
+path to exit — never merely because nobody reads it again. This is
+what keeps pruned runs byte-identical to full runs.
+
+Other conservative choices (each can only enlarge live sets, never
+shrink them below the truth):
+
+- ``for`` headers are not treated as defining their loop counter (the
+  definition happens only on the loop-entry edge; the exit edge leaves
+  the last value observable);
+- both arms of a lowered ``bcast`` define the target (the root arm
+  assigns it locally before the collective send; receivers bind it at
+  delivery), and both use the root expression;
+- variables never mentioned in the program text (e.g. unused run-time
+  parameters) are outside the analysis universe and are never pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.nodes import NodeKind
+from repro.lang import ast_nodes as ast
+
+_EMPTY: frozenset[str] = frozenset()
+
+
+def _expr_names(expr: ast.Expr | None) -> frozenset[str]:
+    if expr is None:
+        return _EMPTY
+    return frozenset(
+        node.ident for node in ast.walk(expr) if isinstance(node, ast.Name)
+    )
+
+
+def program_variables(program: ast.Program) -> frozenset[str]:
+    """Every variable name the program can bind or read.
+
+    The analysis universe: assignment/receive/broadcast targets, loop
+    counters, and every ``Name`` reference. Run-time parameters that the
+    program never mentions are deliberately absent — they cannot be
+    proven dead by looking at the program, so pruning must not touch
+    them.
+    """
+    names: set[str] = set()
+    for node in ast.walk(program):
+        if isinstance(node, ast.Name):
+            names.add(node.ident)
+        elif isinstance(node, (ast.Assign, ast.Recv, ast.Bcast)):
+            names.add(node.target)
+        elif isinstance(node, ast.For):
+            names.add(node.var)
+    return frozenset(names)
+
+
+def _node_use_def(node) -> tuple[frozenset[str], frozenset[str]]:
+    """``(use, def)`` variable sets of one CFG node."""
+    stmt = node.stmt
+    kind = node.kind
+    if kind is NodeKind.COMPUTE:
+        if isinstance(stmt, ast.Assign):
+            return _expr_names(stmt.value), frozenset((stmt.target,))
+        if isinstance(stmt, ast.Compute):
+            return _expr_names(stmt.cost), _EMPTY
+        return _EMPTY, _EMPTY  # pass
+    if kind is NodeKind.SEND:
+        if isinstance(stmt, ast.Bcast):
+            # Collective send (root arm): evaluates root and value, then
+            # assigns the target locally before fanning out.
+            return (
+                _expr_names(stmt.root) | _expr_names(stmt.value),
+                frozenset((stmt.target,)),
+            )
+        return _expr_names(stmt.dest) | _expr_names(stmt.value), _EMPTY
+    if kind is NodeKind.RECV:
+        if isinstance(stmt, ast.Bcast):
+            return _expr_names(stmt.root), frozenset((stmt.target,))
+        return _expr_names(stmt.source), frozenset((stmt.target,))
+    if kind is NodeKind.BRANCH:
+        if isinstance(stmt, (ast.If, ast.While)):
+            return _expr_names(stmt.cond), _EMPTY
+        if isinstance(stmt, ast.For):
+            # Conservative: the counter definition lives on the loop
+            # entry edge only, so the header defines nothing.
+            return _expr_names(stmt.count), _EMPTY
+        if isinstance(stmt, ast.Bcast):
+            return _expr_names(stmt.root), _EMPTY
+        return _EMPTY, _EMPTY
+    # ENTRY / EXIT / JOIN / CHECKPOINT carry no uses or defs themselves
+    # (the exit node's universe-wide use is applied by the solver).
+    return _EMPTY, _EMPTY
+
+
+@dataclass(frozen=True)
+class LivenessResult:
+    """Per-checkpoint liveness facts for one program.
+
+    Attributes:
+        variables: The analysis universe (see :func:`program_variables`).
+        live_out: Checkpoint statement ``node_id`` → variables that may
+            still be read after the checkpoint before redefinition.
+        dead: Checkpoint statement ``node_id`` → the complement within
+            ``variables`` — provably rewritten before any read on every
+            path to exit, hence safe to exclude from the snapshot.
+    """
+
+    variables: frozenset[str]
+    live_out: dict[int, frozenset[str]] = field(default_factory=dict)
+    dead: dict[int, frozenset[str]] = field(default_factory=dict)
+
+
+def checkpoint_liveness(program: ast.Program) -> LivenessResult:
+    """Backward may-liveness; returns per-checkpoint live/dead sets."""
+    cfg = build_cfg(program)
+    universe = program_variables(program)
+
+    use: dict[int, frozenset[str]] = {}
+    defs: dict[int, frozenset[str]] = {}
+    for node in cfg.nodes():
+        use[node.node_id], defs[node.node_id] = _node_use_def(node)
+    # The simulator observes the whole final environment, so exit is a
+    # use of everything (the pruning-safety convention, see module doc).
+    if cfg.exit_id is not None:
+        use[cfg.exit_id] = universe
+
+    node_ids = [node.node_id for node in cfg.nodes()]
+    live_in: dict[int, frozenset[str]] = {nid: _EMPTY for nid in node_ids}
+    live_out: dict[int, frozenset[str]] = {nid: _EMPTY for nid in node_ids}
+    # Round-robin fixpoint, reverse insertion order (roughly reverse
+    # topological for the builder's numbering) for fast convergence.
+    changed = True
+    while changed:
+        changed = False
+        for nid in reversed(node_ids):
+            out: frozenset[str] = _EMPTY
+            for succ in cfg.successors(nid):
+                out = out | live_in[succ]
+            new_in = use[nid] | (out - defs[nid])
+            if out != live_out[nid]:
+                live_out[nid] = out
+                changed = True
+            if new_in != live_in[nid]:
+                live_in[nid] = new_in
+                changed = True
+
+    per_checkpoint: dict[int, frozenset[str]] = {}
+    for node in cfg.checkpoint_nodes():
+        stmt = node.stmt
+        if stmt is None:
+            continue
+        # Union across nodes sharing a statement (defensive: the builder
+        # emits one node per checkpoint statement today).
+        prior = per_checkpoint.get(stmt.node_id, _EMPTY)
+        per_checkpoint[stmt.node_id] = prior | live_out[node.node_id]
+
+    dead = {
+        stmt_id: universe - live
+        for stmt_id, live in per_checkpoint.items()
+    }
+    return LivenessResult(
+        variables=universe, live_out=per_checkpoint, dead=dead
+    )
+
+
+def checkpoint_dead_sets(program: ast.Program) -> dict[int, frozenset[str]]:
+    """Shorthand: checkpoint statement ``node_id`` → dead-variable set."""
+    return checkpoint_liveness(program).dead

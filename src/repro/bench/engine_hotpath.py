@@ -33,6 +33,7 @@ from repro.lang import ast_nodes as ast
 from repro.lang.programs import stencil_1d, token_ring
 from repro.protocols import ApplicationDrivenProtocol
 from repro.runtime import FailurePlan, RuntimeCosts, Simulation
+from repro.runtime.storage import StoreReceipt
 
 
 @dataclass(frozen=True)
@@ -132,7 +133,121 @@ def engine_hotpath_report(repeats: int = 4) -> BenchReport:
                 identical=identical,
             )
         )
+    cases.extend(engine_breakdown_cases(repeats=repeats))
     return BenchReport(benchmark="engine", cases=tuple(cases))
+
+
+#: Cost components the breakdown cases disable one at a time (the
+#: residual after all three is statement execution + scheduling).
+BREAKDOWN_COMPONENTS: tuple[str, ...] = (
+    "storage-commit", "trace", "clock",
+)
+
+#: The workload whose compiled-vs-reference gap is the narrowest of
+#: :data:`ENGINE_CASES` — its statements are tiny, so engine-side
+#: bookkeeping (commit, trace, vector clocks) is the bound to explain.
+_BREAKDOWN_CASE = _EngineCase("token_ring_n192", token_ring, 192, 6)
+
+
+def _run_component_stubbed(
+    base: ast.Program, case: _EngineCase, component: str
+):
+    """One compiled-stack run with a single cost component disabled.
+
+    Stubbing is behaviour-preserving for everything the ``identical``
+    check covers (final environments, completion time, verdict) on a
+    fault-free run: checkpoint commits, trace rows, and vector clocks
+    are recovery/analysis artifacts, never inputs to forward execution.
+    """
+    sim = Simulation(
+        ast.clone(base),
+        case.n_processes,
+        params={"steps": case.steps},
+        costs=RuntimeCosts(),
+        protocol=ApplicationDrivenProtocol(),
+        failure_plan=FailurePlan.none(),
+        seed=3,
+        scheduler="indexed",
+        backend="compiled",
+    )
+    restore: list = []
+    if component == "storage-commit":
+        receipt = StoreReceipt(published=True)
+        sim.storage.store = lambda checkpoint, **kwargs: receipt
+    elif component == "trace":
+        sim.trace.append = lambda *args, **kwargs: None
+    elif component == "clock":
+        from repro.causality.vector_clock import VectorClock
+
+        restore.append((VectorClock, "tick", VectorClock.tick))
+        restore.append((VectorClock, "receive", VectorClock.receive))
+        VectorClock.tick = lambda self, rank: self
+        VectorClock.receive = lambda self, other, rank: self
+    else:
+        raise ValueError(f"unknown breakdown component {component!r}")
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        start = time.perf_counter()
+        result = sim.run()
+        wall = time.perf_counter() - start
+    finally:
+        if was_enabled:
+            gc.enable()
+        for owner, name, original in restore:
+            setattr(owner, name, original)
+    return wall, result
+
+
+def _outcome(result) -> tuple:
+    """What component stubbing must not change."""
+    return (result.final_env, result.completion_time, result.verdict)
+
+
+def engine_breakdown_cases(repeats: int = 4) -> tuple[BenchCase, ...]:
+    """Per-component cost attribution of the compiled hot path.
+
+    Each case re-times :data:`_BREAKDOWN_CASE` with one engine cost
+    component stubbed out (``reference`` = the stock compiled run,
+    ``optimized`` = the stubbed run), so ``speedup`` exposes how much
+    of the wall time that component accounts for — machine-readably,
+    as ``cost_share`` in the JSON row. These rows attribute the
+    token-ring shortfall; they are deliberately **not** in
+    ``tools/perf_smoke.py``'s ``REQUIRED_ENGINE_CASES``.
+    """
+    case = _BREAKDOWN_CASE
+    base = case.make_program()
+    _run(base, case, "indexed", "compiled")  # warm before timing
+    best_stock = float("inf")
+    for _ in range(repeats):
+        wall, result_stock = _run(base, case, "indexed", "compiled")
+        best_stock = min(best_stock, wall)
+    rows: list[BenchCase] = []
+    for component in BREAKDOWN_COMPONENTS:
+        best_stubbed = float("inf")
+        for _ in range(repeats):
+            wall, result_stubbed = _run_component_stubbed(
+                base, case, component
+            )
+            best_stubbed = min(best_stubbed, wall)
+        share = max(0.0, 1.0 - best_stubbed / best_stock)
+        rows.append(
+            BenchCase(
+                name=f"{case.name}_minus_{component}",
+                reference_wall_s=best_stock,
+                optimized_wall_s=best_stubbed,
+                ops=len(result_stock.trace.events),
+                identical=_outcome(result_stock) == _outcome(
+                    result_stubbed
+                ),
+                extra={
+                    "component": component,
+                    "cost_share": round(share, 4),
+                },
+            )
+        )
+    return tuple(rows)
 
 
 def format_engine_hotpath(report: BenchReport) -> str:

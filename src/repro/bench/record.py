@@ -18,7 +18,7 @@ hardware while still catching real regressions.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
 
@@ -31,7 +31,10 @@ class BenchCase:
     processed (events simulated, paths decided, nodes cloned) so
     throughput can be derived; ``identical`` records that both
     implementations produced equal results on this input — a bench row
-    is meaningless if they diverge.
+    is meaningless if they diverge. ``extra`` carries case-specific
+    context (payload byte counts, cost-attribution shares); its keys
+    are merged into the JSON row but deliberately ignored by the
+    speedup-ratio diff in ``tools/perf_smoke.py``.
     """
 
     name: str
@@ -39,6 +42,7 @@ class BenchCase:
     optimized_wall_s: float
     ops: int
     identical: bool
+    extra: dict = field(default_factory=dict)
 
     @property
     def speedup(self) -> float:
@@ -49,7 +53,7 @@ class BenchCase:
 
     def as_dict(self) -> dict:
         """JSON-ready form of this case (derived fields included)."""
-        return {
+        row = {
             "name": self.name,
             "reference_wall_s": round(self.reference_wall_s, 6),
             "optimized_wall_s": round(self.optimized_wall_s, 6),
@@ -62,6 +66,9 @@ class BenchCase:
             ),
             "identical": self.identical,
         }
+        for key, value in self.extra.items():
+            row.setdefault(key, value)
+        return row
 
 
 @dataclass(frozen=True)
@@ -99,6 +106,10 @@ def write_report(report: BenchReport, directory: str | Path) -> Path:
 def load_report(path: str | Path) -> BenchReport:
     """Read a report written by :func:`write_report`."""
     data = json.loads(Path(path).read_text())
+    derived = {
+        "name", "reference_wall_s", "optimized_wall_s", "speedup",
+        "ops", "ops_per_sec", "identical",
+    }
     cases = tuple(
         BenchCase(
             name=case["name"],
@@ -106,6 +117,7 @@ def load_report(path: str | Path) -> BenchReport:
             optimized_wall_s=case["optimized_wall_s"],
             ops=case["ops"],
             identical=case["identical"],
+            extra={k: v for k, v in case.items() if k not in derived},
         )
         for case in data["cases"]
     )

@@ -176,6 +176,13 @@ def bench_engine() -> tuple[str, str]:
     return "BENCH_engine.json", engine_hotpath_report().to_json()
 
 
+def bench_checkpoint() -> tuple[str, str]:
+    """Machine-readable perf record: full vs minimized checkpoint payloads."""
+    from repro.bench.checkpoint_payload import checkpoint_payload_report
+
+    return "BENCH_checkpoint.json", checkpoint_payload_report().to_json()
+
+
 def bench_transform() -> tuple[str, str]:
     """Machine-readable perf record: bitset Condition 1 and clone."""
     from repro.bench.transform_hotpath import transform_hotpath_report
@@ -196,6 +203,7 @@ RESULT_GENERATORS = {
     "obs_overhead": obs_overhead,
     "campaign_scaling": campaign_scaling,
     "bench_engine": bench_engine,
+    "bench_checkpoint": bench_checkpoint,
     "bench_transform": bench_transform,
 }
 

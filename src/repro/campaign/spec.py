@@ -66,6 +66,11 @@ class ScenarioSpec:
             interpreter). Both produce identical traces and artifacts;
             the field still enters :meth:`content_hash` so cached
             results record which executable form produced them.
+        checkpoint_mode: Checkpoint content policy — ``"full"``,
+            ``"pruned"`` (liveness-pruned snapshots), ``"delta"``
+            (delta-encoded payloads), or ``"pruned+delta"``. Every mode
+            recovers to byte-identical application state; only stored
+            payload bytes differ.
     """
 
     label: str
@@ -86,6 +91,7 @@ class ScenarioSpec:
     observe: bool = False
     retain_k: int | None = None
     backend: str = "compiled"
+    checkpoint_mode: str = "full"
 
     def __post_init__(self) -> None:
         if not self.label:
@@ -132,6 +138,7 @@ class ScenarioSpec:
             "observe": self.observe,
             "retain_k": self.retain_k,
             "backend": self.backend,
+            "checkpoint_mode": self.checkpoint_mode,
             "fault_plan": (
                 None if self.fault_plan is None
                 else self.fault_plan.to_json_dict()
@@ -151,7 +158,8 @@ class ScenarioSpec:
             "protocol", "period", "seed", "base_latency",
             "storage_replicas", "max_storage_retries",
             "record_compute_events", "max_steps", "observe", "retain_k",
-            "backend", "fault_plan", "transport", "costs",
+            "backend", "checkpoint_mode", "fault_plan", "transport",
+            "costs",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -192,6 +200,7 @@ class ScenarioSpec:
                     else int(data["retain_k"])
                 ),
                 backend=str(data.get("backend", "compiled")),
+                checkpoint_mode=str(data.get("checkpoint_mode", "full")),
                 fault_plan=(
                     None if fault_plan is None
                     else FaultPlan.from_json_dict(fault_plan)

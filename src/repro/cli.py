@@ -360,6 +360,12 @@ _PROTOCOL_NAMES = (
     "msg-logging",
 )
 
+#: CLI checkpoint-content choices (canonical tuple:
+#: :data:`repro.runtime.engine.CHECKPOINT_MODES`; duplicated here for
+#: the same import-light reason as the protocol names — pinned against
+#: drift by a test).
+CHECKPOINT_MODES = ("full", "pruned", "delta", "pruned+delta")
+
 
 def _make_protocol(name: str, period: float):
     from repro.protocols import make_protocol
@@ -392,6 +398,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         observer=obs.bus if obs is not None else None,
         scheduler=args.scheduler,
         backend=args.backend,
+        checkpoint_mode=args.checkpoint_mode,
         retain_k=args.retain_k,
     )
     result = sim.run()
@@ -661,6 +668,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         sim_seed=args.sim_seed,
         scheduler=args.scheduler,
         backend=args.backend,
+        checkpoint_mode=args.checkpoint_mode,
         recovery_fault_probability=args.recovery_faults,
         retain_k=args.retain_k,
     )
@@ -763,6 +771,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         specs = load_campaign(Path(args.campaign).read_text())
     if args.backend is not None:
         specs = [replace(spec, backend=args.backend) for spec in specs]
+    if args.checkpoint_mode is not None:
+        specs = [
+            replace(spec, checkpoint_mode=args.checkpoint_mode)
+            for spec in specs
+        ]
     fault_plan = None
     if args.inject_fault:
         fault_plan = ExecutorFaultPlan(
@@ -935,6 +948,12 @@ def build_parser() -> argparse.ArgumentParser:
                                "compiler or the tree-walking "
                                "interpreter; runs are byte-identical "
                                "for both")
+    simulate.add_argument("--checkpoint-mode", choices=CHECKPOINT_MODES,
+                          default="full",
+                          help="checkpoint content policy: full "
+                               "snapshots, liveness-pruned snapshots, "
+                               "delta-encoded payloads, or both; "
+                               "recovery is byte-identical for all")
     simulate.add_argument("--period", type=float, default=10.0,
                           help="checkpoint period for timer protocols")
     simulate.add_argument("--spacetime", action="store_true",
@@ -1065,6 +1084,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="compiled",
                        help="process-execution backend; verdicts and "
                             "artifacts are byte-identical for both")
+    chaos.add_argument("--checkpoint-mode", choices=CHECKPOINT_MODES,
+                       default="full",
+                       help="checkpoint content policy; verdicts are "
+                            "byte-identical for every mode")
     chaos.add_argument("--recovery-faults", type=float, default=0.0,
                        metavar="P",
                        help="per-slot probability of drawing a "
@@ -1174,6 +1197,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "backend field); results are "
                                "byte-identical for both, modulo the "
                                "spec_hash recorded per cell")
+    campaign.add_argument("--checkpoint-mode", choices=CHECKPOINT_MODES,
+                          default=None,
+                          help="override every cell's checkpoint "
+                               "content policy (default: honour each "
+                               "spec's own checkpoint_mode field); "
+                               "results differ only in stored payload "
+                               "bytes and the recorded spec_hash")
     campaign.set_defaults(func=_cmd_campaign)
 
     optimal = commands.add_parser(

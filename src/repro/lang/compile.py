@@ -60,8 +60,8 @@ from repro.runtime.interpreter import FrameState, ProcessSnapshot
 #: Version of the lowering scheme. Bump on any change that could alter
 #: compiled-program behaviour; cache keys (``campaign/cache.py``)
 #: incorporate it so stale transforms can't be served across compiler
-#: changes.
-COMPILER_VERSION = 1
+#: changes. 2: per-checkpoint register masks for pruned snapshots.
+COMPILER_VERSION = 2
 
 #: Register value marking a never-bound variable slot.
 _UNBOUND = object()
@@ -154,6 +154,34 @@ class CompiledProgram:
             self.entry_pc, self.init_tmpl
         )
         self._restore[()] = (-1, _EMPTY_TMPL)
+        # Checkpoint statement node_id -> register slots provably dead
+        # there (installed by configure_pruning; empty = prune nothing).
+        self.checkpoint_dead_slots: dict[int, frozenset[int]] = {}
+
+    # -- pruned snapshots -------------------------------------------------------
+
+    def configure_pruning(
+        self, dead_sets: dict[int, frozenset[str]]
+    ) -> None:
+        """Translate per-checkpoint dead-*name* sets into register masks.
+
+        *dead_sets* maps checkpoint statement ``node_id`` to the names
+        :mod:`repro.attributes.liveness` proved dead there; the mask
+        holds their register slots so :meth:`CompiledProcess.\
+snapshot_pruned` zeroes by slot without per-capture name lookups.
+        Names outside the symbol table are ignored (they can only come
+        from a mismatched program, and an unknown name has no slot to
+        prune). Shared by every bound rank, like the lowering itself.
+        """
+        masks: dict[int, frozenset[int]] = {}
+        symtab = self.symtab
+        for stmt_id, dead in dead_sets.items():
+            slots = frozenset(
+                symtab[name] for name in dead if name in symtab
+            )
+            if slots:
+                masks[stmt_id] = slots
+        self.checkpoint_dead_slots = masks
 
     # -- symbol table ----------------------------------------------------------
 
@@ -387,6 +415,32 @@ class CompiledProcess:
             input_counters=self.inputs.snapshot(self.rank),
             pending_recv=None if pending is None else pending[1],
         )
+        return snap
+
+    def configure_pruning(
+        self, dead_sets: dict[int, frozenset[str]]
+    ) -> None:
+        """Install pruning masks on the shared lowering (idempotent)."""
+        self.compiled.configure_pruning(dead_sets)
+
+    def snapshot_pruned(self, stmt_id: int | None) -> ProcessSnapshot:
+        """Snapshot with dead register slots zeroed for *stmt_id*.
+
+        Same contract as the reference interpreter's ``snapshot_pruned``:
+        every bound slot keeps its entry and insertion position, but
+        slots in the checkpoint's precomputed dead mask store a
+        deterministic 0. Falls back to a plain snapshot when no mask is
+        installed for this statement.
+        """
+        mask = self.compiled.checkpoint_dead_slots.get(stmt_id)
+        snap = self.snapshot()
+        if mask:
+            names = self._names
+            regs = self._regs
+            snap.__dict__["env"] = {
+                names[slot]: (0 if slot in mask else regs[slot])
+                for slot in self._order
+            }
         return snap
 
     def restore(self, snap: ProcessSnapshot) -> None:

@@ -133,6 +133,54 @@ program stencil_1d():
         i = i + 1
 """
 
+STENCIL_HALO_SOURCE = """\
+program stencil_halo():
+    x = init(myrank)
+    i = 0
+    while i < steps:
+        checkpoint
+        g0 = relax(x, i)
+        g1 = combine(g0, myrank)
+        g2 = relax(g1, i)
+        g3 = combine(g2, g0)
+        g4 = relax(g3, g1)
+        g5 = combine(g4, g2)
+        g6 = relax(g5, g3)
+        g7 = combine(g6, g4)
+        g8 = relax(g7, g5)
+        g9 = combine(g8, g6)
+        g10 = relax(g9, g7)
+        g11 = combine(g10, g8)
+        g12 = relax(g11, g9)
+        g13 = combine(g12, g10)
+        g14 = relax(g13, g11)
+        g15 = combine(g14, g12)
+        if myrank % 2 == 0:
+            send(myrank + 1, g15)
+            halo = recv(myrank + 1)
+        else:
+            halo = recv(myrank - 1)
+            send(myrank - 1, g15)
+        a0 = combine(g15, halo)
+        a1 = relax(a0, g0)
+        a2 = combine(a1, g1)
+        a3 = relax(a2, g2)
+        a4 = combine(a3, g3)
+        a5 = relax(a4, g4)
+        a6 = combine(a5, g5)
+        a7 = relax(a6, g6)
+        a8 = combine(a7, g7)
+        a9 = relax(a8, g8)
+        a10 = combine(a9, g9)
+        a11 = relax(a10, g10)
+        a12 = combine(a11, g11)
+        a13 = relax(a12, g12)
+        a14 = combine(a13, g13)
+        a15 = relax(a14, g14)
+        x = combine(a15, i)
+        i = i + 1
+"""
+
 BROADCAST_REDUCE_SOURCE = """\
 program broadcast_reduce():
     acc = init(myrank)
@@ -294,6 +342,7 @@ _SOURCES: dict[str, str] = {
     "ring_unsafe": RING_UNSAFE_SOURCE,
     "master_worker": MASTER_WORKER_SOURCE,
     "stencil_1d": STENCIL_1D_SOURCE,
+    "stencil_halo": STENCIL_HALO_SOURCE,
     "broadcast_reduce": BROADCAST_REDUCE_SOURCE,
     "token_ring": TOKEN_RING_SOURCE,
     "irregular_dispatch": IRREGULAR_DISPATCH_SOURCE,
@@ -368,6 +417,19 @@ def master_worker() -> Program:
 def stencil_1d() -> Program:
     """A 1-D stencil with boundary handling (rank-range branches)."""
     return load_program("stencil_1d")
+
+
+def stencil_halo() -> Program:
+    """A 1-D stencil whose halo/update pipeline lives in scratch slots.
+
+    The unrolled ``g*``/``a*`` temporaries model a kernel's working set:
+    every one is recomputed from ``x`` each iteration before it is read,
+    so at the loop-head checkpoint only ``x`` and ``i`` are live. This
+    is the workload where application-driven content minimisation pays:
+    liveness pruning zeroes the scratch block and delta encoding then
+    drops it from the wire entirely.
+    """
+    return load_program("stencil_halo")
 
 
 def broadcast_reduce() -> Program:

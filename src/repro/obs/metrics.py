@@ -17,9 +17,12 @@ metrics from the event stream alone:
 - ``rollback_depth`` — histogram of degraded-recovery fallback depths;
 - ``storage_checkpoints`` / ``storage_bytes`` — occupancy gauges from
   the end-of-run storage event;
-- ``snapshot_bytes`` / ``snapshot_bytes_dist`` — size of the most
-  recently committed checkpoint snapshot (gauge) and its distribution
-  over the run (histogram), fed by storage ``commit`` events;
+- ``snapshot_bytes`` / ``snapshot_bytes_dist`` — durable wire size of
+  the most recently committed checkpoint payload (gauge) and its
+  distribution over the run (histogram), fed by storage ``commit``
+  events; the same canonical-encoding measure that
+  ``StableStorage.total_bytes(incremental=True)`` sums, so per-commit
+  gauges and run totals share one source of truth;
 - ``storage_retries_total`` / ``gc_collected_total`` /
   ``gc_reclaimed_bytes_total`` — write-retry and retention-GC counters;
 - ``recovery_retries_total`` / ``recovery_backoff`` /
@@ -191,9 +194,10 @@ class MetricsCollector:
             retries = event.fields.get("retries", 0)
             if retries:
                 self.registry.counter("storage_retries_total").inc(retries)
-            # Size of the snapshot just committed (full-state bytes as
-            # accounted by the storage model): a gauge of the most
-            # recent value plus a distribution across the run.
+            # Durable wire size of the payload just committed (delta
+            # entries report their delta record, not the full state):
+            # a gauge of the most recent value plus a distribution
+            # across the run.
             size = float(event.fields.get("bytes", 0))
             self.registry.gauge("snapshot_bytes").set(size)
             self.registry.histogram("snapshot_bytes_dist").observe(size)

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.attributes.contradiction import Universe
+from repro.attributes.liveness import checkpoint_liveness
 from repro.cfg.dominators import compute_dominators
 from repro.cfg.graph import ExtendedCFG
 from repro.cfg.nodes import NodeKind
@@ -66,12 +67,19 @@ class PlacementResult:
         verification: The final Condition 1 check (always ``ok``).
         ordering_constraints: Loop-optimisation artifacts (empty in
             conservative mode).
+        checkpoint_live: Checkpoint statement ``node_id`` → variables
+            still live at that (final, post-motion) checkpoint — what a
+            liveness-pruned snapshot must retain.
+        checkpoint_dead: The complement per checkpoint — provably
+            rewritten-before-read on every path, safe to exclude.
     """
 
     program: ast.Program
     moves: tuple[Move, ...] = ()
     verification: VerificationResult | None = None
     ordering_constraints: tuple[OrderingConstraint, ...] = ()
+    checkpoint_live: dict[int, frozenset[str]] = field(default_factory=dict)
+    checkpoint_dead: dict[int, frozenset[str]] = field(default_factory=dict)
 
 
 @dataclass
@@ -128,11 +136,17 @@ def ensure_recovery_lines(
             constraints = (
                 loop_ordering_constraints(ext) if loop_optimization else ()
             )
+            # Liveness is computed on the *final* placement: motion
+            # changes which variables are rewritten between a
+            # checkpoint and their next read.
+            liveness = checkpoint_liveness(working)
             return PlacementResult(
                 program=working,
                 moves=tuple(moves),
                 verification=result,
                 ordering_constraints=constraints,
+                checkpoint_live=dict(liveness.live_out),
+                checkpoint_dead=dict(liveness.dead),
             )
         if not result.balanced:
             moves.append(_rebalance(working, ext))

@@ -55,4 +55,26 @@ def transform_report(result: TransformResult) -> str:
         f"verified : Condition 1 holds; {checkpoints} checkpoint "
         f"statement(s), {depth} straight cut(s) per execution path"
     )
+
+    live = result.placement.checkpoint_live
+    dead = result.placement.checkpoint_dead
+    if live:
+        # live ∪ dead of any one checkpoint is the analysis universe.
+        first = next(iter(live))
+        total = len(live[first] | dead[first])
+        lines.append(
+            f"liveness : {len(live)} checkpoint(s) over "
+            f"{total} variable(s)"
+        )
+        # Checkpoints are labelled by document-order ordinal, not raw
+        # AST node id: node ids come from a process-global counter, so
+        # a cache-reconstructed result would otherwise render a
+        # different report than the fresh transform it mirrors.
+        for ordinal, stmt_id in enumerate(sorted(live), start=1):
+            dead_names = ", ".join(sorted(dead[stmt_id])) or "-"
+            lines.append(
+                f"          - checkpoint #{ordinal}: "
+                f"{len(live[stmt_id])} live, {len(dead[stmt_id])} dead "
+                f"(prunable: {dead_names})"
+            )
     return "\n".join(lines)

@@ -80,6 +80,10 @@ class ChaosConfig:
         backend: Execution backend (``"compiled"`` or ``"reference"``);
             like the scheduler, verdicts and artifacts are
             byte-identical for both.
+        checkpoint_mode: Checkpoint content policy (``"full"``,
+            ``"pruned"``, ``"delta"``, ``"pruned+delta"``). Recovery
+            must be byte-identical across modes, so the only observable
+            difference under chaos is stored payload bytes.
     """
 
     n_processes: int = 3
@@ -96,6 +100,7 @@ class ChaosConfig:
     sim_seed: int = 0
     scheduler: str = "indexed"
     backend: str = "compiled"
+    checkpoint_mode: str = "full"
 
 
 def draw_schedule(seed: int, config: ChaosConfig = ChaosConfig()) -> FaultPlan:
@@ -285,6 +290,7 @@ def retention_invariant_holds(
     result: SimulationResult,
     n_processes: int,
     retain_k: int | None,
+    checkpoint_mode: str = "full",
 ) -> bool:
     """Whether retention GC preserved recoverability and its bound.
 
@@ -293,9 +299,13 @@ def retention_invariant_holds(
     while evicting under pressure; (2) with ``retain_k`` set, per-rank
     occupancy stays within ``retain_k`` plus a slack for entries the
     safe-GC invariant refuses to evict (the protected degraded-fallback
-    candidates). Integrity is read via ``verify`` directly so the check
-    cannot consume armed restore-read faults.
+    candidates; in a delta mode additionally every kept entry's delta
+    ancestors, each chain at most :data:`~repro.runtime.storage.
+    DELTA_CHAIN_CAP` deep). Integrity is read via ``verify`` directly
+    so the check cannot consume armed restore-read faults.
     """
+    from repro.runtime.storage import DELTA_CHAIN_CAP
+
     storage = result.storage
     verify = getattr(storage, "verify", None)
     for rank in range(n_processes):
@@ -305,6 +315,10 @@ def retention_invariant_holds(
             return False
     if retain_k is not None:
         slack = SupervisorConfig().max_attempts + 2
+        if "delta" in checkpoint_mode:
+            # Chain-protection can pin the ancestors of the oldest kept
+            # entry and of each protected fallback candidate.
+            slack += (slack + 1) * DELTA_CHAIN_CAP
         for rank in range(n_processes):
             if storage.count(rank) > retain_k + slack:
                 return False
@@ -323,7 +337,7 @@ def _workload():
 def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
     """Final environment of the fault-free run (cached per workload)."""
     key = (protocol, config.n_processes, config.steps, config.sim_seed,
-           config.scheduler, config.backend)
+           config.scheduler, config.backend, config.checkpoint_mode)
     if key not in _BASELINES:
         result = Simulation(
             _workload(),
@@ -333,6 +347,7 @@ def _baseline_env(protocol: str, config: ChaosConfig) -> dict:
             seed=config.sim_seed,
             scheduler=config.scheduler,
             backend=config.backend,
+            checkpoint_mode=config.checkpoint_mode,
         ).run()
         _BASELINES[key] = result.final_env
     return _BASELINES[key]
@@ -367,6 +382,7 @@ def run_schedule(
         observer=observer,
         scheduler=config.scheduler,
         backend=config.backend,
+        checkpoint_mode=config.checkpoint_mode,
         retain_k=config.retain_k,
     )
     try:
@@ -389,7 +405,8 @@ def run_schedule(
         else True
     )
     retention_ok = retention_invariant_holds(
-        result, config.n_processes, config.retain_k
+        result, config.n_processes, config.retain_k,
+        checkpoint_mode=config.checkpoint_mode,
     )
     state_ok = result.final_env == baseline
     if unrecoverable:

@@ -1,0 +1,301 @@
+"""Canonical binary encoding of checkpoint content.
+
+One stable serialisation shared by every consumer of checkpoint bytes —
+write-time checksums, replication quorums, torn-write staging, byte
+accounting, and the delta encoder — replacing the earlier ``repr()``
+hack, which was neither self-describing nor type-faithful (``repr``
+cannot distinguish re-parsable equal values, and its output was never
+decodable).
+
+The format is a minimal tag–length–value scheme over the closed value
+universe checkpoints actually contain (ints, bools, floats, strings,
+``None``, tuples): deterministic (no hashes, no pointers, dict content
+is emitted in a defined order by the record builders), self-delimiting
+(decodable without an external schema), and canonical (equal values
+encode to equal bytes; ``bool`` and ``int`` are distinct types so
+``True`` and ``1`` do not collide).
+
+Two record shapes exist on the wire:
+
+- ``("full", ...)`` — the complete durable content of one checkpoint;
+- ``("delta", ...)`` — only the fields changed since the *parent*
+  checkpoint (the rank's previously published entry): changed/added
+  environment slots, changed vector-clock components, changed channel
+  cursors and input counters. Scalars and control frames are tiny and
+  always stored whole. :func:`apply_delta` reconstructs the full record
+  from a parent's (recursively reconstructed) full record; the result
+  is byte-identical to encoding the checkpoint directly, which is what
+  lets checksums be defined over *reconstructed* content.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import StorageError
+
+_PACK_F64 = struct.Struct(">d").pack
+_UNPACK_F64 = struct.Struct(">d").unpack_from
+
+
+def _varint(out: bytearray, value: int) -> None:
+    """Unsigned LEB128."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_into(out: bytearray, value) -> None:
+    cls = value.__class__
+    if cls is int:
+        out.append(0x49)  # 'I'
+        length = (value.bit_length() + 8) // 8
+        out.append(length)
+        out += value.to_bytes(length, "big", signed=True)
+    elif cls is str:
+        out.append(0x53)  # 'S'
+        raw = value.encode("utf-8")
+        _varint(out, len(raw))
+        out += raw
+    elif cls is tuple:
+        out.append(0x54)  # 'T'
+        _varint(out, len(value))
+        for item in value:
+            _encode_into(out, item)
+    elif cls is bool:
+        out.append(0x42)  # 'B'
+        out.append(1 if value else 0)
+    elif cls is float:
+        out.append(0x46)  # 'F'
+        out += _PACK_F64(value)
+    elif value is None:
+        out.append(0x4E)  # 'N'
+    else:
+        raise StorageError(
+            f"value of type {cls.__name__} is not checkpoint-encodable"
+        )
+
+
+def encode_record(record) -> bytes:
+    """Canonical bytes of one (full or delta) checkpoint record."""
+    out = bytearray()
+    _encode_into(out, record)
+    return bytes(out)
+
+
+def _decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def _decode_from(data: bytes, pos: int) -> tuple[object, int]:
+    tag = data[pos]
+    pos += 1
+    if tag == 0x49:
+        length = data[pos]
+        pos += 1
+        return int.from_bytes(data[pos : pos + length], "big", signed=True), \
+            pos + length
+    if tag == 0x53:
+        length, pos = _decode_varint(data, pos)
+        return data[pos : pos + length].decode("utf-8"), pos + length
+    if tag == 0x54:
+        count, pos = _decode_varint(data, pos)
+        items = []
+        for _ in range(count):
+            item, pos = _decode_from(data, pos)
+            items.append(item)
+        return tuple(items), pos
+    if tag == 0x42:
+        return bool(data[pos]), pos + 1
+    if tag == 0x46:
+        return _UNPACK_F64(data, pos)[0], pos + 8
+    if tag == 0x4E:
+        return None, pos
+    raise StorageError(f"corrupt checkpoint encoding (tag 0x{tag:02x})")
+
+
+def decode_record(data: bytes):
+    """Inverse of :func:`encode_record` (raises on trailing garbage)."""
+    record, pos = _decode_from(data, 0)
+    if pos != len(data):
+        raise StorageError(
+            f"corrupt checkpoint encoding ({len(data) - pos} trailing bytes)"
+        )
+    return record
+
+
+# ----------------------------------------------------------------------
+# Record builders
+# ----------------------------------------------------------------------
+
+
+def checkpoint_record(checkpoint) -> tuple:
+    """The complete durable content of *checkpoint* as a ``full`` record.
+
+    Covers everything recovery depends on (snapshot, clock, cursors,
+    numbering) but excludes in-memory-only fields (``blocked_effect``
+    holds an AST-bearing effect object; the shared AST is not
+    serialised, matching how :class:`ProcessSnapshot` shares it).
+    Environment slots appear in insertion order — the order restore
+    must rebuild — while the unordered maps (input counters, channel
+    cursors) are emitted sorted. The originating statement is carried
+    as ``stmt_label`` (its document-order ordinal), not ``stmt_id``:
+    node ids come from a process-global counter, so encoding them
+    would make durable byte counts depend on unrelated parses earlier
+    in the same process.
+    """
+    snapshot = checkpoint.snapshot
+    return (
+        "full",
+        checkpoint.rank,
+        checkpoint.number,
+        tuple(snapshot.env.items()),
+        tuple(
+            (f.kind, f.index, f.remaining, f.trip) for f in snapshot.frames
+        ),
+        snapshot.checkpoint_count,
+        tuple(sorted(snapshot.input_counters.items())),
+        snapshot.pending_recv,
+        tuple(checkpoint.clock.components),
+        checkpoint.time,
+        tuple(sorted(checkpoint.channel_cursors.items())),
+        checkpoint.stmt_label,
+        checkpoint.tag,
+    )
+
+
+def delta_encodable(checkpoint, parent) -> bool:
+    """Whether *checkpoint* can be stored as a delta against *parent*.
+
+    The delta scheme requires the parent's environment slots to be a
+    *prefix* of the child's (forward execution only appends or updates
+    slots; the engine re-bases its parent pointer on every rollback, so
+    this holds by construction — checked anyway, because storing an
+    undecodable delta would be a silent-corruption bug), matching clock
+    widths, and no disappearing cursor/input keys.
+    """
+    if parent.rank != checkpoint.rank:
+        return False
+    snap = checkpoint.snapshot
+    psnap = parent.snapshot
+    parent_names = list(psnap.env)
+    if list(snap.env)[: len(parent_names)] != parent_names:
+        return False
+    if len(parent.clock.components) != len(checkpoint.clock.components):
+        return False
+    if not set(psnap.input_counters) <= set(snap.input_counters):
+        return False
+    if not set(parent.channel_cursors) <= set(checkpoint.channel_cursors):
+        return False
+    return True
+
+
+def _changed(new: dict, old: dict) -> tuple:
+    """``(key, value)`` pairs of *new* absent-or-different in *old*.
+
+    Comparison is type-strict (``True`` vs ``1`` counts as a change) so
+    reconstruction is byte-identical, not merely ``==``.
+    """
+    missing = object()
+    get = old.get
+    changes = []
+    for key, value in new.items():
+        previous = get(key, missing)
+        if previous.__class__ is not value.__class__ or previous != value:
+            changes.append((key, value))
+    return tuple(changes)
+
+
+def delta_record(checkpoint, parent) -> tuple:
+    """*checkpoint* as a ``delta`` record against *parent*.
+
+    Only call after :func:`delta_encodable` returned True.
+    """
+    snap = checkpoint.snapshot
+    psnap = parent.snapshot
+    parent_clock = parent.clock.components
+    clock_changes = tuple(
+        (index, value)
+        for index, value in enumerate(checkpoint.clock.components)
+        if parent_clock[index] != value
+    )
+    return (
+        "delta",
+        checkpoint.rank,
+        checkpoint.number,
+        parent.number,
+        _changed(snap.env, psnap.env),
+        tuple(
+            (f.kind, f.index, f.remaining, f.trip) for f in snap.frames
+        ),
+        snap.checkpoint_count,
+        _changed(snap.input_counters, psnap.input_counters),
+        snap.pending_recv,
+        clock_changes,
+        checkpoint.time,
+        _changed(checkpoint.channel_cursors, parent.channel_cursors),
+        checkpoint.stmt_label,
+        checkpoint.tag,
+    )
+
+
+def apply_delta(parent_record: tuple, delta: tuple) -> tuple:
+    """Reconstruct a ``full`` record from its parent's full record.
+
+    The output is byte-identical (under :func:`encode_record`) to
+    :func:`checkpoint_record` of the original checkpoint: environment
+    updates keep the parent's slot order and appends extend it, exactly
+    as forward execution would have.
+    """
+    if parent_record[0] != "full" or delta[0] != "delta":
+        raise StorageError("apply_delta needs a full parent and a delta child")
+    (
+        _kind, rank, number, parent_number, env_changes, frames,
+        checkpoint_count, input_changes, pending_recv, clock_changes,
+        time, cursor_changes, stmt_id, tag,
+    ) = delta
+    if parent_record[2] != parent_number or parent_record[1] != rank:
+        raise StorageError(
+            "delta does not chain to this parent",
+            rank=rank, number=number,
+        )
+    env = dict(parent_record[3])
+    for name, value in env_changes:
+        env[name] = value
+    inputs = dict(parent_record[6])
+    for key, value in input_changes:
+        inputs[key] = value
+    clock = list(parent_record[8])
+    for index, value in clock_changes:
+        clock[index] = value
+    cursors = dict(parent_record[10])
+    for key, value in cursor_changes:
+        cursors[key] = value
+    return (
+        "full",
+        rank,
+        number,
+        tuple(env.items()),
+        frames,
+        checkpoint_count,
+        tuple(sorted(inputs.items())),
+        pending_recv,
+        tuple(clock),
+        time,
+        tuple(sorted(cursors.items())),
+        stmt_id,
+        tag,
+    )

@@ -54,16 +54,23 @@ from repro.runtime.hooks import ControlMessage, NullProtocol, ProtocolHooks
 from repro.runtime.inputs import InputProvider
 from repro.runtime.interpreter import ProcessInterpreter, make_backend
 from repro.runtime.network import Message, Network
+from repro.runtime.encoding import delta_encodable
 from repro.runtime.storage import (
+    DELTA_CHAIN_CAP,
     CheckpointStore,
     ReplicatedCheckpointStore,
     RetentionPolicy,
     StableStorage,
     StoredCheckpoint,
-    snapshot_sizes,
 )
 from repro.runtime.trace import ExecutionTrace
 from repro.runtime.transport import NetworkFaultInjector, TransportConfig
+
+#: Recognised checkpoint-content modes, default first. "pruned" zeroes
+#: liveness-proven dead env slots at application checkpoints; "delta"
+#: stores per-rank change records against the previous published
+#: checkpoint; "pruned+delta" composes both.
+CHECKPOINT_MODES = ("full", "pruned", "delta", "pruned+delta")
 
 
 @dataclass(frozen=True)
@@ -431,6 +438,7 @@ class Simulation:
         recovery: SupervisorConfig | None = None,
         retain_k: int | None = None,
         backend: str = "compiled",
+        checkpoint_mode: str = "full",
     ) -> None:
         if n_processes < 1:
             raise SimulationError(f"need at least one process, got {n_processes}")
@@ -439,11 +447,42 @@ class Simulation:
                 f"unknown scheduler {scheduler!r} "
                 "(expected 'indexed' or 'reference')"
             )
+        if checkpoint_mode not in CHECKPOINT_MODES:
+            raise SimulationError(
+                f"unknown checkpoint_mode {checkpoint_mode!r} "
+                f"(expected one of {', '.join(CHECKPOINT_MODES)})"
+            )
         self._scheduler = scheduler
+        self.checkpoint_mode = checkpoint_mode
+        # Content minimisation knobs: "pruned" zeroes provably-dead env
+        # slots at app checkpoints; "delta" stores only what changed
+        # since the rank's previous published checkpoint.
+        self._prune_snapshots = "pruned" in checkpoint_mode
+        self._delta_payloads = "delta" in checkpoint_mode
         # Raises on an unknown backend; for "compiled" this is also
         # where the program is lowered, once, shared by every rank.
         process_factory = make_backend(program, n_processes, backend)
         self.backend = backend
+        self._dead_sets: dict[int, frozenset[str]] = {}
+        if self._prune_snapshots:
+            # Imported here: the attributes package pulls in the CFG
+            # machinery, which imports lang (and transitively this
+            # module) — a top-level import would be circular.
+            from repro.attributes.liveness import checkpoint_dead_sets
+
+            # One liveness pass per simulation, shared by every rank;
+            # both backends consume the same per-checkpoint dead sets.
+            self._dead_sets = {
+                stmt_id: dead
+                for stmt_id, dead in checkpoint_dead_sets(program).items()
+                if dead
+            }
+            # The compiled backend keeps register masks on the shared
+            # lowered program; the reference backend is configured
+            # per-interpreter once ``self.procs`` exists below.
+            compiled = getattr(process_factory, "compiled", None)
+            if compiled is not None:
+                compiled.configure_pruning(self._dead_sets)
         if storage_replicas < 1:
             raise SimulationError(
                 f"need at least one storage replica, got {storage_replicas}"
@@ -534,7 +573,20 @@ class Simulation:
             (f for f in storage_faults if f.kind is not FaultKind.BIT_ROT),
             key=lambda f: (f.time, f.rank),
         )
-        self._last_checkpoint_env: dict[int, dict[str, int]] = {}
+        # Per-rank pointer to the most recent *published* checkpoint —
+        # the delta encoder's chain parent. Reset on restore, so chains
+        # always rebase onto the surviving timeline.
+        self._last_stored: dict[int, StoredCheckpoint] = {}
+        # Document-order ordinal per checkpoint statement: the stable
+        # identifier the wire encoding carries in place of the
+        # process-global AST node id (see StoredCheckpoint.stmt_label).
+        self._stmt_labels = {
+            node.node_id: ordinal
+            for ordinal, node in enumerate(
+                n for n in ast.walk(program)
+                if isinstance(n, ast.Checkpoint)
+            )
+        }
         recovery_faults: list[RecoveryFaultEvent] = list(
             getattr(plan, "recovery_faults", []) or []
         )
@@ -565,6 +617,12 @@ class Simulation:
         ]
         for proc in self.procs:
             proc.fast_local = getattr(proc.interp, "step_local", None)
+        if self._dead_sets and getattr(process_factory, "compiled", None) is None:
+            # Reference backend: each interpreter holds its own copy of
+            # the shared dead-set table (the compiled backend was
+            # configured once on the shared program above).
+            for proc in self.procs:
+                proc.interp.configure_pruning(self._dead_sets)
         # Backend diagnostics are strictly opt-in: an unconditional
         # backend-identifying event would break the byte-identical
         # cross-backend JSONL contract, so the bus must declare
@@ -632,6 +690,7 @@ class Simulation:
             scheduler=getattr(spec, "scheduler", "indexed"),
             retain_k=getattr(spec, "retain_k", None),
             backend=getattr(spec, "backend", "compiled"),
+            checkpoint_mode=getattr(spec, "checkpoint_mode", "full"),
         )
 
     @property
@@ -755,7 +814,7 @@ class Simulation:
             proc.interp.restore(checkpoint.snapshot)
             proc.clock = restart
             proc.paused = False
-            self._last_checkpoint_env[rank] = dict(checkpoint.snapshot.env)
+            self._last_stored[rank] = checkpoint
             self._clocks[rank] = checkpoint.clock
             if checkpoint.snapshot.pending_recv is not None:
                 proc.status = _Status.BLOCKED
@@ -820,7 +879,7 @@ class Simulation:
         proc.interp.restore(checkpoint.snapshot)
         proc.clock = restart
         proc.paused = False
-        self._last_checkpoint_env[rank] = dict(checkpoint.snapshot.env)
+        self._last_stored[rank] = checkpoint
         self._clocks[rank] = checkpoint.clock
         if checkpoint.snapshot.pending_recv is not None:
             proc.status = _Status.BLOCKED
@@ -1019,7 +1078,10 @@ class Simulation:
         self.stats.ack_frames = transport.ack_frames
         self.stats.acks_lost = transport.acks_lost
         self.stats.stored_checkpoints = self.storage.total_count()
-        self.stats.stored_bytes = self.storage.total_bytes()
+        # As-stored (wire) occupancy: delta entries count their delta
+        # payload, so this agrees with the per-commit snapshot_bytes
+        # metrics. Identical to the full-content sum outside delta mode.
+        self.stats.stored_bytes = self.storage.total_bytes(incremental=True)
         self.stats.recovery_read_faults = getattr(
             self.storage, "read_faults_injected", 0
         )
@@ -1477,9 +1539,14 @@ class Simulation:
         rank = proc.rank
         clocks = self._clocks
         clock = clocks[rank] = clocks[rank].tick(rank)
-        snapshot = proc.interp.snapshot()
-        previous_env = self._last_checkpoint_env.get(rank)
-        full_bytes, delta_bytes = snapshot_sizes(snapshot, previous_env)
+        # Pruned capture applies to application checkpoints only: they
+        # carry the statement the live sets were computed for. Protocol
+        # and initial checkpoints (stmt_id None) always capture fully —
+        # no static program point, no proof of deadness.
+        if self._prune_snapshots and stmt_id is not None:
+            snapshot = proc.interp.snapshot_pruned(stmt_id)
+        else:
+            snapshot = proc.interp.snapshot()
         # Built through __dict__ like the trace's events: checkpoints
         # are the third per-effect frozen-dataclass allocation on the
         # hot path, and the generated __init__ costs ~3x this.
@@ -1492,11 +1559,34 @@ class Simulation:
             time=time,
             channel_cursors=self.network.cursors_for(rank),
             stmt_id=stmt_id,
+            stmt_label=(
+                None if stmt_id is None else self._stmt_labels.get(stmt_id)
+            ),
             tag=tag,
             blocked_effect=proc.blocked_effect,
-            full_bytes=full_bytes,
-            delta_bytes=delta_bytes,
+            payload_kind="full",
+            parent=None,
+            delta_depth=0,
         )
+        if self._delta_payloads:
+            parent = self._last_stored.get(rank)
+            if (
+                parent is not None
+                and parent.delta_depth < DELTA_CHAIN_CAP
+                and delta_encodable(stored, parent)
+            ):
+                stored.__dict__.update(
+                    payload_kind="delta",
+                    parent=parent,
+                    delta_depth=parent.delta_depth + 1,
+                )
+                # A delta must pay off: keep whichever wire form is
+                # smaller, so per-entry payload <= full always holds.
+                if stored.payload_bytes >= stored.full_bytes:
+                    stored.__dict__.pop("_payload_bytes", None)
+                    stored.__dict__.update(
+                        payload_kind="full", parent=None, delta_depth=0
+                    )
         fault = self._take_write_fault(rank, time, stored.number)
         receipt = self.storage.store(stored, fault=fault)
         if receipt.retries:
@@ -1511,9 +1601,7 @@ class Simulation:
             if receipt.torn:
                 self.stats.torn_writes += 1
             return None
-        # Both backends build a fresh env dict per snapshot and never
-        # mutate it afterwards, so the delta baseline can alias it.
-        self._last_checkpoint_env[rank] = snapshot.env
+        self._last_stored[rank] = stored
         if tag != "initial":
             self.trace.append(
                 EventKind.CHECKPOINT,

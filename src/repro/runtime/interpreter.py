@@ -124,6 +124,9 @@ class ProcessInterpreter:
         self.checkpoint_count = 0
         self._stack: list[_Frame] = [_Frame(kind="block", block=program.body)]
         self._pending_recv: str | None = None
+        # Checkpoint statement node_id -> provably-dead variable names
+        # (set via configure_pruning; empty = prune nothing).
+        self._dead_sets: dict[int, frozenset[str]] = {}
 
     # -- state queries --------------------------------------------------------
 
@@ -153,6 +156,40 @@ class ProcessInterpreter:
             input_counters=self.inputs.snapshot(self.rank),
             pending_recv=self._pending_recv,
         )
+
+    def configure_pruning(
+        self, dead_sets: dict[int, frozenset[str]]
+    ) -> None:
+        """Install per-checkpoint dead-variable sets for pruned capture.
+
+        *dead_sets* maps checkpoint statement ``node_id`` to the
+        variables :mod:`repro.attributes.liveness` proved dead there.
+        Only affects :meth:`snapshot_pruned`; plain :meth:`snapshot`
+        always captures everything.
+        """
+        self._dead_sets = {
+            stmt_id: dead for stmt_id, dead in dead_sets.items() if dead
+        }
+
+    def snapshot_pruned(self, stmt_id: int | None) -> ProcessSnapshot:
+        """Snapshot with dead slots zeroed for the checkpoint *stmt_id*.
+
+        Every variable keeps its entry (and insertion position — the
+        restore contract needs the exact dict order), but slots proved
+        dead at this checkpoint store a deterministic 0 instead of
+        their value: restoring can only differ from a full snapshot in
+        slots that are provably rewritten before any read.
+        """
+        snap = self.snapshot()
+        dead = self._dead_sets.get(stmt_id)
+        if dead:
+            # Direct __dict__ write: the dataclass is frozen, and the
+            # surrounding fields (frames, counters) stay shared.
+            snap.__dict__["env"] = {
+                name: (0 if name in dead else value)
+                for name, value in snap.env.items()
+            }
+        return snap
 
     def restore(self, snap: ProcessSnapshot) -> None:
         """Rewind to *snap* (rollback or restart after a failure)."""

@@ -22,8 +22,19 @@ from dataclasses import dataclass, field
 
 from repro.causality.vector_clock import VectorClock
 from repro.errors import StorageError, TransientStorageError
+from repro.runtime.encoding import (
+    apply_delta,
+    checkpoint_record,
+    delta_record,
+    encode_record,
+)
 from repro.runtime.failures import FaultKind, StorageFaultEvent
 from repro.runtime.interpreter import ProcessSnapshot
+
+#: Longest run of consecutive delta-encoded checkpoints per rank before
+#: a full checkpoint is forced. Caps reconstruction work at restore and
+#: bounds how many ancestors safe-GC must keep alive for any one entry.
+DELTA_CHAIN_CAP = 4
 
 
 @dataclass(frozen=True)
@@ -41,11 +52,26 @@ class StoredCheckpoint:
             :meth:`repro.runtime.network.Network.cursors_for`).
         stmt_id: AST id of the originating checkpoint statement, if the
             checkpoint came from an application ``checkpoint`` statement.
+        stmt_label: Document-order ordinal of that statement among the
+            program's checkpoint statements (``None`` for protocol and
+            initial checkpoints). This — never ``stmt_id`` — is what
+            the wire record carries: AST node ids come from a
+            process-global counter, and durable bytes must not vary
+            with how many programs a process parsed earlier.
         tag: Protocol-specific label (e.g. the coordinated round id).
         blocked_effect: The receive effect the process was blocked on
             when a protocol checkpointed it mid-receive (None when the
             process was between statements); restoring such a
             checkpoint re-enters the blocked state.
+        payload_kind: Wire format of the durable payload — ``"full"``
+            (complete content) or ``"delta"`` (only fields changed
+            since ``parent``; restore reconstructs through the chain).
+        parent: For a ``"delta"`` entry, the rank's previously
+            published checkpoint the delta chains to (``None`` for
+            full entries). Safe GC must keep every transitive parent
+            of a live entry (see :class:`RetentionPolicy`).
+        delta_depth: Chain length above the nearest full checkpoint
+            (0 for full entries; bounded by :data:`DELTA_CHAIN_CAP`).
     """
 
     rank: int
@@ -55,10 +81,56 @@ class StoredCheckpoint:
     time: float
     channel_cursors: dict[tuple[int, int, str], tuple[int, int]]
     stmt_id: int | None = None
+    stmt_label: int | None = None
     tag: str = ""
     blocked_effect: object | None = None
-    full_bytes: int = 0
-    delta_bytes: int = 0
+    payload_kind: str = "full"
+    parent: "StoredCheckpoint | None" = None
+    delta_depth: int = 0
+
+    @property
+    def full_bytes(self) -> int:
+        """Measured size of the complete canonical encoding.
+
+        Lazily computed and cached (direct ``__dict__`` write — the
+        dataclass is frozen but the cache is not part of its identity),
+        so fault-free full-mode runs only pay for encoding when byte
+        accounting is actually read.
+        """
+        cached = self.__dict__.get("_full_bytes")
+        if cached is None:
+            cached = len(encode_record(checkpoint_record(self)))
+            self.__dict__["_full_bytes"] = cached
+        return cached
+
+    @property
+    def payload_bytes(self) -> int:
+        """Measured size of the durable wire form actually stored.
+
+        Equals :attr:`full_bytes` for full entries; for delta entries,
+        the size of the delta record against :attr:`parent`.
+        """
+        if self.payload_kind != "delta":
+            return self.full_bytes
+        cached = self.__dict__.get("_payload_bytes")
+        if cached is None:
+            cached = len(encode_record(delta_record(self, self.parent)))
+            self.__dict__["_payload_bytes"] = cached
+        return cached
+
+    # Historical name for the incremental figure, kept because the
+    # accounting API predates the real delta encoder.
+    delta_bytes = payload_bytes
+
+    @property
+    def delta_ancestors(self) -> tuple["StoredCheckpoint", ...]:
+        """Transitive parents, nearest first (empty for full entries)."""
+        ancestors = []
+        parent = self.parent
+        while parent is not None:
+            ancestors.append(parent)
+            parent = parent.parent
+        return tuple(ancestors)
 
 
 @dataclass
@@ -165,15 +237,18 @@ class StableStorage:
         return sum(len(h) for h in self._checkpoints.values())
 
     def total_bytes(self, incremental: bool = False) -> int:
-        """Cumulative checkpoint volume, full-sized or incremental.
+        """Cumulative checkpoint volume, full-content or as-stored.
 
-        The incremental figure models delta checkpointing (store only
-        variables changed since the previous checkpoint — the
-        related-work feature the paper cites as [20]); comparing the
-        two quantifies how much a delta scheme would save.
+        Both figures are *measured* (canonical-encoding sizes, the same
+        bytes checksums and torn-write staging operate on — one source
+        of truth). ``incremental=True`` sums the durable wire forms
+        (delta entries count their delta payload — the related-work
+        feature the paper cites as [20]); ``incremental=False`` sums
+        what the same history would cost stored entirely as full
+        checkpoints. The two coincide unless delta encoding is on.
         """
         return sum(
-            (c.delta_bytes if incremental else c.full_bytes)
+            (c.payload_bytes if incremental else c.full_bytes)
             for history in self._checkpoints.values()
             for c in history
         )
@@ -200,35 +275,20 @@ def prune_below_common(storage: "StableStorage", ranks: list[int]) -> int:
         for position, checkpoint in enumerate(history):
             if checkpoint.number == common:
                 keep_from = position
+        # Delta chains may reach below the cut: every kept entry needs
+        # its transitive parents to stay reconstructable, so widen the
+        # kept suffix to the earliest such ancestor. The widening is a
+        # fixpoint by construction — walking each kept entry's chain is
+        # transitive, so entries pulled in only as ancestors have their
+        # own ancestors covered by the same walk.
+        position_of = {id(c): p for p, c in enumerate(history)}
+        for checkpoint in history[keep_from:]:
+            for ancestor in checkpoint.delta_ancestors:
+                position = position_of.get(id(ancestor))
+                if position is not None and position < keep_from:
+                    keep_from = position
         dropped += storage.drop_prefix(rank, keep_from)
     return dropped
-
-
-WORD_BYTES = 8
-FRAME_BYTES = 16
-
-
-def snapshot_sizes(
-    snapshot: ProcessSnapshot, previous_env: dict[str, int] | None
-) -> tuple[int, int]:
-    """(full, delta) byte sizes of a snapshot under a simple model.
-
-    Variables cost one word each; control frames a fixed overhead. The
-    delta counts only variables added or changed since *previous_env*
-    (plus the frame overhead, which always must be saved).
-    """
-    frames = FRAME_BYTES * len(snapshot.frames)
-    full = WORD_BYTES * len(snapshot.env) + frames
-    if previous_env is None:
-        return full, full
-    # Explicit loop rather than sum(genexpr): envs are small, so the
-    # generator machinery would dominate on the per-checkpoint path.
-    changed = 0
-    get = previous_env.get
-    for name, value in snapshot.env.items():
-        if get(name) != value:
-            changed += 1
-    return full, WORD_BYTES * changed + frames
 
 
 # ----------------------------------------------------------------------
@@ -237,39 +297,45 @@ def snapshot_sizes(
 
 
 def checkpoint_payload(checkpoint: StoredCheckpoint) -> bytes:
-    """Canonical byte serialisation of a checkpoint's durable content.
+    """Canonical byte serialisation of a checkpoint's full content.
 
-    Covers everything recovery depends on (snapshot, clock, cursors,
-    numbering) but excludes in-memory-only fields (``blocked_effect``
-    holds an AST-bearing effect object whose repr is not stable). Frames
-    are reduced to their control coordinates; the shared AST is not
-    serialised, matching how :class:`ProcessSnapshot` shares it.
+    The canonical-encoding bytes of :func:`checkpoint_record` — the
+    single serialisation shared by checksums, replication, torn-write
+    staging, byte accounting, and the delta encoder (see
+    :mod:`repro.runtime.encoding`). For a delta entry this is the
+    *reconstructed* content: byte-identical to chaining
+    :func:`apply_delta` up from the nearest full ancestor, which is
+    why one checksum definition covers both payload kinds.
     """
-    snapshot = checkpoint.snapshot
-    frames = tuple(
-        (f.kind, f.index, f.remaining, f.trip) for f in snapshot.frames
+    return encode_record(checkpoint_record(checkpoint))
+
+
+def stored_payload(checkpoint: StoredCheckpoint) -> bytes:
+    """The durable wire form: delta bytes for delta entries, else full."""
+    if checkpoint.payload_kind != "delta":
+        return checkpoint_payload(checkpoint)
+    return encode_record(delta_record(checkpoint, checkpoint.parent))
+
+
+def reconstructed_record(checkpoint: StoredCheckpoint) -> tuple:
+    """Full content rebuilt through the stored delta chain.
+
+    Follows ``parent`` links to the nearest full entry and applies each
+    delta wire record in turn — the restore-time path. The result is
+    byte-identical (under :func:`~repro.runtime.encoding.encode_record`)
+    to :func:`~repro.runtime.encoding.checkpoint_record` of the entry
+    itself; tests pin that equivalence.
+    """
+    if checkpoint.payload_kind != "delta":
+        return checkpoint_record(checkpoint)
+    return apply_delta(
+        reconstructed_record(checkpoint.parent),
+        delta_record(checkpoint, checkpoint.parent),
     )
-    return repr((
-        checkpoint.rank,
-        checkpoint.number,
-        sorted(snapshot.env.items()),
-        frames,
-        snapshot.checkpoint_count,
-        sorted(snapshot.input_counters.items()),
-        snapshot.pending_recv,
-        # The raw component tuple: repr of a plain tuple is C-speed,
-        # while the dataclass wrapper's repr is a Python-level call —
-        # material at engine-hot-path checkpoint rates.
-        checkpoint.clock.components,
-        checkpoint.time,
-        sorted(checkpoint.channel_cursors.items()),
-        checkpoint.stmt_id,
-        checkpoint.tag,
-    )).encode()
 
 
 def checkpoint_checksum(checkpoint: StoredCheckpoint) -> int:
-    """CRC-32 over :func:`checkpoint_payload` (deterministic per content)."""
+    """CRC-32 over the (reconstructed) full content of *checkpoint*."""
     return zlib.crc32(checkpoint_payload(checkpoint))
 
 
@@ -395,10 +461,7 @@ class CheckpointStore(StableStorage):
             # with a lazily materialised checksum and hand back the
             # shared immutable OK receipt.
             self._publish(checkpoint, _LAZY_CHECKSUM)
-            self._emit(
-                "commit", checkpoint, retries=0,
-                bytes=checkpoint.full_bytes, tag=checkpoint.tag,
-            )
+            self._emit_commit(checkpoint, retries=0)
             return _OK_RECEIPT
         kind = fault.kind
         if kind is FaultKind.WRITE_FAIL:
@@ -418,10 +481,12 @@ class CheckpointStore(StableStorage):
                 )
             retries = fault.attempts
         if kind is FaultKind.TORN_WRITE:
-            # Stage: a torn write truncates the staged bytes. Validate:
-            # the staged checksum must match the intended content.
-            payload = checkpoint_payload(checkpoint)
-            expected = zlib.crc32(payload)
+            # Stage: a torn write truncates the staged *wire* bytes
+            # (the delta payload for delta entries). Validate: the
+            # staged bytes must checksum to the intended full content —
+            # a truncated stage never can, so the tear is discarded.
+            payload = stored_payload(checkpoint)
+            expected = checkpoint_checksum(checkpoint)
             staged = payload[: len(payload) // 2]
             if zlib.crc32(staged) != expected:
                 self._emit("torn-write", checkpoint, retries=retries)
@@ -429,10 +494,7 @@ class CheckpointStore(StableStorage):
                     published=False, retries=retries, torn=True, fault=fault
                 )
             self._publish(checkpoint, expected)
-            self._emit(
-                "commit", checkpoint, retries=retries,
-                bytes=checkpoint.full_bytes, tag=checkpoint.tag,
-            )
+            self._emit_commit(checkpoint, retries=retries)
             return StoreReceipt(published=True, retries=retries, fault=fault)
         # Publish: append atomically. Checkpoint content is immutable
         # once stored (bit rot is modelled by flipping the *stored*
@@ -441,11 +503,21 @@ class CheckpointStore(StableStorage):
         # deferred until rot actually targets this entry — fault-free
         # runs never pay for it.
         self._publish(checkpoint, _LAZY_CHECKSUM)
-        self._emit(
-            "commit", checkpoint, retries=retries,
-            bytes=checkpoint.full_bytes, tag=checkpoint.tag,
-        )
+        self._emit_commit(checkpoint, retries=retries)
         return StoreReceipt(published=True, retries=retries, fault=fault)
+
+    def _emit_commit(self, checkpoint: StoredCheckpoint, retries: int) -> None:
+        """Commit event carrying the *stored* (wire) payload size.
+
+        Guarded here rather than in :meth:`_emit` so the fault-free
+        no-observer path never evaluates ``payload_bytes`` (which would
+        force an encoding on every hot-path store).
+        """
+        if self.obs is not None:
+            self._emit(
+                "commit", checkpoint, retries=retries,
+                bytes=checkpoint.payload_bytes, tag=checkpoint.tag,
+            )
 
     def _emit(self, name: str, checkpoint: StoredCheckpoint, **fields) -> None:
         """Publish a ``storage``-category event for *checkpoint*.
@@ -486,7 +558,10 @@ class CheckpointStore(StableStorage):
         for checkpoint in reversed(self._checkpoints.get(rank, [])):
             if number is not None and checkpoint.number != number:
                 continue
-            if self.verify(checkpoint):
+            # Rot targets the entry's *own* stored record, so the scan
+            # uses the single-entry check: a delta whose ancestor is
+            # already rotten is still a fresh target for independent rot.
+            if self._intact_entry(checkpoint):
                 target = checkpoint
                 break
         if target is None:
@@ -501,8 +576,8 @@ class CheckpointStore(StableStorage):
             self._checksums[key] = stored ^ 0x5A5A5A5A
         return True
 
-    def verify(self, checkpoint: StoredCheckpoint) -> bool:
-        """Whether *checkpoint*'s stored checksum matches its content.
+    def _intact_entry(self, checkpoint: StoredCheckpoint) -> bool:
+        """Whether one entry's own stored checksum matches its content.
 
         Checkpoints this store never published (e.g. synthetic test
         fixtures) have no integrity record and are treated as intact.
@@ -513,6 +588,22 @@ class CheckpointStore(StableStorage):
             # untorn and never rotted — intact by construction.
             return True
         return stored == checkpoint_checksum(checkpoint)
+
+    def verify(self, checkpoint: StoredCheckpoint) -> bool:
+        """Whether *checkpoint* is restorable from durable content.
+
+        For a full entry this is the classic checksum match. A delta
+        entry additionally needs every transitive ancestor intact —
+        reconstruction chains through them, so rot anywhere on the
+        chain makes the descendant unrestorable (read paths then
+        degrade to an older entry whose chain is whole).
+        """
+        if not self._intact_entry(checkpoint):
+            return False
+        for ancestor in checkpoint.delta_ancestors:
+            if not self._intact_entry(ancestor):
+                return False
+        return True
 
     def _note_corrupt(self, checkpoint: StoredCheckpoint) -> None:
         if id(checkpoint) not in self._detected:
@@ -623,12 +714,17 @@ class ReplicatedCheckpointStore(CheckpointStore):
             )
         return self._mirrors[replica - 1].corrupt(rank, number=number)
 
-    def verify(self, checkpoint: StoredCheckpoint) -> bool:
-        """Quorum read: intact iff a majority of copies verify."""
-        copies = [super().verify(checkpoint)]
+    def _intact_entry(self, checkpoint: StoredCheckpoint) -> bool:
+        """Quorum read: an entry is intact iff a majority of copies are.
+
+        Chain handling stays in the inherited :meth:`verify`, which
+        calls this per link — so each ancestor needs its own quorum,
+        and a minority of rotten replicas anywhere on a delta chain is
+        still survivable.
+        """
+        copies = [CheckpointStore._intact_entry(self, checkpoint)]
         copies.extend(
-            CheckpointStore.verify(mirror, checkpoint)
-            for mirror in self._mirrors
+            mirror._intact_entry(checkpoint) for mirror in self._mirrors
         )
         return sum(copies) >= self.quorum
 
@@ -710,10 +806,12 @@ class RetentionPolicy:
                     break
                 storage.discard(victim)
                 collected += 1
-                reclaimed += victim.full_bytes
+                # Reclaimed space is the durable wire form the entry
+                # actually occupied (its delta payload, if encoded so).
+                reclaimed += victim.payload_bytes
                 emit = getattr(storage, "_emit", None)
                 if emit is not None:
-                    emit("gc", victim, bytes=victim.full_bytes)
+                    emit("gc", victim, bytes=victim.payload_bytes)
         if isinstance(storage, CheckpointStore):
             storage.gc_collected += collected
             storage.gc_reclaimed_bytes += reclaimed
@@ -786,4 +884,12 @@ class RetentionPolicy:
                     if checkpoint.number == number and intact(checkpoint):
                         protected.add(id(checkpoint))
                         break
+        # Delta-chain ancestors: evicting a parent would strand every
+        # descendant's reconstruction, so the transitive parents of
+        # *every* stored entry are off-limits. Chain tails therefore go
+        # first, unlocking their parents on later collect iterations;
+        # DELTA_CHAIN_CAP bounds how much occupancy this can pin.
+        for checkpoint in history:
+            for ancestor in checkpoint.delta_ancestors:
+                protected.add(id(ancestor))
         return protected

@@ -1,0 +1,158 @@
+"""Per-checkpoint liveness: the analysis behind pruned snapshots.
+
+The safety contract under test: a variable may be reported dead at a
+checkpoint only when every path from that checkpoint to exit rewrites
+it before any read — including the implicit read of *everything* at
+exit (the simulator observes complete final environments).
+"""
+
+from repro.attributes.liveness import (
+    checkpoint_dead_sets,
+    checkpoint_liveness,
+    program_variables,
+)
+from repro.lang import ast_nodes as ast
+from repro.lang.parser import parse
+from repro.lang.programs import stencil_halo, token_ring
+
+
+def checkpoint_ids(program):
+    return [
+        node.node_id
+        for node in ast.walk(program)
+        if isinstance(node, ast.Checkpoint)
+    ]
+
+
+class TestUniverse:
+    def test_collects_targets_counters_and_reads(self):
+        program = parse(
+            "program u():\n"
+            "    x = 1\n"
+            "    for k in range(n):\n"
+            "        y = x + k\n"
+            "    checkpoint\n"
+        )
+        assert program_variables(program) == {"x", "k", "y", "n"}
+
+    def test_unmentioned_parameters_are_outside(self):
+        # `steps` is a run-time parameter the text never mentions: the
+        # analysis cannot prove anything about it, so it is not in the
+        # universe and can never be pruned.
+        program = parse(
+            "program u():\n"
+            "    x = 1\n"
+            "    checkpoint\n"
+        )
+        assert program_variables(program) == {"x"}
+
+
+class TestSafety:
+    def test_variable_read_later_is_live(self):
+        program = parse(
+            "program p():\n"
+            "    x = 1\n"
+            "    y = 2\n"
+            "    checkpoint\n"
+            "    y = x + 1\n"
+        )
+        [cp] = checkpoint_ids(program)
+        result = checkpoint_liveness(program)
+        assert "x" in result.live_out[cp]
+        # y is rewritten before any read on the only path to exit.
+        assert "y" in result.dead[cp]
+
+    def test_exit_uses_everything(self):
+        # x is never read again — but it is never rewritten either, so
+        # its value is observable in the final environment and must
+        # stay live (the paper-level byte-identity convention).
+        program = parse(
+            "program p():\n"
+            "    x = 1\n"
+            "    checkpoint\n"
+            "    y = 2\n"
+        )
+        [cp] = checkpoint_ids(program)
+        result = checkpoint_liveness(program)
+        assert "x" in result.live_out[cp]
+        assert "y" in result.dead[cp]
+
+    def test_branch_keeps_conditionally_read_variables_live(self):
+        # One arm reads x before the rewrite: may-liveness keeps it.
+        program = parse(
+            "program p():\n"
+            "    x = 1\n"
+            "    checkpoint\n"
+            "    if flag > 0:\n"
+            "        y = x\n"
+            "    x = 2\n"
+            "    y = 3\n"
+        )
+        [cp] = checkpoint_ids(program)
+        result = checkpoint_liveness(program)
+        assert "x" in result.live_out[cp]
+
+    def test_loop_back_edge_reaches_uses(self):
+        # The checkpoint sits inside the loop: i is read by the header
+        # on the back edge, so it is live even though the body rewrites
+        # it right after the checkpoint.
+        program = parse(
+            "program p():\n"
+            "    i = 0\n"
+            "    while i < steps:\n"
+            "        checkpoint\n"
+            "        i = i + 1\n"
+        )
+        [cp] = checkpoint_ids(program)
+        result = checkpoint_liveness(program)
+        assert "i" in result.live_out[cp]
+
+    def test_send_value_is_a_use(self):
+        program = parse(
+            "program p():\n"
+            "    x = 1\n"
+            "    checkpoint\n"
+            "    send(0, x)\n"
+            "    x = 2\n"
+        )
+        [cp] = checkpoint_ids(program)
+        assert "x" in checkpoint_liveness(program).live_out[cp]
+
+    def test_live_and_dead_partition_the_universe(self):
+        program = stencil_halo()
+        result = checkpoint_liveness(program)
+        for cp in checkpoint_ids(program):
+            assert result.live_out[cp] | result.dead[cp] == result.variables
+            assert not result.live_out[cp] & result.dead[cp]
+
+
+class TestWorkloads:
+    def test_stencil_halo_scratch_pipeline_is_dead(self):
+        # The headline pruning case: the g*/a* relaxation temporaries
+        # and the halo are fully rewritten every iteration before any
+        # read, so at the loop-top checkpoint only x, i (and the steps
+        # parameter, if mentioned) survive.
+        program = stencil_halo()
+        result = checkpoint_liveness(program)
+        [cp] = checkpoint_ids(program)
+        dead = result.dead[cp]
+        assert {"halo"} <= dead
+        assert {f"g{k}" for k in range(16)} <= dead
+        assert {f"a{k}" for k in range(16)} <= dead
+        assert "x" in result.live_out[cp]
+        assert "i" in result.live_out[cp]
+
+    def test_token_ring_prunes_only_the_token(self):
+        # Both branch arms rewrite `token` before any read (init or
+        # recv comes first), so it is provably dead at the loop-top
+        # checkpoint; the loop counter is not. One small variable is
+        # also why token_ring sees only a modest payload reduction.
+        program = token_ring()
+        [dead] = checkpoint_dead_sets(program).values()
+        assert dead == {"token"}
+
+    def test_dead_sets_shorthand_matches_full_result(self):
+        program = stencil_halo()
+        assert checkpoint_dead_sets(program) == checkpoint_liveness(
+            program
+        ).dead

@@ -46,6 +46,7 @@ def spec_with_everything() -> ScenarioSpec:
         ),
         transport=TransportConfig(rto_factor=4.0),
         observe=True,
+        checkpoint_mode="pruned+delta",
     )
 
 
@@ -105,16 +106,25 @@ class TestContentHash:
             ScenarioSpec.from_json_dict(
                 {**base.to_json_dict(), "fault_plan": None}
             ),
+            ScenarioSpec.from_json_dict(
+                {**base.to_json_dict(), "checkpoint_mode": "full"}
+            ),
         ]
         hashes = {base.content_hash()} | {
             v.content_hash() for v in variants
         }
-        assert len(hashes) == 4
+        assert len(hashes) == 5
 
     def test_hash_survives_round_trip(self):
         spec = spec_with_everything()
         again = ScenarioSpec.from_json_dict(spec.to_json_dict())
         assert again.content_hash() == spec.content_hash()
+
+    def test_checkpoint_mode_defaults_to_full(self):
+        # Pre-feature campaign files carry no checkpoint_mode key.
+        data = spec_with_everything().to_json_dict()
+        del data["checkpoint_mode"]
+        assert ScenarioSpec.from_json_dict(data).checkpoint_mode == "full"
 
 
 class TestSpecFactory:
@@ -159,6 +169,14 @@ class TestProtocolRegistry:
         from repro.cli import _PROTOCOL_NAMES
 
         assert set(_PROTOCOL_NAMES) == set(protocol_names())
+
+    def test_cli_checkpoint_modes_match_engine(self):
+        # cli.py duplicates the tuple to stay import-light; this is the
+        # drift pin its comment promises.
+        from repro.cli import CHECKPOINT_MODES as cli_modes
+        from repro.runtime.engine import CHECKPOINT_MODES as engine_modes
+
+        assert cli_modes == engine_modes
 
     def test_none_returns_no_protocol(self):
         assert make_protocol("none") is None

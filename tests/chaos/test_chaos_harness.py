@@ -83,6 +83,23 @@ class TestChaosSweep:
         }
         assert not failures, failures
 
+    @pytest.mark.parametrize("protocol", CHAOS_PROTOCOLS)
+    def test_minimized_content_sweep_holds(self, protocol):
+        # The same 210-schedule budget with liveness-pruned, delta-
+        # encoded checkpoint content: content minimization must not
+        # flip a single chaos verdict (the retention invariant already
+        # accounts for pinned delta ancestors).
+        config = ChaosConfig(checkpoint_mode="pruned+delta")
+        outcomes = chaos_sweep(
+            range(70), protocols=(protocol,), config=config
+        )
+        failures = {
+            seed: outcome.describe()
+            for (_, seed), outcome in outcomes.items()
+            if not outcome.ok
+        }
+        assert not failures, failures
+
     def test_outcome_reports_fault_counts(self):
         plan = draw_schedule(3, CONFIG)
         outcome = run_schedule(plan, config=CONFIG)

@@ -1,88 +1,130 @@
-"""Checkpoint size accounting (full vs incremental model)."""
+"""Checkpoint size accounting over the measured canonical encoding.
 
-import pytest
+Every byte figure in the system — per-entry ``full_bytes`` and
+``payload_bytes``, store-wide ``total_bytes``, the ``stored_bytes``
+statistic, the ``snapshot_bytes`` gauge — is the length of the same
+canonical encoding that checksums and torn-write staging operate on.
+These tests pin that single-source-of-truth property and the
+full-vs-incremental semantics under every checkpoint mode.
+"""
 
 from repro.lang.parser import parse
-from repro.lang.programs import jacobi
+from repro.lang.programs import jacobi, stencil_halo
+from repro.obs import Observability
 from repro.protocols import ApplicationDrivenProtocol
 from repro.runtime import FailurePlan, Simulation
-from repro.runtime.interpreter import ProcessSnapshot
-from repro.runtime.storage import FRAME_BYTES, WORD_BYTES, snapshot_sizes
+from repro.runtime.storage import DELTA_CHAIN_CAP, stored_payload
 
 
-def snapshot(env, frames=1):
-    return ProcessSnapshot(
-        env=dict(env),
-        frames=tuple(object() for _ in range(frames)),
-        checkpoint_count=0,
-        input_counters={},
-    )
+def run(program, n, mode, steps=6, failure_plan=None, observer=None):
+    return Simulation(
+        program,
+        n,
+        params={"steps": steps},
+        protocol=ApplicationDrivenProtocol(),
+        failure_plan=failure_plan or FailurePlan.none(),
+        checkpoint_mode=mode,
+        observer=observer,
+    ).run()
 
 
-class TestSizeModel:
-    def test_full_size_counts_all_variables(self):
-        snap = snapshot({"a": 1, "b": 2, "c": 3}, frames=2)
-        full, delta = snapshot_sizes(snap, previous_env=None)
-        assert full == 3 * WORD_BYTES + 2 * FRAME_BYTES
-        assert delta == full  # first checkpoint is always full
-
-    def test_delta_counts_only_changes(self):
-        snap = snapshot({"a": 1, "b": 99, "c": 3}, frames=1)
-        full, delta = snapshot_sizes(snap, previous_env={"a": 1, "b": 2, "c": 3})
-        assert delta == 1 * WORD_BYTES + FRAME_BYTES
-        assert delta < full
-
-    def test_new_variables_count_as_changes(self):
-        snap = snapshot({"a": 1, "new": 7})
-        _, delta = snapshot_sizes(snap, previous_env={"a": 1})
-        assert delta == 1 * WORD_BYTES + FRAME_BYTES
-
-    def test_unchanged_env_delta_is_frames_only(self):
-        snap = snapshot({"a": 1}, frames=3)
-        _, delta = snapshot_sizes(snap, previous_env={"a": 1})
-        assert delta == 3 * FRAME_BYTES
+def entries(result):
+    return [
+        checkpoint
+        for rank in range(4)
+        for checkpoint in result.storage.history(rank)
+    ]
 
 
-class TestSimulationAccounting:
-    def test_totals_accumulate(self):
-        result = Simulation(jacobi(), 4, params={"steps": 6}).run()
-        full = result.storage.total_bytes()
-        incremental = result.storage.total_bytes(incremental=True)
-        assert full > 0
-        assert 0 < incremental <= full
+class TestMeasuredSizes:
+    def test_payload_bytes_is_wire_length(self):
+        result = run(jacobi(), 4, "pruned+delta")
+        for checkpoint in entries(result):
+            assert checkpoint.payload_bytes == len(stored_payload(checkpoint))
 
+    def test_full_mode_payload_equals_full(self):
+        result = run(jacobi(), 4, "full")
+        for checkpoint in entries(result):
+            assert checkpoint.payload_kind == "full"
+            assert checkpoint.payload_bytes == checkpoint.full_bytes
+        assert result.storage.total_bytes() == result.storage.total_bytes(
+            incremental=True
+        )
+
+    def test_every_checkpoint_carries_sizes(self):
+        result = run(jacobi(), 4, "delta")
+        for checkpoint in entries(result):
+            assert checkpoint.full_bytes > 0
+            assert 0 < checkpoint.payload_bytes <= checkpoint.full_bytes
+
+    def test_delta_bytes_is_payload_bytes_alias(self):
+        result = run(jacobi(), 4, "delta")
+        checkpoint = entries(result)[0]
+        assert checkpoint.delta_bytes == checkpoint.payload_bytes
+
+
+class TestSizeSemantics:
     def test_mostly_constant_state_saves_a_lot(self):
+        # A wide constant working set: only `i` changes between
+        # checkpoints, so delta records shed all 26 constants (each
+        # record still pays fixed framing — clock, cursors, frames —
+        # which is why the bound is 0.7 and not near zero).
+        constants = "\n".join(
+            f"    c{k} = {k + 1}" for k in range(26)
+        )
         program = parse(
             "program steady():\n"
-            "    a = 1\n"
-            "    b = 2\n"
-            "    c = 3\n"
-            "    d = 4\n"
+            f"{constants}\n"
             "    i = 0\n"
             "    while i < 10:\n"
             "        checkpoint\n"
             "        i = i + 1\n"
         )
-        result = Simulation(program, 2).run()
+        result = run(program, 2, "delta")
         full = result.storage.total_bytes()
         incremental = result.storage.total_bytes(incremental=True)
-        # only `i` changes between checkpoints
-        assert incremental < 0.7 * full
+        assert 0 < incremental < 0.7 * full
 
-    def test_every_checkpoint_carries_sizes(self):
-        result = Simulation(jacobi(), 4, params={"steps": 3}).run()
-        for rank in range(4):
-            for checkpoint in result.storage.history(rank):
-                assert checkpoint.full_bytes > 0
-                assert 0 < checkpoint.delta_bytes <= checkpoint.full_bytes
+    def test_pruning_shrinks_even_full_payloads(self):
+        full = run(stencil_halo(), 4, "full")
+        pruned = run(stencil_halo(), 4, "pruned")
+        assert (
+            pruned.storage.total_bytes() < full.storage.total_bytes()
+        ), "dead scratch variables should vanish from captured content"
 
-    def test_rollback_resets_delta_baseline(self):
-        result = Simulation(
-            jacobi(), 4, params={"steps": 8},
-            protocol=ApplicationDrivenProtocol(),
+    def test_delta_chain_depth_is_capped(self):
+        result = run(jacobi(), 4, "delta", steps=16)
+        for checkpoint in entries(result):
+            assert checkpoint.delta_depth <= DELTA_CHAIN_CAP
+            assert len(checkpoint.delta_ancestors) == checkpoint.delta_depth
+
+    def test_rollback_keeps_sizes_sane(self):
+        result = run(
+            jacobi(),
+            4,
+            "pruned+delta",
+            steps=8,
             failure_plan=FailurePlan.single(9.0, 1),
-        ).run()
-        # all stored checkpoints still have sane sizes after recovery
-        for rank in range(4):
-            for checkpoint in result.storage.history(rank):
-                assert checkpoint.delta_bytes <= checkpoint.full_bytes
+        )
+        for checkpoint in entries(result):
+            assert checkpoint.payload_bytes <= checkpoint.full_bytes
+
+
+class TestOneSourceOfTruth:
+    def test_stats_match_storage_totals(self):
+        result = run(jacobi(), 4, "pruned+delta")
+        assert result.stats.stored_bytes == result.storage.total_bytes(
+            incremental=True
+        )
+
+    def test_commit_gauge_reports_wire_bytes(self):
+        obs = Observability()
+        result = run(jacobi(), 4, "pruned+delta", observer=obs.bus)
+        gauge = obs.metrics.gauge("snapshot_bytes").value
+        # The gauge holds the most recently committed payload's wire
+        # size — the same measure total_bytes(incremental=True) sums.
+        assert gauge in {
+            float(c.payload_bytes) for c in entries(result)
+        }
+        dist = obs.metrics.histogram("snapshot_bytes_dist").as_dict()
+        assert dist["count"] > 0

@@ -32,7 +32,7 @@ from repro.runtime.storage import (
 
 
 def checkpoint(rank, number, time=None, size=100):
-    return StoredCheckpoint(
+    stored = StoredCheckpoint(
         rank=rank,
         number=number,
         snapshot=ProcessSnapshot(
@@ -43,8 +43,11 @@ def checkpoint(rank, number, time=None, size=100):
         time=float(number) if time is None else time,
         channel_cursors={},
         tag="t",
-        full_bytes=size,
     )
+    # Seed the lazy byte cache so reclaimed-byte accounting is exact
+    # and deterministic in these structural tests.
+    stored.__dict__["_full_bytes"] = size
+    return stored
 
 
 class TestRetentionPolicy:

@@ -32,6 +32,7 @@ class TestRegenerateResults:
             "obs_overhead.txt",
             "campaign_scaling.txt",
             "BENCH_engine.json",
+            "BENCH_checkpoint.json",
             "BENCH_transform.json",
         }
 

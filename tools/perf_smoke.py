@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""CI perf smoke: guard the engine/transform hot-path optimizations.
+"""CI perf smoke: guard the engine/transform/checkpoint optimizations.
 
-Re-runs the microbenchmarks behind ``results/BENCH_engine.json`` and
+Re-runs the microbenchmarks behind ``results/BENCH_engine.json``,
+``results/BENCH_checkpoint.json``, and
 ``results/BENCH_transform.json`` and compares the *speedup ratios*
 (reference implementation / optimized implementation, both timed on the
 current machine) against the committed baselines. Absolute wall times
@@ -22,6 +23,11 @@ with two threshold rules:
 A failure names the specific regressing case with its before/after
 ratio (the diff report's *worst regression* line), so the red CI line
 is a diagnosis, not a boolean.
+
+Two absolute (machine-independent) checks ride along: every required
+engine case must keep the compiled backend at least as fast as the
+reference stack, and every checkpoint-payload case must keep the
+minimized wire bytes at or below the full-content bytes.
 
 Run from the repository root::
 
@@ -78,6 +84,38 @@ def check_compiled_floor(report) -> list[str]:
     return problems
 
 
+def check_payload_floor(report) -> list[str]:
+    """Assert minimized checkpoint payloads never exceed full payloads.
+
+    The byte counts are exact (canonical encoder output, not timings),
+    so this bound is absolute: ``pruned+delta`` content that grew past
+    the full snapshot means the minimization itself regressed, no
+    matter what the committed baseline ratios say. ``identical`` is
+    also pinned here so an invalid row fails even when the baseline
+    diff is noisy.
+    """
+    problems = []
+    for case in report.cases:
+        full = case.extra.get("full_payload_bytes")
+        minimized = case.extra.get("minimized_payload_bytes")
+        if full is None or minimized is None:
+            problems.append(
+                f"{report.benchmark}/{case.name}: missing payload byte "
+                "counts in the fresh report"
+            )
+        elif minimized > full:
+            problems.append(
+                f"{report.benchmark}/{case.name}: minimized payload "
+                f"({minimized}B) exceeds full payload ({full}B)"
+            )
+        if not case.identical:
+            problems.append(
+                f"{report.benchmark}/{case.name}: content modes "
+                "diverged — minimization changed behaviour"
+            )
+    return problems
+
+
 def check_report(current, baseline_path: Path) -> list[str]:
     """Diff a fresh report against its committed baseline file.
 
@@ -128,6 +166,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     baseline_dir = Path(args.baseline_dir)
 
+    from repro.bench.checkpoint_payload import (
+        checkpoint_payload_report,
+        format_checkpoint_payload,
+    )
     from repro.bench.engine_hotpath import (
         engine_hotpath_report,
         format_engine_hotpath,
@@ -142,6 +184,13 @@ def main(argv: list[str] | None = None) -> int:
     print(format_engine_hotpath(engine))
     problems += check_report(engine, baseline_dir / "BENCH_engine.json")
     problems += check_compiled_floor(engine)
+    checkpoint = checkpoint_payload_report()
+    print()
+    print(format_checkpoint_payload(checkpoint))
+    problems += check_report(
+        checkpoint, baseline_dir / "BENCH_checkpoint.json"
+    )
+    problems += check_payload_floor(checkpoint)
     transform = transform_hotpath_report()
     print()
     print(format_transform_hotpath(transform))
